@@ -1,0 +1,167 @@
+(* Benchmark harness.
+
+   Two jobs:
+
+   1. Regenerate every table and figure of the paper's evaluation
+      section and print them (the reproduction harness).  The expensive
+      exhaustive sweeps (4 kernels x 4 devices x 5 input sizes x 5,120
+      variants) run once and are shared by all dependent experiments.
+
+   2. Run one Bechamel microbenchmark per experiment, timing the core
+      computation that experiment exercises (the occupancy calculation
+      behind Table VII, one variant compile+simulate behind Fig. 4 /
+      Table V, the Eq. 6 predictor behind Fig. 5, ...), plus ablation
+      benches for the design choices called out in DESIGN.md.
+
+   Run with:  dune exec bench/main.exe
+   Skip the heavy sweeps with:  GAT_BENCH_FAST=1 dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let fast_mode =
+  match Sys.getenv_opt "GAT_BENCH_FAST" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+(* ---- shared fixtures for the microbenches ---- *)
+
+let gpu = Gat_arch.Gpu.k20
+let atax = Gat_workloads.Workloads.atax
+let matvec = Gat_workloads.Workloads.matvec2d
+
+let compiled_atax = Gat_compiler.Driver.compile_exn atax gpu Gat_compiler.Params.default
+
+let microbenches =
+  [
+    (* Table I / Table II: rendering the machine descriptions. *)
+    Test.make ~name:"table1:render" (Staged.stage (fun () -> Gat_report.Table1.render ()));
+    Test.make ~name:"table2:render" (Staged.stage (fun () -> Gat_report.Table2.render ()));
+    (* Table III / Fig. 3: spec parsing. *)
+    Test.make ~name:"fig3:parse-spec"
+      (Staged.stage (fun () ->
+           Gat_ir.Tuning_spec.parse_exn
+             (Gat_ir.Tuning_spec.to_string Gat_ir.Tuning_spec.table_iii)));
+    (* Fig. 1: one divergence simulation. *)
+    Test.make ~name:"fig1:simulate-divergent"
+      (Staged.stage (fun () -> Gat_sim.Engine.run compiled_atax ~n:64));
+    (* Fig. 4 / Table V: the unit of the exhaustive sweep. *)
+    Test.make ~name:"fig4:compile-variant"
+      (Staged.stage (fun () ->
+           Gat_compiler.Driver.compile_exn matvec gpu
+             (Gat_compiler.Params.make ~unroll:3 ~fast_math:true ())));
+    Test.make ~name:"fig4:measure-variant"
+      (let rng = Gat_util.Rng.create 1 in
+       Staged.stage (fun () ->
+           Gat_tuner.Measure.time_of compiled_atax ~n:128 ~rng));
+    (* Fig. 5: the Eq. 6 predictor. *)
+    Test.make ~name:"fig5:eq6-predict"
+      (let mix =
+         Gat_core.Imix.estimate_dynamic compiled_atax.Gat_compiler.Driver.program ~n:128
+       in
+       Staged.stage (fun () -> Gat_core.Predict.cost gpu mix));
+    (* Table VI: dynamic-mix extraction. *)
+    Test.make ~name:"table6:dynamic-mix"
+      (Staged.stage (fun () ->
+           (Gat_sim.Engine.run compiled_atax ~n:128).Gat_sim.Engine.dynamic_mix));
+    (* Table VII: the occupancy-based suggestion. *)
+    Test.make ~name:"table7:suggest"
+      (Staged.stage (fun () ->
+           Gat_core.Suggest.suggest gpu ~regs_per_thread:20 ~smem_per_block:0));
+    Test.make ~name:"table7:occupancy-eq1-5"
+      (Staged.stage (fun () ->
+           Gat_core.Occupancy.calculate gpu
+             (Gat_core.Occupancy.input ~regs_per_thread:32 ~smem_per_block:4096
+                ~threads_per_block:256 ())));
+    (* Fig. 6: the static pruning step. *)
+    Test.make ~name:"fig6:static-prune"
+      (Staged.stage (fun () ->
+           Gat_tuner.Static_search.prune atax gpu Gat_tuner.Space.paper));
+    (* Fig. 7: the occupancy curves. *)
+    Test.make ~name:"fig7:occupancy-curves"
+      (Staged.stage (fun () ->
+           Gat_core.Occupancy_curves.vs_threads gpu ~regs_per_thread:20
+             ~smem_per_block:0));
+    (* Ablations (DESIGN.md section 7): class-level vs per-category CPI
+       weights in Eq. 6, and the load-hoisting scheduler. *)
+    Test.make ~name:"ablation:eq6-per-category"
+      (let mix =
+         Gat_core.Imix.estimate_dynamic compiled_atax.Gat_compiler.Driver.program ~n:128
+       in
+       Staged.stage (fun () -> Gat_core.Predict.cost_per_category gpu mix));
+    Test.make ~name:"ablation:schedule-pass"
+      (Staged.stage (fun () ->
+           Gat_compiler.Schedule.program compiled_atax.Gat_compiler.Driver.program));
+  ]
+
+let run_microbenches () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:true ()
+  in
+  let raw =
+    List.fold_left
+      (fun acc test ->
+        List.fold_left
+          (fun acc elt ->
+            Hashtbl.replace acc (Test.Elt.name elt) (Benchmark.run cfg instances elt);
+            acc)
+          acc (Test.elements test))
+      (Hashtbl.create 32) microbenches
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Gat_util.Table.create ~title:"Microbenchmarks (per-run time)"
+      [ "benchmark"; "time" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Gat_util.Table.add_row table [ name; human ])
+    (List.sort compare !rows);
+  print_string (Gat_util.Table.render table)
+
+(* ---- experiment regeneration ---- *)
+
+let heavy_ids = [ "fig4"; "table5"; "fig5"; "fig6"; "ablation" ]
+
+let run_experiments () =
+  List.iter
+    (fun (e : Gat_report.Experiments.t) ->
+      if fast_mode && List.mem e.Gat_report.Experiments.id heavy_ids then
+        Printf.printf "==== %s: %s ==== (skipped: GAT_BENCH_FAST)\n\n"
+          e.Gat_report.Experiments.id e.Gat_report.Experiments.title
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let body = e.Gat_report.Experiments.render () in
+        Printf.printf "==== %s: %s ====\n%s[%.1f s]\n\n"
+          e.Gat_report.Experiments.id e.Gat_report.Experiments.title body
+          (Unix.gettimeofday () -. t0)
+      end)
+    Gat_report.Experiments.all
+
+let () =
+  print_endline
+    "Reproduction harness: Lim, Norris & Malony, \"Autotuning GPU Kernels\n\
+     via Static and Predictive Analysis\" (ICPP 2017).  All devices are\n\
+     simulated; see DESIGN.md for the substitution map.\n";
+  run_experiments ();
+  print_endline "";
+  run_microbenches ()

@@ -1,0 +1,565 @@
+(* gat — GPU-kernel autotuning toolkit CLI.
+
+   Subcommands mirror the paper's workflow: compile-and-analyze a
+   kernel statically, inspect occupancy, get parameter suggestions,
+   simulate a launch, autotune with any search strategy, and regenerate
+   the paper's tables and figures. *)
+
+open Cmdliner
+
+let kernel_conv =
+  let parse s =
+    match Gat_workloads.Workloads.find s with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown kernel %S (expected one of: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun k -> k.Gat_ir.Kernel.name)
+                     Gat_workloads.Workloads.all))))
+  in
+  let print fmt (k : Gat_ir.Kernel.t) =
+    Format.pp_print_string fmt k.Gat_ir.Kernel.name
+  in
+  Arg.conv (parse, print)
+
+let gpu_conv =
+  let parse s =
+    match Gat_arch.Gpu.of_name s with
+    | Some g -> Ok g
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown GPU %S (expected a device or family name: %s)" s
+               (String.concat ", "
+                  (List.map (fun g -> g.Gat_arch.Gpu.name) Gat_arch.Gpu.all))))
+  in
+  let print fmt (g : Gat_arch.Gpu.t) =
+    Format.pp_print_string fmt g.Gat_arch.Gpu.name
+  in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  Arg.(required & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+
+let gpu_arg =
+  Arg.(
+    value
+    & opt gpu_conv Gat_arch.Gpu.k20
+    & info [ "a"; "arch" ] ~docv:"GPU" ~doc:"Target device (name or family).")
+
+let n_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "n"; "size" ] ~docv:"N" ~doc:"Problem size (default: the paper's middle input size).")
+
+let size_of kernel n =
+  Option.value ~default:(Gat_workloads.Workloads.default_size kernel) n
+
+let params_term =
+  let tc =
+    Arg.(value & opt int 128 & info [ "tc"; "threads" ] ~docv:"TC" ~doc:"Threads per block.")
+  in
+  let bc =
+    Arg.(value & opt int 96 & info [ "bc"; "blocks" ] ~docv:"BC" ~doc:"Thread blocks.")
+  in
+  let uif =
+    Arg.(value & opt int 1 & info [ "u"; "unroll" ] ~docv:"UIF" ~doc:"Unroll factor.")
+  in
+  let pl =
+    Arg.(value & opt int 16 & info [ "pl" ] ~docv:"KB" ~doc:"Preferred L1 size (16 or 48).")
+  in
+  let sc = Arg.(value & opt int 1 & info [ "sc" ] ~docv:"SC" ~doc:"Staging depth.") in
+  let fm = Arg.(value & flag & info [ "fast-math" ] ~doc:"Compile with -use_fast_math.") in
+  let make tc bc uif pl sc fm =
+    Gat_compiler.Params.make ~threads_per_block:tc ~block_count:bc ~unroll:uif
+      ~l1_pref_kb:pl ~staging:sc ~fast_math:fm ()
+  in
+  Term.(const make $ tc $ bc $ uif $ pl $ sc $ fm)
+
+let compile_or_die kernel gpu params =
+  match Gat_compiler.Driver.compile kernel gpu params with
+  | Ok c -> c
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+(* ---- analyze ---- *)
+
+let analyze kernel gpu params n =
+  let c = compile_or_die kernel gpu params in
+  let n = size_of kernel n in
+  print_string (Gat_compiler.Ptxas_info.render c.Gat_compiler.Driver.log);
+  let program = c.Gat_compiler.Driver.program in
+  let static_mix = Gat_core.Imix.static_of_program program in
+  let dyn_est = Gat_core.Imix.estimate_dynamic program ~n in
+  Format.printf "@.Static instruction mix:@.%a@." Gat_core.Imix.pp static_mix;
+  Printf.printf "\nComputational intensity (static): %.2f\n"
+    (Gat_core.Imix.intensity static_mix);
+  Printf.printf "Eq. 6 cost at N=%d: %.1f\n" n (Gat_core.Predict.cost gpu dyn_est);
+  print_string "\nPipeline utilization:\n";
+  print_string (Gat_core.Pipeline_util.render (Gat_core.Pipeline_util.of_mix gpu dyn_est));
+  let occ =
+    Gat_core.Occupancy.calculate gpu
+      (Gat_core.Occupancy.input
+         ~regs_per_thread:c.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers
+         ~smem_per_block:(Gat_isa.Program.smem_per_block program)
+         ~threads_per_block:params.Gat_compiler.Params.threads_per_block ())
+  in
+  Printf.printf
+    "\nOccupancy: %.2f (%d blocks/SM, %d warps; limited by %s)\n"
+    occ.Gat_core.Occupancy.occupancy occ.Gat_core.Occupancy.active_blocks
+    occ.Gat_core.Occupancy.active_warps
+    (Gat_core.Occupancy.limiter_name occ.Gat_core.Occupancy.limiter)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Static analysis of a kernel variant (no execution).")
+    Term.(const analyze $ kernel_arg $ gpu_arg $ params_term $ n_arg)
+
+(* ---- disasm ---- *)
+
+let disasm kernel gpu params ptx =
+  let c = compile_or_die kernel gpu params in
+  if ptx then print_string (Gat_isa.Ptx.program c.Gat_compiler.Driver.ptx)
+  else print_string (Gat_isa.Disasm.program c.Gat_compiler.Driver.program)
+
+let disasm_cmd =
+  let ptx =
+    Arg.(
+      value & flag
+      & info [ "ptx" ]
+          ~doc:"Print the virtual-register PTX form instead of the final code.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Compile a variant and print its instruction listing.")
+    Term.(const disasm $ kernel_arg $ gpu_arg $ params_term $ ptx)
+
+(* ---- cfg ---- *)
+
+let cfg kernel gpu params =
+  let c = compile_or_die kernel gpu params in
+  let graph = Gat_cfg.Cfg.of_program c.Gat_compiler.Driver.program in
+  print_string (Gat_cfg.Dot.render graph)
+
+let cfg_cmd =
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Emit the variant's control-flow graph as Graphviz DOT.")
+    Term.(const cfg $ kernel_arg $ gpu_arg $ params_term)
+
+(* ---- occupancy ---- *)
+
+let occupancy gpu tc regs smem curves =
+  let result =
+    Gat_core.Occupancy.calculate gpu
+      (Gat_core.Occupancy.input ~regs_per_thread:regs ~smem_per_block:smem
+         ~threads_per_block:tc ())
+  in
+  Printf.printf
+    "occupancy=%.2f active_blocks=%d active_warps=%d limiter=%s\n\
+     (by warps: %d, by registers: %d, by shared memory: %d)\n"
+    result.Gat_core.Occupancy.occupancy result.Gat_core.Occupancy.active_blocks
+    result.Gat_core.Occupancy.active_warps
+    (Gat_core.Occupancy.limiter_name result.Gat_core.Occupancy.limiter)
+    result.Gat_core.Occupancy.blocks_by_warps
+    result.Gat_core.Occupancy.blocks_by_regs
+    result.Gat_core.Occupancy.blocks_by_smem;
+  if curves then
+    print_string
+      (Gat_core.Occupancy_curves.render ~title:"occupancy vs block size"
+         ~marker:tc
+         (Gat_core.Occupancy_curves.vs_threads gpu ~regs_per_thread:regs
+            ~smem_per_block:smem))
+
+let occupancy_cmd =
+  let tc = Arg.(value & opt int 128 & info [ "t"; "threads" ] ~docv:"TC") in
+  let regs = Arg.(value & opt int 0 & info [ "r"; "regs" ] ~docv:"RU") in
+  let smem = Arg.(value & opt int 0 & info [ "s"; "smem" ] ~docv:"BYTES") in
+  let curves = Arg.(value & flag & info [ "curves" ] ~doc:"Also print the occupancy curve.") in
+  Cmd.v
+    (Cmd.info "occupancy" ~doc:"Occupancy calculator (paper Eqs. 1-5).")
+    Term.(const occupancy $ gpu_arg $ tc $ regs $ smem $ curves)
+
+(* ---- suggest ---- *)
+
+let suggest kernel gpu =
+  let c = compile_or_die kernel gpu Gat_compiler.Params.default in
+  let log = c.Gat_compiler.Driver.log in
+  let s =
+    Gat_core.Suggest.suggest gpu
+      ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
+      ~smem_per_block:
+        (log.Gat_compiler.Ptxas_info.smem_static
+        + log.Gat_compiler.Ptxas_info.smem_dynamic)
+  in
+  Printf.printf "%s on %s: %s\n" kernel.Gat_ir.Kernel.name
+    (Gat_arch.Gpu.family gpu)
+    (Gat_core.Suggest.row_to_string s)
+
+let suggest_cmd =
+  Cmd.v
+    (Cmd.info "suggest" ~doc:"Suggested launch parameters (paper Table VII).")
+    Term.(const suggest $ kernel_arg $ gpu_arg)
+
+(* ---- simulate ---- *)
+
+let simulate kernel gpu params n =
+  let c = compile_or_die kernel gpu params in
+  let n = size_of kernel n in
+  let r = Gat_sim.Engine.run c ~n in
+  Printf.printf
+    "N=%d  time=%.4f ms (%.0f cycles)\n\
+     occupancy=%.2f  blocks/SM=%d  waves=%d  bound=%s\n\
+     transactions=%.0f  lane_utilization=%.2f\n"
+    n r.Gat_sim.Engine.time_ms r.Gat_sim.Engine.cycles
+    r.Gat_sim.Engine.occupancy r.Gat_sim.Engine.active_blocks
+    r.Gat_sim.Engine.waves
+    (match r.Gat_sim.Engine.bound with
+    | `Issue -> "issue"
+    | `Bandwidth -> "bandwidth"
+    | `Latency -> "latency")
+    r.Gat_sim.Engine.transactions r.Gat_sim.Engine.lane_utilization
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one variant on the GPU simulator.")
+    Term.(const simulate $ kernel_arg $ gpu_arg $ params_term $ n_arg)
+
+(* ---- emulate ---- *)
+
+let emulate kernel gpu params n simt =
+  let c = compile_or_die kernel gpu params in
+  let n = size_of kernel n in
+  let reference = Gat_ir.Eval.run_fresh kernel ~n ~seed:42 in
+  if simt then begin
+    let arrays, stats = Gat_emu.Simt.run_fresh c ~n ~seed:42 in
+    let diff = Gat_ir.Eval.max_abs_diff reference arrays in
+    Printf.printf
+      "SIMT-executed %d warps, %.0f active-lane instructions\n\
+       max deviation vs reference interpreter: %g\n\
+       (nonzero deviations on atax/bicg/matvec2d are their cross-thread\n\
+       accumulation race, which lock-step execution exposes)\n\
+       reconvergence stack depth: %d\n\nwarp-level block issues (avg active lanes):\n"
+      stats.Gat_emu.Simt.warps stats.Gat_emu.Simt.thread_instructions diff
+      stats.Gat_emu.Simt.max_stack_depth;
+    List.iter
+      (fun (label, count) ->
+        Printf.printf "  %-8s %10d  (%.2f)\n" label count
+          (Gat_emu.Simt.avg_lanes stats label))
+      stats.Gat_emu.Simt.warp_issues;
+    exit 0
+  end;
+  let arrays, stats = Gat_emu.Emulator.run_fresh c ~n ~seed:42 in
+  let diff = Gat_ir.Eval.max_abs_diff reference arrays in
+  Printf.printf
+    "emulated %d threads, %.0f instructions (%.1f per thread)\n\
+     max deviation vs reference interpreter: %g\n\
+     local memory per thread: %d bytes\n\nexecuted instruction mix:\n"
+    stats.Gat_emu.Emulator.threads stats.Gat_emu.Emulator.instructions
+    (stats.Gat_emu.Emulator.instructions /. float_of_int stats.Gat_emu.Emulator.threads)
+    diff stats.Gat_emu.Emulator.max_local_bytes;
+  List.iter
+    (fun (cat, count) ->
+      Printf.printf "  %-14s %12.0f\n" (Gat_arch.Throughput.category_name cat) count)
+    stats.Gat_emu.Emulator.per_category;
+  print_endline "\nper-block executions:";
+  List.iter
+    (fun (label, count) -> Printf.printf "  %-8s %10d\n" label count)
+    stats.Gat_emu.Emulator.per_block
+
+let emulate_cmd =
+  let simt =
+    Arg.(
+      value & flag
+      & info [ "simt" ]
+          ~doc:
+            "Execute warp-by-warp with an active mask and reconvergence \
+             stack instead of thread-by-thread.")
+  in
+  Cmd.v
+    (Cmd.info "emulate"
+       ~doc:
+         "Execute a variant on the functional ISA emulator and validate it \
+          against the reference interpreter.")
+    Term.(const emulate $ kernel_arg $ gpu_arg $ params_term $ n_arg $ simt)
+
+(* ---- parse ---- *)
+
+let parse_file path gpu tune seed =
+  let text =
+    match open_in path with
+    | exception Sys_error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Gat_ir.Source.parse text with
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n" path (Gat_ir.Source.error_to_string e);
+      exit 1
+  | Ok parsed ->
+      let kernel = parsed.Gat_ir.Source.kernel in
+      print_string (Gat_ir.Kernel.to_string kernel);
+      let space =
+        match parsed.Gat_ir.Source.spec with
+        | Some spec ->
+            let space = Gat_tuner.Space.of_spec spec in
+            Printf.printf "\ntuning annotation: %s (%d points)\n"
+              (Gat_tuner.Space.to_string space)
+              (Gat_tuner.Space.cardinality space);
+            space
+        | None ->
+            print_endline "\nno tuning annotation; using the paper's space";
+            Gat_tuner.Space.paper
+      in
+      let c = compile_or_die kernel gpu Gat_compiler.Params.default in
+      let log = c.Gat_compiler.Driver.log in
+      let suggestion =
+        Gat_core.Suggest.suggest gpu
+          ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
+          ~smem_per_block:
+            (log.Gat_compiler.Ptxas_info.smem_static
+            + log.Gat_compiler.Ptxas_info.smem_dynamic)
+      in
+      Printf.printf "static analysis on %s: %s\n" (Gat_arch.Gpu.family gpu)
+        (Gat_core.Suggest.row_to_string suggestion);
+      if tune then begin
+        let n = 512 in
+        let outcome =
+          Gat_tuner.Tuner.autotune ~space ~strategy:Gat_tuner.Tuner.Static_rules
+            kernel gpu ~n ~seed
+        in
+        match outcome.Gat_tuner.Search.best_params with
+        | Some params ->
+            Printf.printf
+              "autotuned (static+rules, N=%d): %s (%.4f ms, %d evaluations)\n"
+              n
+              (Gat_compiler.Params.to_string params)
+              outcome.Gat_tuner.Search.best_time
+              outcome.Gat_tuner.Search.evaluations
+        | None -> print_endline "autotuning found no valid variant"
+      end
+
+let parse_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let tune =
+    Arg.(
+      value & flag
+      & info [ "tune" ] ~doc:"Also autotune over the file's annotation space.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:
+         "Parse an annotated kernel source file, analyze it statically, and \
+          optionally autotune it over its own annotation space.")
+    Term.(const parse_file $ path $ gpu_arg $ tune $ seed)
+
+(* ---- dynamics ---- *)
+
+let dynamics kernel gpu params n =
+  let c = compile_or_die kernel gpu params in
+  let n = size_of kernel n in
+  let t = Gat_emu.Dynamic_analysis.analyze c ~n ~seed:42 in
+  Printf.printf
+    "dynamic analysis of %s on %s at N=%d (%d threads emulated)\n\n"
+    kernel.Gat_ir.Kernel.name (Gat_arch.Gpu.family gpu) n
+    t.Gat_emu.Dynamic_analysis.stats.Gat_emu.Emulator.threads;
+  print_string (Gat_emu.Dynamic_analysis.render t)
+
+let dynamics_cmd =
+  Cmd.v
+    (Cmd.info "dynamics"
+       ~doc:
+         "Dynamic analysis via emulation: branch frequencies and memory \
+          reuse distances (the BF/MD boxes of the paper's Fig. 2).")
+    Term.(const dynamics $ kernel_arg $ gpu_arg $ params_term $ n_arg)
+
+(* ---- autotune ---- *)
+
+let strategy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "exhaustive" -> Ok Gat_tuner.Tuner.Exhaustive
+    | "random" -> Ok (Gat_tuner.Tuner.Random 200)
+    | "annealing" -> Ok (Gat_tuner.Tuner.Annealing 300)
+    | "genetic" -> Ok (Gat_tuner.Tuner.Genetic (15, 20))
+    | "nelder-mead" | "simplex" -> Ok (Gat_tuner.Tuner.Nelder_mead 3)
+    | "static" -> Ok Gat_tuner.Tuner.Static
+    | "static-rules" | "rules" -> Ok Gat_tuner.Tuner.Static_rules
+    | _ ->
+        Error
+          (`Msg
+            "expected one of: exhaustive, random, annealing, genetic, \
+             nelder-mead, static, static-rules")
+  in
+  let print fmt s = Format.pp_print_string fmt (Gat_tuner.Tuner.strategy_name s) in
+  Arg.conv (parse, print)
+
+let autotune kernel gpu n seed strategy journal_path =
+  let n = size_of kernel n in
+  let journal =
+    Option.map
+      (fun _ ->
+        Gat_tuner.Journal.create ~kernel:kernel.Gat_ir.Kernel.name
+          ~gpu:gpu.Gat_arch.Gpu.name ~n ~seed
+          ~strategy:(Gat_tuner.Tuner.strategy_name strategy))
+      journal_path
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Gat_tuner.Tuner.autotune ?journal ~strategy kernel gpu ~n ~seed in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match outcome.Gat_tuner.Search.best_params with
+  | Some params ->
+      Printf.printf "best: %s\nbest time: %.4f ms\n"
+        (Gat_compiler.Params.to_string params)
+        outcome.Gat_tuner.Search.best_time
+  | None -> print_endline "no valid variant found");
+  Printf.printf "evaluations: %d (%.1f s wall)\n"
+    outcome.Gat_tuner.Search.evaluations dt;
+  match (journal, journal_path) with
+  | Some j, Some path ->
+      Gat_tuner.Journal.save j path;
+      Printf.printf "journal: %d decisions written to %s\n"
+        (Gat_tuner.Journal.length j) path
+  | _ -> ()
+
+let autotune_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Gat_tuner.Tuner.Static_rules
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Search strategy: exhaustive, random, annealing, genetic, \
+             nelder-mead, static, static-rules.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Record every tuning decision to FILE for later replay.")
+  in
+  Cmd.v
+    (Cmd.info "autotune" ~doc:"Autotune a kernel over the paper's search space.")
+    Term.(const autotune $ kernel_arg $ gpu_arg $ n_arg $ seed $ strategy $ journal)
+
+(* ---- replay ---- *)
+
+let replay path seed =
+  match Gat_tuner.Journal.load path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok journal -> (
+      match
+        ( Gat_workloads.Workloads.find journal.Gat_tuner.Journal.kernel,
+          Gat_arch.Gpu.of_name journal.Gat_tuner.Journal.gpu )
+      with
+      | Some kernel, Some gpu ->
+          let seed = Option.value ~default:journal.Gat_tuner.Journal.seed seed in
+          let obj =
+            Gat_tuner.Tuner.objective kernel gpu
+              ~n:journal.Gat_tuner.Journal.n ~seed
+          in
+          let report = Gat_tuner.Journal.replay journal obj in
+          Printf.printf
+            "replayed %d decisions (%s on %s, N=%d, seed %d)\n\
+             validity reproduced: %d/%d\n\
+             max relative time deviation: %.2f%%\n"
+            report.Gat_tuner.Journal.total journal.Gat_tuner.Journal.kernel
+            journal.Gat_tuner.Journal.gpu journal.Gat_tuner.Journal.n seed
+            report.Gat_tuner.Journal.validity_matches
+            report.Gat_tuner.Journal.total
+            (100.0 *. report.Gat_tuner.Journal.max_relative_deviation)
+      | _ ->
+          Printf.eprintf "error: journal references an unknown kernel or GPU\n";
+          exit 1)
+
+let replay_cmd =
+  let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Measurement seed for the replay (default: the journal's).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a tuning journal and validate its recorded measurements.")
+    Term.(const replay $ path $ seed)
+
+(* ---- experiment ---- *)
+
+let experiment id =
+  if String.lowercase_ascii id = "all" then
+    print_string (Gat_report.Experiments.render_all ())
+  else
+    match Gat_report.Experiments.find id with
+    | Some e -> print_string (e.Gat_report.Experiments.render ())
+    | None ->
+        Printf.eprintf "unknown experiment %S; available: all, %s\n" id
+          (String.concat ", "
+             (List.map
+                (fun e -> e.Gat_report.Experiments.id)
+                Gat_report.Experiments.all));
+        exit 1
+
+let experiment_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate a paper table or figure (or 'all').")
+    Term.(const experiment $ id)
+
+(* ---- list ---- *)
+
+let list_all () =
+  print_endline "kernels:";
+  List.iter
+    (fun (k : Gat_ir.Kernel.t) ->
+      Printf.printf "  %-10s %s\n" k.Gat_ir.Kernel.name k.Gat_ir.Kernel.description)
+    Gat_workloads.Workloads.all;
+  print_endline "devices:";
+  List.iter
+    (fun (g : Gat_arch.Gpu.t) ->
+      Printf.printf "  %-6s %s (%s)\n" g.Gat_arch.Gpu.name
+        (Gat_arch.Gpu.family g)
+        (Gat_arch.Compute_capability.to_string g.Gat_arch.Gpu.cc))
+    Gat_arch.Gpu.all;
+  print_endline "experiments:";
+  List.iter
+    (fun (e : Gat_report.Experiments.t) ->
+      Printf.printf "  %-7s %s\n" e.Gat_report.Experiments.id
+        e.Gat_report.Experiments.title)
+    Gat_report.Experiments.all
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List kernels, devices and experiments.")
+    Term.(const list_all $ const ())
+
+let () =
+  let info =
+    Cmd.info "gat" ~version:"1.0.0"
+      ~doc:"Autotuning GPU kernels via static and predictive analysis."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd; disasm_cmd; cfg_cmd; occupancy_cmd; suggest_cmd;
+            simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
+            replay_cmd;
+            experiment_cmd;
+            list_cmd;
+          ]))

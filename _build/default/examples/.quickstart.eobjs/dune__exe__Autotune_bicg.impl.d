@@ -1,0 +1,1 @@
+examples/autotune_bicg.ml: Gat_arch Gat_compiler Gat_core Gat_ir Gat_tuner Gat_util Gat_workloads List Printf

@@ -1,0 +1,1 @@
+examples/cross_arch.ml: Gat_arch Gat_compiler Gat_ir Gat_sim Gat_tuner Gat_util Gat_workloads List Printf

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Eval Gat_arch Gat_compiler Gat_ir Gat_tuner Kernel Printf Stmt Tuning_spec Typecheck

@@ -1,0 +1,1 @@
+examples/divergence_study.ml: Array Gat_arch Gat_cfg Gat_compiler Gat_ir Gat_report Gat_workloads List Printf

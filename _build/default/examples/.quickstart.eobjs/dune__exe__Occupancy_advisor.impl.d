@@ -1,0 +1,1 @@
+examples/occupancy_advisor.ml: Array Gat_arch Gat_compiler Gat_core Gat_report Gat_workloads List Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gat_arch Gat_compiler Gat_core Gat_sim Gat_workloads Printf

@@ -1,0 +1,44 @@
+(* Occupancy advisor: the Fig. 7 workflow for every paper kernel on
+   every device — where does the current configuration sit on the
+   occupancy curves, and what would the analyzer change?
+
+     dune exec examples/occupancy_advisor.exe [kernel] [gpu] *)
+
+let () =
+  let kernel =
+    if Array.length Sys.argv > 1 then
+      match Gat_workloads.Workloads.find Sys.argv.(1) with
+      | Some k -> k
+      | None ->
+          Printf.eprintf "unknown kernel %s\n" Sys.argv.(1);
+          exit 1
+    else Gat_workloads.Workloads.atax
+  in
+  let gpu =
+    if Array.length Sys.argv > 2 then
+      match Gat_arch.Gpu.of_name Sys.argv.(2) with
+      | Some g -> g
+      | None ->
+          Printf.eprintf "unknown gpu %s\n" Sys.argv.(2);
+          exit 1
+    else Gat_arch.Gpu.m2050
+  in
+  print_string (Gat_report.Fig7.render ~kernel ~gpu ());
+  (* Summarize the advice across all devices. *)
+  print_endline "advice across the testbed:";
+  List.iter
+    (fun gpu ->
+      let compiled =
+        Gat_compiler.Driver.compile_exn kernel gpu Gat_compiler.Params.default
+      in
+      let log = compiled.Gat_compiler.Driver.log in
+      let s =
+        Gat_core.Suggest.suggest gpu
+          ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
+          ~smem_per_block:
+            (log.Gat_compiler.Ptxas_info.smem_static
+            + log.Gat_compiler.Ptxas_info.smem_dynamic)
+      in
+      Printf.printf "  %-8s %s\n" (Gat_arch.Gpu.family gpu)
+        (Gat_core.Suggest.row_to_string s))
+    Gat_arch.Gpu.all

@@ -1,0 +1,49 @@
+(* Quickstart: compile a kernel, analyze it statically, and get launch
+   parameters — without ever running it (the paper's core pitch).
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  let kernel = Gat_workloads.Workloads.matvec2d in
+  let gpu = Gat_arch.Gpu.k20 in
+
+  (* 1. Compile one variant, as nvcc would. *)
+  let params = Gat_compiler.Params.make ~threads_per_block:128 ~block_count:96 () in
+  let compiled = Gat_compiler.Driver.compile_exn kernel gpu params in
+  print_string (Gat_compiler.Ptxas_info.render compiled.Gat_compiler.Driver.log);
+
+  (* 2. Static instruction mix and intensity (Section III-B). *)
+  let program = compiled.Gat_compiler.Driver.program in
+  let mix = Gat_core.Imix.static_of_program program in
+  Printf.printf "\nstatic mix: %.0f FLOPS ops, %.0f memory ops, %.0f control ops\n"
+    (Gat_core.Imix.ofl mix) (Gat_core.Imix.omem mix) (Gat_core.Imix.octrl mix);
+  Printf.printf "computational intensity: %.2f\n" (Gat_core.Imix.intensity mix);
+
+  (* 3. Occupancy of this configuration (Eqs. 1-5). *)
+  let occ =
+    Gat_core.Occupancy.calculate gpu
+      (Gat_core.Occupancy.input
+         ~regs_per_thread:compiled.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers
+         ~threads_per_block:128 ())
+  in
+  Printf.printf "occupancy at TC=128: %.2f (limited by %s)\n"
+    occ.Gat_core.Occupancy.occupancy
+    (Gat_core.Occupancy.limiter_name occ.Gat_core.Occupancy.limiter);
+
+  (* 4. What block sizes would the analyzer suggest? (Table VII) *)
+  let suggestion =
+    Gat_core.Suggest.suggest gpu
+      ~regs_per_thread:compiled.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers
+      ~smem_per_block:0
+  in
+  Printf.printf "suggested: %s\n" (Gat_core.Suggest.row_to_string suggestion);
+
+  (* 5. Sanity-check on the simulated GPU. *)
+  let sim = Gat_sim.Engine.run compiled ~n:512 in
+  Printf.printf "\nsimulated at N=512: %.4f ms (%s-bound, occupancy %.2f)\n"
+    sim.Gat_sim.Engine.time_ms
+    (match sim.Gat_sim.Engine.bound with
+    | `Issue -> "issue"
+    | `Bandwidth -> "bandwidth"
+    | `Latency -> "latency")
+    sim.Gat_sim.Engine.occupancy

@@ -1,0 +1,1 @@
+lib/arch/compute_capability.mli: Format

@@ -1,0 +1,1 @@
+lib/arch/gpu.ml: Compute_capability List String

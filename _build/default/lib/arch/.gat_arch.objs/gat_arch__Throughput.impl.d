@@ -1,0 +1,1 @@
+lib/arch/throughput.ml: Compute_capability List

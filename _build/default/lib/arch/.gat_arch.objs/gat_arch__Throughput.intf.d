@@ -1,0 +1,1 @@
+lib/arch/throughput.mli: Compute_capability

@@ -1,0 +1,143 @@
+type t = {
+  name : string;
+  cc : Compute_capability.t;
+  global_mem_mb : int;
+  multiprocessors : int;
+  cores_per_mp : int;
+  gpu_clock_mhz : int;
+  mem_clock_mhz : int;
+  l2_cache_kb : int;
+  const_mem_bytes : int;
+  smem_per_block : int;
+  smem_per_mp : int;
+  reg_file_size : int;
+  warp_size : int;
+  threads_per_mp : int;
+  threads_per_block : int;
+  blocks_per_mp : int;
+  threads_per_warp : int;
+  warps_per_mp : int;
+  reg_alloc_unit : int;
+  regs_per_thread : int;
+  mem_latency_cycles : float;
+  l2_latency_cycles : float;
+}
+
+let cuda_cores t = t.multiprocessors * t.cores_per_mp
+
+let m2050 =
+  {
+    name = "M2050";
+    cc = Compute_capability.Sm20;
+    global_mem_mb = 3072;
+    multiprocessors = 14;
+    cores_per_mp = 32;
+    gpu_clock_mhz = 1147;
+    mem_clock_mhz = 1546;
+    l2_cache_kb = 786;
+    const_mem_bytes = 65536;
+    smem_per_block = 49152;
+    smem_per_mp = 49152;
+    reg_file_size = 32768;
+    warp_size = 32;
+    threads_per_mp = 1536;
+    threads_per_block = 1024;
+    blocks_per_mp = 8;
+    threads_per_warp = 32;
+    warps_per_mp = 48;
+    reg_alloc_unit = 64;
+    regs_per_thread = 63;
+    mem_latency_cycles = 600.0;
+    l2_latency_cycles = 240.0;
+  }
+
+let k20 =
+  {
+    name = "K20";
+    cc = Compute_capability.Sm35;
+    global_mem_mb = 11520;
+    multiprocessors = 13;
+    cores_per_mp = 192;
+    gpu_clock_mhz = 824;
+    mem_clock_mhz = 2505;
+    l2_cache_kb = 1572;
+    const_mem_bytes = 65536;
+    smem_per_block = 49152;
+    smem_per_mp = 49152;
+    reg_file_size = 65536;
+    warp_size = 32;
+    threads_per_mp = 2048;
+    threads_per_block = 1024;
+    blocks_per_mp = 16;
+    threads_per_warp = 32;
+    warps_per_mp = 64;
+    reg_alloc_unit = 256;
+    regs_per_thread = 255;
+    mem_latency_cycles = 440.0;
+    l2_latency_cycles = 200.0;
+  }
+
+let m40 =
+  {
+    name = "M40";
+    cc = Compute_capability.Sm52;
+    global_mem_mb = 12288;
+    multiprocessors = 24;
+    cores_per_mp = 128;
+    gpu_clock_mhz = 1140;
+    mem_clock_mhz = 5000;
+    l2_cache_kb = 3146;
+    const_mem_bytes = 65536;
+    smem_per_block = 49152;
+    smem_per_mp = 98304;
+    reg_file_size = 65536;
+    warp_size = 32;
+    threads_per_mp = 2048;
+    threads_per_block = 1024;
+    blocks_per_mp = 32;
+    threads_per_warp = 32;
+    warps_per_mp = 64;
+    reg_alloc_unit = 256;
+    regs_per_thread = 255;
+    mem_latency_cycles = 370.0;
+    l2_latency_cycles = 190.0;
+  }
+
+let p100 =
+  {
+    name = "P100";
+    cc = Compute_capability.Sm60;
+    global_mem_mb = 17066;
+    multiprocessors = 56;
+    cores_per_mp = 64;
+    gpu_clock_mhz = 405;
+    mem_clock_mhz = 715;
+    l2_cache_kb = 4194;
+    const_mem_bytes = 65536;
+    smem_per_block = 49152;
+    smem_per_mp = 65536;
+    reg_file_size = 65536;
+    warp_size = 32;
+    threads_per_mp = 2048;
+    threads_per_block = 1024;
+    blocks_per_mp = 32;
+    threads_per_warp = 32;
+    warps_per_mp = 64;
+    reg_alloc_unit = 256;
+    regs_per_thread = 255;
+    mem_latency_cycles = 280.0;
+    l2_latency_cycles = 160.0;
+  }
+
+let all = [ m2050; k20; m40; p100 ]
+
+let of_name name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt
+    (fun gpu ->
+      String.lowercase_ascii gpu.name = needle
+      || String.lowercase_ascii (Compute_capability.family gpu.cc) = needle)
+    all
+
+let of_cc cc = List.find (fun gpu -> gpu.cc = cc) all
+let family t = Compute_capability.family t.cc

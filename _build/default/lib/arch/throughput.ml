@@ -1,0 +1,118 @@
+type category =
+  | Fp32
+  | Fp64
+  | Comp_min_max
+  | Shift_shuffle
+  | Conv64
+  | Conv32
+  | Log_sin_cos
+  | Int_add32
+  | Mem
+  | Pred_ctrl
+  | Move
+  | Reg
+
+type klass = Flops | Memory | Control | Register
+
+let all_categories =
+  [
+    Fp32;
+    Fp64;
+    Comp_min_max;
+    Shift_shuffle;
+    Conv64;
+    Conv32;
+    Log_sin_cos;
+    Int_add32;
+    Mem;
+    Pred_ctrl;
+    Move;
+    Reg;
+  ]
+
+let category_name = function
+  | Fp32 -> "FPIns32"
+  | Fp64 -> "FPIns64"
+  | Comp_min_max -> "CompMinMax"
+  | Shift_shuffle -> "Shift/Shuffle"
+  | Conv64 -> "Conv64"
+  | Conv32 -> "Conv32"
+  | Log_sin_cos -> "LogSinCos"
+  | Int_add32 -> "IntAdd32"
+  | Mem -> "Tex/LdSt/Surf"
+  | Pred_ctrl -> "Pred/Ctrl"
+  | Move -> "MoveIns"
+  | Reg -> "Regs"
+
+let klass_of_category = function
+  | Fp32 | Fp64 | Comp_min_max | Shift_shuffle | Conv64 | Conv32 | Log_sin_cos
+  | Int_add32 ->
+      Flops
+  | Mem -> Memory
+  | Pred_ctrl | Move -> Control
+  | Reg -> Register
+
+let klass_name = function
+  | Flops -> "FLOPS"
+  | Memory -> "MEM"
+  | Control -> "CTRL"
+  | Register -> "REG"
+
+let all_klasses = [ Flops; Memory; Control; Register ]
+
+(* Table II of the paper: operations per cycle per SM, by capability. *)
+let ipc cc cat =
+  let open Compute_capability in
+  match (cat, cc) with
+  | Fp32, Sm20 -> 32.
+  | Fp32, Sm35 -> 192.
+  | Fp32, Sm52 -> 128.
+  | Fp32, Sm60 -> 64.
+  | Fp64, Sm20 -> 16.
+  | Fp64, Sm35 -> 64.
+  | Fp64, Sm52 -> 4.
+  | Fp64, Sm60 -> 32.
+  | Comp_min_max, Sm20 -> 32.
+  | Comp_min_max, Sm35 -> 160.
+  | Comp_min_max, Sm52 -> 64.
+  | Comp_min_max, Sm60 -> 32.
+  | Shift_shuffle, Sm20 -> 16.
+  | Shift_shuffle, Sm35 -> 32.
+  | Shift_shuffle, Sm52 -> 64.
+  | Shift_shuffle, Sm60 -> 32.
+  | Conv64, Sm20 -> 16.
+  | Conv64, Sm35 -> 8.
+  | Conv64, Sm52 -> 4.
+  | Conv64, Sm60 -> 16.
+  | Conv32, Sm20 -> 16.
+  | Conv32, Sm35 -> 128.
+  | Conv32, Sm52 -> 32.
+  | Conv32, Sm60 -> 16.
+  | Log_sin_cos, Sm20 -> 4.
+  | Log_sin_cos, Sm35 -> 32.
+  | Log_sin_cos, Sm52 -> 32.
+  | Log_sin_cos, Sm60 -> 16.
+  | Int_add32, Sm20 -> 32.
+  | Int_add32, Sm35 -> 160.
+  | Int_add32, Sm52 -> 64.
+  | Int_add32, Sm60 -> 32.
+  | Mem, Sm20 -> 16.
+  | Mem, Sm35 -> 32.
+  | Mem, Sm52 -> 64.
+  | Mem, Sm60 -> 16.
+  | Pred_ctrl, Sm20 -> 16.
+  | Pred_ctrl, Sm35 -> 32.
+  | Pred_ctrl, Sm52 -> 64.
+  | Pred_ctrl, Sm60 -> 16.
+  | Move, (Sm20 | Sm35 | Sm52 | Sm60) -> 32.
+  | Reg, Sm20 -> 16.
+  | Reg, Sm35 -> 32.
+  | Reg, Sm52 -> 32.
+  | Reg, Sm60 -> 16.
+
+let cpi cc cat = 1.0 /. ipc cc cat
+
+let class_cpi cc klass =
+  let cats = List.filter (fun c -> klass_of_category c = klass) all_categories in
+  let sum = List.fold_left (fun acc c -> acc +. cpi cc c) 0.0 cats in
+  sum /. float_of_int (List.length cats)

@@ -1,0 +1,50 @@
+(** Instruction throughput tables (paper Table II).
+
+    Each instruction category has a per-architecture throughput in
+    instructions per cycle (IPC); its reciprocal, cycles per instruction
+    (CPI), is the weight used by the instruction-mix metrics and by the
+    Eq. 6 execution-time model. *)
+
+type category =
+  | Fp32  (** 32-bit floating point arithmetic. *)
+  | Fp64  (** 64-bit floating point arithmetic. *)
+  | Comp_min_max  (** Compare, min, max. *)
+  | Shift_shuffle  (** Shift, extract, shuffle, sum-abs-diff. *)
+  | Conv64  (** Conversions involving 64-bit types. *)
+  | Conv32  (** 32-bit conversions. *)
+  | Log_sin_cos  (** Transcendental special functions. *)
+  | Int_add32  (** 32-bit integer add/logic. *)
+  | Mem  (** Texture, load/store and surface instructions. *)
+  | Pred_ctrl  (** Predicate manipulation and control flow. *)
+  | Move  (** Register moves. *)
+  | Reg  (** Register-file operand traffic. *)
+
+type klass = Flops | Memory | Control | Register
+(** Coarse classes used by the mix metrics: O{_fl}, O{_mem}, O{_ctrl},
+    O{_reg} in the paper's notation. *)
+
+val all_categories : category list
+(** Every category, in Table II row order. *)
+
+val category_name : category -> string
+(** Human-readable row label, e.g. ["FPIns32"]. *)
+
+val klass_of_category : category -> klass
+(** Table II's Op column: which coarse class a category counts toward. *)
+
+val klass_name : klass -> string
+(** ["FLOPS"], ["MEM"], ["CTRL"] or ["REG"]. *)
+
+val all_klasses : klass list
+(** The four coarse classes. *)
+
+val ipc : Compute_capability.t -> category -> float
+(** Operations per cycle per SM (Table II entry). *)
+
+val cpi : Compute_capability.t -> category -> float
+(** Cycles per instruction: [1. /. ipc cc cat]. *)
+
+val class_cpi : Compute_capability.t -> klass -> float
+(** Representative CPI for a coarse class: the arithmetic mean of the
+    CPIs of the class's categories.  These are the Eq. 6 coefficients
+    [cf], [cm], [cb], [cr]. *)

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Gat_isa Hashtbl List

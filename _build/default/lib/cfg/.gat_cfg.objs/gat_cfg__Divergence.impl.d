@@ -1,0 +1,1 @@
+lib/cfg/divergence.ml: Basic_block Cfg Gat_isa Instruction List Operand Program Register

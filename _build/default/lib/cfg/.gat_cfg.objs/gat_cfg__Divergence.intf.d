@@ -1,0 +1,1 @@
+lib/cfg/divergence.mli: Cfg Gat_isa

@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Buffer Cfg Divergence Gat_isa List Loops Printf String

@@ -1,0 +1,1 @@
+lib/cfg/postdominators.ml: Array Cfg List

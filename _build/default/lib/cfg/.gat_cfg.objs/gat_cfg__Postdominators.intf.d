@@ -1,0 +1,1 @@
+lib/cfg/postdominators.mli: Cfg

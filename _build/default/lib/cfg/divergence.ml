@@ -1,0 +1,66 @@
+open Gat_isa
+
+type t = {
+  tainted : Register.Set.t;
+  divergent : int list;
+  branches : int;
+}
+
+let special_is_lane_varying = function
+  | Operand.Tid_x | Operand.Laneid -> true
+  | Operand.Ntid_x | Operand.Ctaid_x | Operand.Nctaid_x -> false
+
+let instruction_taints tainted (ins : Instruction.t) =
+  let src_tainted =
+    List.exists
+      (fun operand ->
+        match operand with
+        | Operand.Special s -> special_is_lane_varying s
+        | Operand.Reg r -> Register.Set.mem r tainted
+        | Operand.Addr { base; _ } -> Register.Set.mem base tainted
+        | Operand.Imm _ | Operand.FImm _ -> false)
+      ins.Instruction.srcs
+    ||
+    match ins.Instruction.pred with
+    | Some { reg; _ } -> Register.Set.mem reg tainted
+    | None -> false
+  in
+  (* Loads from lane-varying addresses produce lane-varying data. *)
+  if src_tainted then
+    match ins.Instruction.dst with
+    | Some d -> Register.Set.add d tainted
+    | None -> tainted
+  else tainted
+
+let compute cfg =
+  let program = cfg.Cfg.program in
+  (* Iterate to a fixed point: register taint can flow through loops. *)
+  let tainted = ref Register.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Program.iter_instructions program (fun _ ins ->
+        let next = instruction_taints !tainted ins in
+        if not (Register.Set.equal next !tainted) then begin
+          tainted := next;
+          changed := true
+        end)
+  done;
+  let divergent = ref [] and branches = ref 0 in
+  List.iteri
+    (fun i (b : Basic_block.t) ->
+      match b.Basic_block.term with
+      | Basic_block.Cond_branch { pred = { reg; _ }; _ } ->
+          incr branches;
+          if Register.Set.mem reg !tainted then divergent := i :: !divergent
+      | Basic_block.Jump _ | Basic_block.Exit -> ())
+    program.Program.blocks;
+  { tainted = !tainted; divergent = List.rev !divergent; branches = !branches }
+
+let thread_dependent_registers t = t.tainted
+let divergent_branches t = t.divergent
+let branch_count t = t.branches
+
+let divergent_fraction t =
+  if t.branches = 0 then 0.0
+  else float_of_int (List.length t.divergent) /. float_of_int t.branches

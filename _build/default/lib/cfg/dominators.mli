@@ -1,0 +1,18 @@
+(** Dominator computation (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t
+(** Dominator tree for a CFG's reachable subgraph. *)
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a node; [None] for the entry and for
+    unreachable nodes. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — every path from the entry to [b] passes through
+    [a] (reflexive: a node dominates itself).  False when either node is
+    unreachable, except [dominates t b b] on a reachable [b]. *)
+
+val dominator_chain : t -> int -> int list
+(** Nodes dominating the given node, from itself up to the entry. *)

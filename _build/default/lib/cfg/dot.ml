@@ -1,0 +1,36 @@
+let render ?(highlight_divergence = true) cfg =
+  let divergent =
+    if highlight_divergence then Divergence.divergent_branches (Divergence.compute cfg)
+    else []
+  in
+  let loop_info = Loops.compute cfg in
+  let headers = List.map (fun (l : Loops.loop) -> l.Loops.header) (Loops.loops loop_info) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph cfg {\n";
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iteri
+    (fun i label ->
+      let attrs = ref [] in
+      if List.mem i divergent then
+        attrs := "style=filled" :: "fillcolor=\"#f4cccc\"" :: !attrs;
+      if List.mem i headers then attrs := "peripheries=2" :: !attrs;
+      let n_instrs =
+        Gat_isa.Basic_block.instruction_count (Cfg.block cfg i)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\\n%d instrs\"%s];\n" label label
+           n_instrs
+           (if !attrs = [] then ""
+            else ", " ^ String.concat ", " !attrs))
+    )
+    cfg.Cfg.labels;
+  Array.iteri
+    (fun i succs ->
+      List.iter
+        (fun j ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s -> %s;\n" cfg.Cfg.labels.(i) cfg.Cfg.labels.(j)))
+        succs)
+    cfg.Cfg.succ;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz export of control-flow graphs, with divergent branches
+    highlighted — the visual counterpart of the paper's CFG analysis. *)
+
+val render : ?highlight_divergence:bool -> Cfg.t -> string
+(** DOT source for the CFG.  With [highlight_divergence] (default true)
+    blocks ending in a thread-dependent conditional branch are drawn
+    with a distinctive style, and loop headers are marked. *)

@@ -1,0 +1,70 @@
+type loop = { header : int; latches : int list; body : int list }
+
+type t = { loop_list : loop list; depths : int array }
+
+let back_edges cfg =
+  let dom = Dominators.compute cfg in
+  let edges = ref [] in
+  Array.iteri
+    (fun u succs ->
+      List.iter
+        (fun v -> if Dominators.dominates dom v u then edges := (u, v) :: !edges)
+        succs)
+    cfg.Cfg.succ;
+  List.rev !edges
+
+(* Collect the natural loop of a back edge u->v: v plus all nodes that
+   reach u without passing through v. *)
+let natural_loop cfg (u, v) =
+  let n = Cfg.n_blocks cfg in
+  let in_body = Array.make n false in
+  in_body.(v) <- true;
+  let rec visit node =
+    if not in_body.(node) then begin
+      in_body.(node) <- true;
+      List.iter visit cfg.Cfg.pred.(node)
+    end
+  in
+  visit u;
+  in_body
+
+let compute cfg =
+  let n = Cfg.n_blocks cfg in
+  let edges = back_edges cfg in
+  (* Merge loops by header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (u, v) ->
+      let body = natural_loop cfg (u, v) in
+      match Hashtbl.find_opt by_header v with
+      | None -> Hashtbl.replace by_header v (ref [ u ], ref body)
+      | Some (latches, acc) ->
+          latches := u :: !latches;
+          let merged = Array.mapi (fun i x -> x || body.(i)) !acc in
+          acc := merged)
+    edges;
+  let headers =
+    Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] |> List.sort Int.compare
+  in
+  let loop_list =
+    List.map
+      (fun header ->
+        let latches, body = Hashtbl.find by_header header in
+        let members = ref [] in
+        Array.iteri (fun i inside -> if inside then members := i :: !members) !body;
+        { header; latches = List.rev !latches; body = List.rev !members })
+      headers
+  in
+  let depths = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun node -> depths.(node) <- depths.(node) + 1) l.body)
+    loop_list;
+  { loop_list; depths }
+
+let loops t = t.loop_list
+let depth t node = t.depths.(node)
+
+let in_loop t ~header node =
+  match List.find_opt (fun l -> l.header = header) t.loop_list with
+  | None -> false
+  | Some l -> List.mem node l.body

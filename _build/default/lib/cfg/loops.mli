@@ -1,0 +1,24 @@
+(** Natural-loop detection from back edges. *)
+
+type loop = {
+  header : int;  (** Loop header node. *)
+  latches : int list;  (** Sources of back edges into the header. *)
+  body : int list;  (** All nodes in the loop, header included, sorted. *)
+}
+
+type t
+
+val compute : Cfg.t -> t
+
+val loops : t -> loop list
+(** All natural loops, headers in program order; loops sharing a header
+    are merged (standard natural-loop convention). *)
+
+val depth : t -> int -> int
+(** Loop-nesting depth of a node: 0 outside any loop. *)
+
+val in_loop : t -> header:int -> int -> bool
+(** Is the node part of the loop with the given header? *)
+
+val back_edges : Cfg.t -> (int * int) list
+(** All edges [u -> v] where [v] dominates [u]. *)

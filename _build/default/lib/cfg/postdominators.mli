@@ -1,0 +1,26 @@
+(** Post-dominator computation.
+
+    A node [p] post-dominates [b] when every path from [b] to the exit
+    passes through [p].  The immediate post-dominator of a divergent
+    branch is its reconvergence point — where a SIMT machine's mask
+    stack rejoins the warp (used by {!Gat_emu.Simt}).
+
+    Computed as dominators of the edge-reversed CFG rooted at the exit
+    block.  Programs produced by the compiler have exactly one exit
+    block; on multi-exit graphs the first exit in layout order is the
+    root and blocks that only reach other exits appear unreachable. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val exit_node : t -> int
+(** The root (exit block) of the reversed graph. *)
+
+val ipdom : t -> int -> int option
+(** Immediate post-dominator; [None] for the exit node itself and for
+    nodes that cannot reach the exit. *)
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t p b] — every path from [b] to the exit passes
+    through [p] (reflexive). *)

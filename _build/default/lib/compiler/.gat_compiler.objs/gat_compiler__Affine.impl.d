@@ -1,0 +1,1 @@
+lib/compiler/affine.ml: Float Gat_ir Gat_isa

@@ -1,0 +1,1 @@
+lib/compiler/affine.mli: Gat_ir Gat_isa

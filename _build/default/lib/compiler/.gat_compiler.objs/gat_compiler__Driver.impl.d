@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Gat_arch Gat_ir Gat_isa Lowering Params Printf Profile Ptxas_info Regalloc Schedule

@@ -1,0 +1,1 @@
+lib/compiler/driver.mli: Gat_arch Gat_ir Gat_isa Params Profile Ptxas_info Regalloc

@@ -1,0 +1,1 @@
+lib/compiler/lowering.mli: Gat_arch Gat_ir Gat_isa Params Profile

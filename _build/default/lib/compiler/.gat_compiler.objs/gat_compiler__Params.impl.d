@@ -1,0 +1,1 @@
+lib/compiler/params.ml: Format Gat_arch Printf Stdlib

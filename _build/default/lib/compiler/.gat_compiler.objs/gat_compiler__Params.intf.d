@@ -1,0 +1,1 @@
+lib/compiler/params.mli: Format Gat_arch

@@ -1,0 +1,1 @@
+lib/compiler/profile.ml: Float Gat_ir Gat_util List Option

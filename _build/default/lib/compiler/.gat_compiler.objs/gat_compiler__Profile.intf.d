@@ -1,0 +1,1 @@
+lib/compiler/profile.mli: Gat_ir

@@ -1,0 +1,1 @@
+lib/compiler/ptxas_info.ml: Format Gat_arch Gat_isa Printf Regalloc

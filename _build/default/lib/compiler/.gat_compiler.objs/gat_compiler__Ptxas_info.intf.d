@@ -1,0 +1,1 @@
+lib/compiler/ptxas_info.mli: Format Gat_arch Gat_isa Regalloc

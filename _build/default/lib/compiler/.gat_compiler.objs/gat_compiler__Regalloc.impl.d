@@ -1,0 +1,1 @@
+lib/compiler/regalloc.ml: Array Basic_block Gat_arch Gat_isa Hashtbl Instruction Int List Opcode Operand Option Program Register Set

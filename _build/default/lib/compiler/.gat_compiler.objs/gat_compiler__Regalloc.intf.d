@@ -1,0 +1,1 @@
+lib/compiler/regalloc.mli: Gat_arch Gat_isa

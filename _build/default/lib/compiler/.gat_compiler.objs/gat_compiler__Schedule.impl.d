@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Array Basic_block Gat_isa Instruction List Opcode Program Register

@@ -1,0 +1,1 @@
+lib/compiler/unroll.ml: Expr Gat_ir Kernel List Stmt

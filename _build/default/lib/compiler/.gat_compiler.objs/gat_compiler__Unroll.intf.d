@@ -1,0 +1,1 @@
+lib/compiler/unroll.mli: Gat_ir

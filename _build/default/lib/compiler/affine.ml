@@ -1,0 +1,32 @@
+module W = Gat_isa.Weight
+
+let rec of_expr (e : Gat_ir.Expr.t) =
+  let open Gat_ir.Expr in
+  match e with
+  | Int i -> Some (W.const (float_of_int i))
+  | Size -> Some (W.linear 1.0)
+  | Float _ | Var _ | Read _ | Cmp _ | Select _ -> None
+  | Bin (Add, x, y) -> combine W.add x y
+  | Bin (Sub, x, y) -> combine W.sub x y
+  | Bin (Mul, x, y) -> (
+      match (of_expr x, of_expr y) with
+      | Some f, Some g -> ( try Some (W.mul f g) with Invalid_argument _ -> None)
+      | _ -> None)
+  | Bin (Div, x, y) -> (
+      match (of_expr x, of_expr y) with
+      | Some f, Some g when W.degree g = 0 && g.W.c0 <> 0.0 ->
+          Some (W.scale (1.0 /. g.W.c0) f)
+      | _ -> None)
+  | Bin ((Min | Max), _, _) -> None
+  | Un (Neg, x) -> (
+      match of_expr x with Some f -> Some (W.scale (-1.0) f) | None -> None)
+  | Un (_, _) -> None
+
+and combine op x y =
+  match (of_expr x, of_expr y) with
+  | Some f, Some g -> Some (op f g)
+  | _ -> None
+
+let trip_count ~lo ~hi ~step =
+  let diff = W.scale (1.0 /. float_of_int step) (W.sub hi lo) in
+  if W.degree diff = 0 then W.const (Float.max 0.0 diff.W.c0) else diff

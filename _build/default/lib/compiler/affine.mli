@@ -1,0 +1,18 @@
+(** Polynomial-in-N analysis of bound expressions.
+
+    The compiler needs symbolic trip counts to annotate basic blocks
+    with per-thread execution weights.  Loop bounds in the paper's
+    kernels are polynomials in the problem size N of degree at most 3
+    (the 3-D stencil iterates over [N*N*N] points); we represent them
+    with the same {!Gat_isa.Weight.t} polynomials the blocks carry. *)
+
+val of_expr : Gat_ir.Expr.t -> Gat_isa.Weight.t option
+(** [None] when the expression involves variables, array reads or
+    non-polynomial arithmetic.  Integer division by a constant is
+    treated as exact (real division) — adequate for trip-count
+    estimation. *)
+
+val trip_count :
+  lo:Gat_isa.Weight.t -> hi:Gat_isa.Weight.t -> step:int -> Gat_isa.Weight.t
+(** Estimated iterations of [for v = lo .. hi step s]: [(hi - lo)/s].
+    A constant-only negative result clamps to zero. *)

@@ -1,0 +1,45 @@
+type compiled = {
+  kernel : Gat_ir.Kernel.t;
+  gpu : Gat_arch.Gpu.t;
+  params : Params.t;
+  ptx : Gat_isa.Program.t;
+  program : Gat_isa.Program.t;
+  log : Ptxas_info.t;
+  alloc_stats : Regalloc.stats;
+  profile : Profile.t;
+}
+
+let compile kernel gpu params =
+  match Gat_ir.Typecheck.kernel kernel with
+  | Error msg -> Error ("ill-typed kernel: " ^ msg)
+  | Ok () -> (
+      match Params.validate gpu params with
+      | Error msg -> Error ("invalid parameters: " ^ msg)
+      | Ok () ->
+          let virtual_program, profile = Lowering.lower kernel gpu params in
+          if
+            Gat_isa.Program.smem_per_block virtual_program
+            > gpu.Gat_arch.Gpu.smem_per_block
+          then Error "shared memory per block exceeds the device limit"
+          else begin
+            let scheduled = Schedule.program virtual_program in
+            let program, alloc_stats = Regalloc.run gpu scheduled in
+            let log = Ptxas_info.of_program program alloc_stats in
+            Ok
+              {
+                kernel;
+                gpu;
+                params;
+                ptx = virtual_program;
+                program;
+                log;
+                alloc_stats;
+                profile;
+              }
+          end)
+
+let compile_exn kernel gpu params =
+  match compile kernel gpu params with
+  | Ok c -> c
+  | Error msg ->
+      invalid_arg (Printf.sprintf "Driver.compile %s: %s" kernel.Gat_ir.Kernel.name msg)

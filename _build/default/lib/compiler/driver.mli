@@ -1,0 +1,28 @@
+(** Compilation driver: the full `nvcc` pipeline for one code variant.
+
+    lower (thread mapping, unrolling, instruction selection)
+    -> schedule (load hoisting)
+    -> register allocation (physical file, spills)
+    -> compile log. *)
+
+type compiled = {
+  kernel : Gat_ir.Kernel.t;
+  gpu : Gat_arch.Gpu.t;
+  params : Params.t;
+  ptx : Gat_isa.Program.t;
+      (** Virtual-register form before scheduling and register
+          allocation — what nvcc's PTX stage produces; render with
+          {!Gat_isa.Ptx}. *)
+  program : Gat_isa.Program.t;  (** Physical registers, final code. *)
+  log : Ptxas_info.t;
+  alloc_stats : Regalloc.stats;
+  profile : Profile.t;  (** Execution profile for the simulator. *)
+}
+
+val compile :
+  Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Params.t -> (compiled, string) result
+(** Compile one variant; [Error] describes invalid parameters or an
+    ill-typed kernel (never an internal failure). *)
+
+val compile_exn : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Params.t -> compiled
+(** @raise Invalid_argument on [Error]. *)

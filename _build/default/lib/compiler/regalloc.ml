@@ -1,0 +1,312 @@
+open Gat_isa
+module IntSet = Set.Make (Int)
+
+type stats = {
+  regs_used : int;
+  spilled_values : int;
+  spill_loads : int;
+  spill_stores : int;
+  max_pressure : int;
+}
+
+let abi_reserved = 4
+let scratch_count = 3 (* spill-rewrite temporaries *)
+let pred_file = 7 (* physical predicate registers *)
+
+let gpr_ids regs =
+  List.filter_map
+    (fun (r : Register.t) ->
+      if r.Register.cls = Register.Gpr then Some r.Register.id else None)
+    regs
+
+(* ---- liveness ---- *)
+
+type block_info = {
+  block : Basic_block.t;
+  use : IntSet.t;  (* upward-exposed uses *)
+  def : IntSet.t;
+  mutable live_in : IntSet.t;
+  mutable live_out : IntSet.t;
+}
+
+let block_use_def (b : Basic_block.t) =
+  let instrs = b.Basic_block.body @ [ Basic_block.terminator_instruction b ] in
+  List.fold_left
+    (fun (use, def) ins ->
+      let uses = IntSet.of_list (gpr_ids (Instruction.uses ins)) in
+      let defs = IntSet.of_list (gpr_ids (Instruction.defs ins)) in
+      (IntSet.union use (IntSet.diff uses def), IntSet.union def defs))
+    (IntSet.empty, IntSet.empty) instrs
+
+let liveness (p : Program.t) =
+  let infos =
+    List.map
+      (fun b ->
+        let use, def = block_use_def b in
+        { block = b; use; def; live_in = IntSet.empty; live_out = IntSet.empty })
+      p.Program.blocks
+  in
+  let by_label = Hashtbl.create 16 in
+  List.iter (fun info -> Hashtbl.replace by_label info.block.Basic_block.label info) infos;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun info ->
+        let out =
+          List.fold_left
+            (fun acc succ ->
+              IntSet.union acc (Hashtbl.find by_label succ).live_in)
+            IntSet.empty
+            (Basic_block.successors info.block)
+        in
+        let inn = IntSet.union info.use (IntSet.diff out info.def) in
+        if
+          not (IntSet.equal out info.live_out && IntSet.equal inn info.live_in)
+        then begin
+          info.live_out <- out;
+          info.live_in <- inn;
+          changed := true
+        end)
+      (List.rev infos)
+  done;
+  infos
+
+(* ---- live intervals ---- *)
+
+type interval = { vreg : int; start_pos : int; end_pos : int }
+
+let intervals (p : Program.t) =
+  let infos = liveness p in
+  let touch = Hashtbl.create 64 in
+  let note vreg pos =
+    match Hashtbl.find_opt touch vreg with
+    | None -> Hashtbl.replace touch vreg (pos, pos)
+    | Some (lo, hi) -> Hashtbl.replace touch vreg (min lo pos, max hi pos)
+  in
+  let pos = ref 0 in
+  List.iter
+    (fun info ->
+      let block_start = !pos in
+      IntSet.iter (fun v -> note v block_start) info.live_in;
+      let instrs =
+        info.block.Basic_block.body
+        @ [ Basic_block.terminator_instruction info.block ]
+      in
+      List.iter
+        (fun ins ->
+          List.iter (fun v -> note v !pos) (gpr_ids (Instruction.uses ins));
+          List.iter (fun v -> note v !pos) (gpr_ids (Instruction.defs ins));
+          incr pos)
+        instrs;
+      let block_end = !pos - 1 in
+      IntSet.iter (fun v -> note v block_end) info.live_out)
+    infos;
+  let result =
+    Hashtbl.fold
+      (fun vreg (start_pos, end_pos) acc -> { vreg; start_pos; end_pos } :: acc)
+      touch []
+  in
+  List.sort
+    (fun a b ->
+      match Int.compare a.start_pos b.start_pos with
+      | 0 -> Int.compare a.vreg b.vreg
+      | c -> c)
+    result
+
+(* Peak number of simultaneously live intervals. *)
+let max_pressure ivals =
+  let events = ref [] in
+  List.iter
+    (fun i ->
+      events := (i.start_pos, 1) :: (i.end_pos + 1, -1) :: !events)
+    ivals;
+  let sorted = List.sort compare !events in
+  let cur = ref 0 and peak = ref 0 in
+  List.iter
+    (fun (_, d) ->
+      cur := !cur + d;
+      peak := max !peak !cur)
+    sorted;
+  !peak
+
+(* ---- linear scan ---- *)
+
+type assignment = Phys of int | Slot of int
+
+let allocate ~budget ivals =
+  let assignment = Hashtbl.create 64 in
+  let free = Array.make budget true in
+  let lowest_free () =
+    let rec go i = if i >= budget then None else if free.(i) then Some i else go (i + 1) in
+    go 0
+  in
+  (* Active intervals sorted by increasing end. *)
+  let active = ref [] in
+  let next_slot = ref 0 in
+  let spill_to_slot iv =
+    Hashtbl.replace assignment iv.vreg (Slot !next_slot);
+    incr next_slot
+  in
+  let expire current =
+    let keep, gone =
+      List.partition (fun (iv, _) -> iv.end_pos >= current.start_pos) !active
+    in
+    List.iter (fun (_, reg) -> free.(reg) <- true) gone;
+    active := keep
+  in
+  let insert_active iv reg =
+    let rec go = function
+      | [] -> [ (iv, reg) ]
+      | (iv', _) :: _ as rest when iv'.end_pos > iv.end_pos -> (iv, reg) :: rest
+      | entry :: rest -> entry :: go rest
+    in
+    active := go !active
+  in
+  List.iter
+    (fun iv ->
+      expire iv;
+      match lowest_free () with
+      | Some reg ->
+          free.(reg) <- false;
+          Hashtbl.replace assignment iv.vreg (Phys reg);
+          insert_active iv reg
+      | None -> (
+          (* Spill the active interval that ends last, or this one. *)
+          match List.rev !active with
+          | (victim, victim_reg) :: _ when victim.end_pos > iv.end_pos ->
+              spill_to_slot victim;
+              Hashtbl.replace assignment iv.vreg (Phys victim_reg);
+              active := List.filter (fun (i, _) -> i.vreg <> victim.vreg) !active;
+              insert_active iv victim_reg
+          | _ -> spill_to_slot iv))
+    ivals;
+  (assignment, !next_slot)
+
+(* ---- rewrite ---- *)
+
+let run (gpu : Gat_arch.Gpu.t) (p : Program.t) =
+  let budget = max 1 (gpu.Gat_arch.Gpu.regs_per_thread - scratch_count - 1) in
+  let ivals = intervals p in
+  let pressure = max_pressure ivals in
+  let assignment, n_slots = allocate ~budget ivals in
+  let scratch k = Register.gpr (budget + k) in
+  let frame_ptr = Register.gpr (budget + scratch_count) in
+  let max_phys = ref (-1) in
+  let scratch_used = ref 0 in
+  let spill_loads = ref 0 and spill_stores = ref 0 in
+  let assign_of (r : Register.t) =
+    match Hashtbl.find_opt assignment r.Register.id with
+    | Some a -> a
+    | None -> Phys 0 (* unreferenced register: arbitrary *)
+  in
+  let local_addr slot =
+    Operand.Addr { space = Operand.Local; base = frame_ptr; offset = 4 * slot }
+  in
+  let map_pred (r : Register.t) = Register.pred (r.Register.id mod pred_file) in
+  let rewrite_instruction ins =
+    (* Map spilled uses to scratch registers (loads first), then map the
+       def (store after). *)
+    let before = ref [] and after = ref [] in
+    let use_map = Hashtbl.create 4 in
+    let next_scratch = ref 0 in
+    let map_use (r : Register.t) =
+      if r.Register.cls = Register.Pred then map_pred r
+      else
+        match assign_of r with
+        | Phys k ->
+            max_phys := max !max_phys k;
+            Register.gpr k
+        | Slot s -> (
+            match Hashtbl.find_opt use_map r.Register.id with
+            | Some sc -> sc
+            | None ->
+                let sc = scratch !next_scratch in
+                scratch_used := max !scratch_used (!next_scratch + 1);
+                incr next_scratch;
+                before := Instruction.make Opcode.LDL ~dst:sc [ local_addr s ] :: !before;
+                incr spill_loads;
+                Hashtbl.replace use_map r.Register.id sc;
+                sc)
+    in
+    let map_operand (o : Operand.t) =
+      match o with
+      | Operand.Reg r -> Operand.Reg (map_use r)
+      | Operand.Addr a -> Operand.Addr { a with Operand.base = map_use a.Operand.base }
+      | Operand.Imm _ | Operand.FImm _ | Operand.Special _ -> o
+    in
+    let srcs = List.map map_operand ins.Instruction.srcs in
+    let pred =
+      Option.map
+        (fun (pr : Instruction.predicate) ->
+          { pr with Instruction.reg = map_pred pr.Instruction.reg })
+        ins.Instruction.pred
+    in
+    let dst =
+      match ins.Instruction.dst with
+      | None -> None
+      | Some r when r.Register.cls = Register.Pred -> Some (map_pred r)
+      | Some r -> (
+          match assign_of r with
+          | Phys k ->
+              max_phys := max !max_phys k;
+              Some (Register.gpr k)
+          | Slot s ->
+              let sc = scratch 0 in
+              scratch_used := max !scratch_used 1;
+              after :=
+                Instruction.make Opcode.STL [ local_addr s; Operand.Reg sc ]
+                :: !after;
+              incr spill_stores;
+              Some sc)
+    in
+    List.rev !before
+    @ [ { ins with Instruction.srcs; pred; dst } ]
+    @ List.rev !after
+  in
+  let rewrite_block (b : Basic_block.t) =
+    let body = List.concat_map rewrite_instruction b.Basic_block.body in
+    let term =
+      match b.Basic_block.term with
+      | Basic_block.Cond_branch { pred; if_true; if_false } ->
+          Basic_block.Cond_branch
+            {
+              pred = { pred with Instruction.reg = map_pred pred.Instruction.reg };
+              if_true;
+              if_false;
+            }
+      | (Basic_block.Jump _ | Basic_block.Exit) as t -> t
+    in
+    Basic_block.make ~weight:b.Basic_block.weight
+      ~active_frac:b.Basic_block.active_frac b.Basic_block.label body term
+  in
+  let blocks = List.map rewrite_block p.Program.blocks in
+  (* Initialize the frame pointer at entry when spilling happened. *)
+  let blocks =
+    if n_slots = 0 then blocks
+    else
+      match blocks with
+      | entry :: rest ->
+          let init = Instruction.make Opcode.MOV ~dst:frame_ptr [ Operand.Imm 0 ] in
+          Basic_block.make ~weight:entry.Basic_block.weight
+            ~active_frac:entry.Basic_block.active_frac entry.Basic_block.label
+            (init :: entry.Basic_block.body)
+            entry.Basic_block.term
+          :: rest
+      | [] -> blocks
+  in
+  let overhead = !scratch_used + (if n_slots > 0 then 1 else 0) in
+  let regs_used = !max_phys + 1 + overhead + abi_reserved in
+  let program =
+    Program.make ~name:p.Program.name ~target:p.Program.target
+      ~regs_per_thread:regs_used ~smem_static:p.Program.smem_static
+      ~smem_dynamic:p.Program.smem_dynamic blocks
+  in
+  ( program,
+    {
+      regs_used;
+      spilled_values = n_slots;
+      spill_loads = !spill_loads;
+      spill_stores = !spill_stores;
+      max_pressure = pressure;
+    } )

@@ -1,0 +1,30 @@
+(** Linear-scan register allocation — the `ptxas` stand-in.
+
+    Maps the unbounded virtual registers produced by {!Lowering} onto
+    the physical per-thread register file of the target device.  Live
+    intervals come from a global liveness analysis over the CFG (loop-
+    carried values are extended across their loop), allocation is
+    Poletto–Sarkar linear scan, and overflowing intervals are spilled to
+    local memory with explicit [LDL]/[STL] traffic rewritten into the
+    code using a small reserved scratch-register pool.
+
+    The number of physical registers actually used — the paper's [Ru] —
+    is what the occupancy model consumes. *)
+
+type stats = {
+  regs_used : int;
+      (** Physical registers per thread, including scratch/frame
+          overhead and the fixed ABI reservation. *)
+  spilled_values : int;  (** Virtual registers assigned to local slots. *)
+  spill_loads : int;  (** [LDL] instructions inserted. *)
+  spill_stores : int;  (** [STL] instructions inserted. *)
+  max_pressure : int;  (** Peak simultaneously-live virtual registers. *)
+}
+
+val abi_reserved : int
+(** Registers the driver ABI reserves per thread (added to every
+    kernel's count, as nvcc does). *)
+
+val run : Gat_arch.Gpu.t -> Gat_isa.Program.t -> Gat_isa.Program.t * stats
+(** Allocate and rewrite.  The returned program has
+    [regs_per_thread = stats.regs_used] and physical register ids. *)

@@ -1,0 +1,83 @@
+open Gat_isa
+
+let reg_set regs = List.fold_left (fun s r -> Register.Set.add r s) Register.Set.empty regs
+
+let is_mem ins = Opcode.is_memory ins.Instruction.op
+let is_store ins = is_mem ins && not (Opcode.is_load ins.Instruction.op)
+let is_barrier ins = Opcode.is_barrier ins.Instruction.op
+
+(* Dependence edges between earlier instruction [i] and later [j]. *)
+let depends ~earlier ~later =
+  let defs_e = reg_set (Instruction.defs earlier) in
+  let uses_e = reg_set (Instruction.uses earlier) in
+  let defs_l = reg_set (Instruction.defs later) in
+  let uses_l = reg_set (Instruction.uses later) in
+  let raw = not (Register.Set.is_empty (Register.Set.inter defs_e uses_l)) in
+  let war = not (Register.Set.is_empty (Register.Set.inter uses_e defs_l)) in
+  let waw = not (Register.Set.is_empty (Register.Set.inter defs_e defs_l)) in
+  let mem =
+    (is_mem earlier && is_mem later && (is_store earlier || is_store later))
+    || is_barrier earlier || is_barrier later
+  in
+  raw || war || waw || mem
+
+let block (b : Basic_block.t) =
+  let instrs = Array.of_list b.Basic_block.body in
+  let n = Array.length instrs in
+  if n <= 1 then b
+  else begin
+    (* preds.(j) = indices i < j that j depends on. *)
+    let preds = Array.make n [] in
+    let succs = Array.make n [] in
+    for j = 1 to n - 1 do
+      for i = 0 to j - 1 do
+        if depends ~earlier:instrs.(i) ~later:instrs.(j) then begin
+          preds.(j) <- i :: preds.(j);
+          succs.(i) <- j :: succs.(i)
+        end
+      done
+    done;
+    (* feeds_load.(i): i is a load, or transitively feeds one via RAW
+       (approximated by any dependence edge into a feeding node). *)
+    let feeds_load = Array.make n false in
+    for i = n - 1 downto 0 do
+      if Opcode.is_load instrs.(i).Instruction.op then feeds_load.(i) <- true
+      else if List.exists (fun j -> feeds_load.(j)) succs.(i) then
+        feeds_load.(i) <- true
+    done;
+    let unscheduled_preds = Array.map List.length preds in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    for _ = 1 to n do
+      (* Ready instructions, preferring the load-feeding slice. *)
+      let best = ref (-1) in
+      for i = n - 1 downto 0 do
+        if (not scheduled.(i)) && unscheduled_preds.(i) = 0 then begin
+          match !best with
+          | -1 -> best := i
+          | cur ->
+              (* Prefer load-feeders; tie-break on original order. *)
+              if
+                (feeds_load.(i) && not feeds_load.(cur))
+                || (feeds_load.(i) = feeds_load.(cur) && i < cur)
+              then best := i
+        end
+      done;
+      let i = !best in
+      assert (i >= 0);
+      scheduled.(i) <- true;
+      order := i :: !order;
+      List.iter (fun j -> unscheduled_preds.(j) <- unscheduled_preds.(j) - 1) succs.(i)
+    done;
+    let body = List.rev_map (fun i -> instrs.(i)) !order in
+    Basic_block.make ~weight:b.Basic_block.weight
+      ~active_frac:b.Basic_block.active_frac b.Basic_block.label body
+      b.Basic_block.term
+  end
+
+let program (p : Program.t) =
+  let blocks = List.map block p.Program.blocks in
+  Program.make ~name:p.Program.name ~target:p.Program.target
+    ~regs_per_thread:p.Program.regs_per_thread
+    ~smem_static:p.Program.smem_static ~smem_dynamic:p.Program.smem_dynamic
+    blocks

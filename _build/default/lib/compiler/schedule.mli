@@ -1,0 +1,20 @@
+(** Per-block instruction scheduling: load hoisting.
+
+    GPUs hide memory latency by issuing loads early; compilers therefore
+    hoist independent loads (and their address arithmetic) to the top of
+    a block, especially across unrolled loop iterations.  This pass
+    performs dependence-respecting list scheduling that prioritizes
+    loads and the backward slices feeding them.
+
+    The pass preserves all data and memory dependences:
+    register RAW/WAR/WAW, store/barrier ordering against other memory
+    operations, and barrier ordering against everything.  Its visible
+    effect is longer live ranges for loaded values — which is exactly
+    the register-pressure cost of unrolling that the paper's Table V
+    register statistics reflect. *)
+
+val block : Gat_isa.Basic_block.t -> Gat_isa.Basic_block.t
+(** Schedule one block's body (terminator untouched). *)
+
+val program : Gat_isa.Program.t -> Gat_isa.Program.t
+(** Schedule every block. *)

@@ -1,0 +1,68 @@
+open Gat_ir
+
+(* Substitute loop variable [v] with expression [e] in a statement. *)
+let substitute v e stmt =
+  let subst_var name = if name = v then e else Expr.Var name in
+  Stmt.map_exprs (Expr.map_vars subst_var) stmt
+
+let rec loop factor (l : Stmt.loop) =
+  if factor < 1 then invalid_arg "Unroll.loop: factor must be >= 1";
+  let body = stmts factor l.Stmt.body in
+  if factor = 1 || l.Stmt.kind = Stmt.Parallel then
+    [ Stmt.For { l with Stmt.body } ]
+  else begin
+    let v = l.Stmt.var in
+    (* Main loop covers lo .. lo + (range/(step*factor)) * (step*factor). *)
+    let big_step = l.Stmt.step * factor in
+    let main_hi =
+      let open Expr in
+      l.Stmt.lo + ((l.Stmt.hi - l.Stmt.lo) / int big_step * int big_step)
+    in
+    let copies =
+      List.concat_map
+        (fun k ->
+          let offset = k * l.Stmt.step in
+          let shifted = Expr.(var v + int offset) in
+          List.map (substitute v shifted) body)
+        (List.init factor (fun k -> k))
+    in
+    let main =
+      Stmt.For
+        {
+          var = v;
+          lo = l.Stmt.lo;
+          hi = main_hi;
+          step = big_step;
+          kind = Stmt.Sequential;
+          body = copies;
+        }
+    in
+    let remainder =
+      Stmt.For
+        {
+          var = v;
+          lo = main_hi;
+          hi = l.Stmt.hi;
+          step = l.Stmt.step;
+          kind = Stmt.Sequential;
+          body;
+        }
+    in
+    [ main; remainder ]
+  end
+
+and stmts factor body =
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Stmt.For l when l.Stmt.kind = Stmt.Sequential -> loop factor l
+      | Stmt.For l ->
+          [ Stmt.For { l with Stmt.body = stmts factor l.Stmt.body } ]
+      | Stmt.If (c, t_branch, e_branch) ->
+          [ Stmt.If (c, stmts factor t_branch, stmts factor e_branch) ]
+      | Stmt.Assign _ | Stmt.Store _ | Stmt.Sync -> [ stmt ])
+    body
+
+let kernel factor (k : Kernel.t) =
+  Kernel.make ~name:k.Kernel.name ~description:k.Kernel.description
+    ~arrays:k.Kernel.arrays (stmts factor k.Kernel.body)

@@ -1,0 +1,21 @@
+(** Source-level loop unrolling (the UIF transformation).
+
+    [kernel u k] rewrites every [Sequential] loop of [k] into a main
+    loop of stride [u] whose body is [u] substituted copies, plus a
+    stride-1 remainder loop — semantically identical to the original,
+    which the property tests check against the reference interpreter.
+
+    The ISA lowering performs its own internal unrolling (it needs exact
+    trip weights and load scheduling); this module is the IR-level
+    counterpart used for semantics validation and for displaying the
+    transformed source. *)
+
+val loop : int -> Gat_ir.Stmt.loop -> Gat_ir.Stmt.t list
+(** Unroll one sequential loop by the factor; factor 1 (or a parallel
+    loop) returns the loop unchanged.  Raises on factors < 1. *)
+
+val stmts : int -> Gat_ir.Stmt.t list -> Gat_ir.Stmt.t list
+(** Unroll every sequential loop in a statement list, recursively. *)
+
+val kernel : int -> Gat_ir.Kernel.t -> Gat_ir.Kernel.t
+(** Unroll a kernel's body. *)

@@ -1,0 +1,1 @@
+lib/core/imix.ml: Array Basic_block Format Gat_arch Gat_isa Hashtbl Instruction List Opcode Program Throughput Weight

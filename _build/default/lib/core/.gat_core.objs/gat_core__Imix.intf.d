@@ -1,0 +1,1 @@
+lib/core/imix.mli: Format Gat_arch Gat_isa

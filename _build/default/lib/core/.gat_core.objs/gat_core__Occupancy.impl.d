@@ -1,0 +1,1 @@
+lib/core/occupancy.ml: Gat_arch Gpu Option

@@ -1,0 +1,1 @@
+lib/core/occupancy_curves.ml: Buffer Gat_arch Gpu List Occupancy Printf String

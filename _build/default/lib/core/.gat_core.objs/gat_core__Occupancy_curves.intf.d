@@ -1,0 +1,1 @@
+lib/core/occupancy_curves.mli: Gat_arch

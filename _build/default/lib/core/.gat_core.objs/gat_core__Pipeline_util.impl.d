@@ -1,0 +1,1 @@
+lib/core/pipeline_util.ml: Buffer Gat_arch Gpu Imix List Printf String Throughput

@@ -1,0 +1,1 @@
+lib/core/pipeline_util.mli: Gat_arch Imix

@@ -1,0 +1,1 @@
+lib/core/predict.ml: Array Fun Gat_arch Gat_util Gpu Imix List Throughput

@@ -1,0 +1,1 @@
+lib/core/predict.mli: Gat_arch Imix

@@ -1,0 +1,1 @@
+lib/core/suggest.ml: Float Gat_arch Gpu List Occupancy Printf String

@@ -1,0 +1,1 @@
+lib/core/suggest.mli: Gat_arch

@@ -1,0 +1,90 @@
+open Gat_arch
+open Gat_isa
+
+let categories = Array.of_list Throughput.all_categories
+let n_categories = Array.length categories
+
+let category_index =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.replace tbl c i) categories;
+  fun c -> Hashtbl.find tbl c
+
+type t = { per_category : float array; reg_operands : float }
+
+let zero = { per_category = Array.make n_categories 0.0; reg_operands = 0.0 }
+
+let category_count t c = t.per_category.(category_index c)
+
+let accumulate weight_of_block program =
+  let per_category = Array.make n_categories 0.0 in
+  let reg_operands = ref 0.0 in
+  Program.iter_instructions program (fun block ins ->
+      let w = weight_of_block block in
+      let i = category_index (Opcode.category ins.Instruction.op) in
+      per_category.(i) <- per_category.(i) +. w;
+      reg_operands :=
+        !reg_operands +. (w *. float_of_int (Instruction.register_operands ins)));
+  { per_category; reg_operands = !reg_operands }
+
+let static_of_program program = accumulate (fun _ -> 1.0) program
+
+let estimate_dynamic program ~n =
+  accumulate
+    (fun block -> Weight.eval block.Basic_block.weight ~n)
+    program
+
+let scale k t =
+  {
+    per_category = Array.map (fun x -> k *. x) t.per_category;
+    reg_operands = k *. t.reg_operands;
+  }
+
+let add a b =
+  {
+    per_category = Array.mapi (fun i x -> x +. b.per_category.(i)) a.per_category;
+    reg_operands = a.reg_operands +. b.reg_operands;
+  }
+
+let klass_sum t klass =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      if Throughput.klass_of_category c = klass then
+        acc := !acc +. t.per_category.(i))
+    categories;
+  !acc
+
+let ofl t = klass_sum t Throughput.Flops
+let omem t = klass_sum t Throughput.Memory
+let octrl t = klass_sum t Throughput.Control
+let oreg t = t.reg_operands
+let total t = Array.fold_left ( +. ) 0.0 t.per_category
+
+let intensity t =
+  let m = omem t in
+  if m <= 0.0 then ofl t else ofl t /. m
+
+let klass_fractions t =
+  let denom = total t in
+  if denom <= 0.0 then List.map (fun k -> (k, 0.0)) Throughput.all_klasses
+  else
+    List.map
+      (fun k ->
+        let v =
+          match k with
+          | Throughput.Register -> t.reg_operands /. denom
+          | _ -> klass_sum t k /. denom
+        in
+        (k, v))
+      Throughput.all_klasses
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i c ->
+      if t.per_category.(i) > 0.0 then
+        Format.fprintf fmt "%-14s %12.1f@,"
+          (Throughput.category_name c)
+          t.per_category.(i))
+    categories;
+  Format.fprintf fmt "%-14s %12.1f@]" "RegOperands" t.reg_operands

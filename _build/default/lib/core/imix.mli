@@ -1,0 +1,54 @@
+(** Instruction-mix metrics — Section III-B of the paper.
+
+    A mix is a count per Table II category plus the register-operand
+    traffic ([O{_reg}]); it can be purely static (each instruction
+    counted once, as disassembly sees it) or an estimated dynamic mix
+    (counts scaled by each block's per-thread execution weight for a
+    problem size N — the paper's "estimating dynamic instruction mixes
+    from static mixes"). *)
+
+type t = {
+  per_category : float array;
+      (** Indexed in {!Gat_arch.Throughput.all_categories} order. *)
+  reg_operands : float;  (** Total register-operand slots touched. *)
+}
+
+val zero : t
+
+val category_count : t -> Gat_arch.Throughput.category -> float
+
+val static_of_program : Gat_isa.Program.t -> t
+(** Static mix: every instruction (terminators included) counts one. *)
+
+val estimate_dynamic : Gat_isa.Program.t -> n:int -> t
+(** Per-thread expected dynamic mix: block counts scaled by the block's
+    execution-weight polynomial evaluated at [n]. *)
+
+val scale : float -> t -> t
+val add : t -> t -> t
+
+val ofl : t -> float
+(** [O{_fl}]: operations in the FLOPS class. *)
+
+val omem : t -> float
+(** [O{_mem}]: memory operations. *)
+
+val octrl : t -> float
+(** [O{_ctrl}]: control and move operations. *)
+
+val oreg : t -> float
+(** [O{_reg}]: register operand traffic. *)
+
+val total : t -> float
+(** All category counts (excluding [oreg]). *)
+
+val intensity : t -> float
+(** Computational intensity: FLOPS over memory operations (Table VI's
+    last column); infinite for memory-free kernels is clamped to
+    [ofl]. *)
+
+val klass_fractions : t -> (Gat_arch.Throughput.klass * float) list
+(** Share of each coarse class in the mix (REG taken from operand
+    traffic relative to category total). *)
+
+val pp : Format.formatter -> t -> unit

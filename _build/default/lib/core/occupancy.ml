@@ -1,0 +1,104 @@
+open Gat_arch
+
+type input = {
+  threads_per_block : int;
+  regs_per_thread : int;
+  smem_per_block : int;
+}
+
+type limiter = Warps | Registers | Shared_memory | Illegal
+
+type result = {
+  blocks_by_warps : int;
+  blocks_by_regs : int;
+  blocks_by_smem : int;
+  active_blocks : int;
+  warps_per_block : int;
+  active_warps : int;
+  occupancy : float;
+  limiter : limiter;
+}
+
+let input ?(regs_per_thread = 0) ?(smem_per_block = 0) ~threads_per_block () =
+  { threads_per_block; regs_per_thread; smem_per_block }
+
+let ceil_div a b = (a + b - 1) / b
+let round_up a unit = ceil_div a unit * unit
+
+(* Eq. 3: blocks limited by warp slots. *)
+let blocks_by_warps (gpu : Gpu.t) ~warps_per_block =
+  min gpu.Gpu.blocks_per_mp (gpu.Gpu.warps_per_mp / warps_per_block)
+
+(* Eq. 4: blocks limited by the register file.  Registers are allocated
+   per warp in units of [reg_alloc_unit]. *)
+let blocks_by_regs (gpu : Gpu.t) ~regs_per_thread ~warps_per_block =
+  if regs_per_thread > gpu.Gpu.regs_per_thread then 0 (* case 1: illegal *)
+  else if regs_per_thread > 0 then begin
+    let regs_per_warp =
+      round_up (regs_per_thread * gpu.Gpu.threads_per_warp) gpu.Gpu.reg_alloc_unit
+    in
+    let warps_by_regs = gpu.Gpu.reg_file_size / regs_per_warp in
+    warps_by_regs / warps_per_block
+  end
+  else gpu.Gpu.blocks_per_mp (* case 3: unconstrained *)
+
+(* Eq. 5: blocks limited by shared memory (128-byte allocation
+   granularity, floor of capacity over demand). *)
+let smem_granularity = 128
+
+let blocks_by_smem (gpu : Gpu.t) ~smem_per_mp ~smem_per_block =
+  if smem_per_block > gpu.Gpu.smem_per_block then 0 (* case 1: illegal *)
+  else if smem_per_block > 0 then
+    smem_per_mp / round_up smem_per_block smem_granularity
+  else gpu.Gpu.blocks_per_mp (* case 3 *)
+
+let calculate_with ?smem_per_mp (gpu : Gpu.t) input =
+  if input.threads_per_block <= 0 then
+    invalid_arg "Occupancy.calculate: threads_per_block must be positive";
+  let smem_per_mp = Option.value ~default:gpu.Gpu.smem_per_mp smem_per_mp in
+  let warps_per_block = ceil_div input.threads_per_block gpu.Gpu.threads_per_warp in
+  let by_warps =
+    if input.threads_per_block > gpu.Gpu.threads_per_block then 0
+    else blocks_by_warps gpu ~warps_per_block
+  in
+  let by_regs =
+    blocks_by_regs gpu ~regs_per_thread:input.regs_per_thread ~warps_per_block
+  in
+  let by_smem =
+    blocks_by_smem gpu ~smem_per_mp ~smem_per_block:input.smem_per_block
+  in
+  let active_blocks = min by_warps (min by_regs by_smem) in
+  let active_warps =
+    min gpu.Gpu.warps_per_mp (active_blocks * warps_per_block)
+  in
+  let occupancy =
+    float_of_int active_warps /. float_of_int gpu.Gpu.warps_per_mp
+  in
+  let limiter =
+    if
+      (input.regs_per_thread > gpu.Gpu.regs_per_thread && input.regs_per_thread > 0)
+      || input.smem_per_block > gpu.Gpu.smem_per_block
+      || input.threads_per_block > gpu.Gpu.threads_per_block
+    then Illegal
+    else if active_blocks = by_warps then Warps
+    else if active_blocks = by_regs then Registers
+    else Shared_memory
+  in
+  {
+    blocks_by_warps = by_warps;
+    blocks_by_regs = by_regs;
+    blocks_by_smem = by_smem;
+    active_blocks;
+    warps_per_block;
+    active_warps;
+    occupancy;
+    limiter;
+  }
+
+let calculate gpu input = calculate_with gpu input
+
+let limiter_name = function
+  | Warps -> "warps"
+  | Registers -> "registers"
+  | Shared_memory -> "shared memory"
+  | Illegal -> "illegal request"

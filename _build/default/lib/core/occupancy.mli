@@ -1,0 +1,54 @@
+(** The occupancy model — Section III-A, Eqs. 1–5 of the paper.
+
+    Computes the number of thread blocks that can be resident on one
+    streaming multiprocessor, as the minimum over three hardware
+    constraints (warp slots, register file, shared memory), and the
+    resulting occupancy [active warps / max warps].
+
+    Two small deviations from the paper's formulas as printed, both
+    documented against the CUDA Occupancy Calculator they transcribe:
+    - Eq. 4 case 1 compares Ru against the per-thread register maximum
+      (the paper's [R{^cc}{_W}] is a typo — no such symbol is defined);
+    - Eq. 5's "ceiling" of [S{^cc}{_mp} / S{_B}] must be a floor: a
+      ceiling would let blocks overcommit the SM's shared memory. *)
+
+type input = {
+  threads_per_block : int;  (** [T{^u}]: block size chosen by the user. *)
+  regs_per_thread : int;
+      (** [R{^u}]: registers per thread from the compile log; 0 means
+          "not specified" (Eq. 4 case 3). *)
+  smem_per_block : int;
+      (** [S{^u}]: shared memory per block in bytes; 0 means "not
+          specified" (Eq. 5 case 3). *)
+}
+
+type limiter = Warps | Registers | Shared_memory | Illegal
+
+type result = {
+  blocks_by_warps : int;  (** [G{_psiW}] (Eq. 3). *)
+  blocks_by_regs : int;  (** [G{_psiR}] (Eq. 4). *)
+  blocks_by_smem : int;  (** [G{_psiS}] (Eq. 5). *)
+  active_blocks : int;  (** [B{^*}{_mp}] (Eq. 1): the minimum. *)
+  warps_per_block : int;  (** [W{_B} = ceil(Tu / 32)]. *)
+  active_warps : int;  (** [W{^*}{_mp}], capped at the SM warp limit. *)
+  occupancy : float;  (** [occ{_mp}] (Eq. 2), in [0, 1]. *)
+  limiter : limiter;  (** Which constraint binds. *)
+}
+
+val input :
+  ?regs_per_thread:int -> ?smem_per_block:int -> threads_per_block:int ->
+  unit -> input
+
+val calculate : Gat_arch.Gpu.t -> input -> result
+(** Raises [Invalid_argument] on non-positive thread counts; an illegal
+    register or shared-memory request (beyond per-thread/per-block
+    hardware maxima) yields [active_blocks = 0] and [limiter = Illegal],
+    per the papers' case-1 clauses. *)
+
+val calculate_with :
+  ?smem_per_mp:int -> Gat_arch.Gpu.t -> input -> result
+(** Like {!calculate} but with an overridden per-SM shared-memory
+    capacity — used by the simulator when the L1-preference setting
+    shrinks the shared-memory carveout on Fermi/Kepler. *)
+
+val limiter_name : limiter -> string

@@ -1,0 +1,53 @@
+open Gat_arch
+
+type point = { x : int; occupancy : float }
+
+let occ gpu ~threads ~regs ~smem =
+  (Occupancy.calculate gpu
+     (Occupancy.input ~regs_per_thread:regs ~smem_per_block:smem
+        ~threads_per_block:threads ()))
+    .Occupancy.occupancy
+
+let vs_threads gpu ~regs_per_thread ~smem_per_block =
+  let rec go t acc =
+    if t > gpu.Gpu.threads_per_block then List.rev acc
+    else
+      go (t + 32)
+        ({ x = t; occupancy = occ gpu ~threads:t ~regs:regs_per_thread ~smem:smem_per_block }
+        :: acc)
+  in
+  go 32 []
+
+let vs_registers gpu ~threads_per_block ~smem_per_block =
+  List.init gpu.Gpu.regs_per_thread (fun i ->
+      let r = i + 1 in
+      {
+        x = r;
+        occupancy = occ gpu ~threads:threads_per_block ~regs:r ~smem:smem_per_block;
+      })
+
+let vs_smem gpu ~threads_per_block ~regs_per_thread =
+  let rec go s acc =
+    if s > gpu.Gpu.smem_per_block then List.rev acc
+    else
+      go (s + 512)
+        ({
+           x = s;
+           occupancy = occ gpu ~threads:threads_per_block ~regs:regs_per_thread ~smem:s;
+         }
+        :: acc)
+  in
+  go 0 []
+
+let render ~title ?marker points =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun p ->
+      let bar = int_of_float (p.occupancy *. 48.0) in
+      let mark = if marker = Some p.x then " <== current" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "%8d |%s %5.1f%%%s\n" p.x (String.make bar '#')
+           (p.occupancy *. 100.0) mark))
+    points;
+  Buffer.contents buf

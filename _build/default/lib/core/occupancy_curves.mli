@@ -1,0 +1,23 @@
+(** Occupancy-calculator curves (paper Fig. 7): how occupancy varies
+    with each resource while the others stay fixed.  These are the three
+    "impact" graphs the CUDA Occupancy Calculator spreadsheet draws. *)
+
+type point = { x : int; occupancy : float }
+
+val vs_threads :
+  Gat_arch.Gpu.t -> regs_per_thread:int -> smem_per_block:int -> point list
+(** Occupancy for every block size that is a multiple of 32 up to the
+    device limit. *)
+
+val vs_registers :
+  Gat_arch.Gpu.t -> threads_per_block:int -> smem_per_block:int -> point list
+(** Occupancy for every register-per-thread count from 1 to the device
+    maximum. *)
+
+val vs_smem :
+  Gat_arch.Gpu.t -> threads_per_block:int -> regs_per_thread:int -> point list
+(** Occupancy for shared-memory usage from 0 to the per-block limit in
+    512-byte steps. *)
+
+val render : title:string -> ?marker:int -> point list -> string
+(** ASCII curve; [marker] highlights the kernel's current setting. *)

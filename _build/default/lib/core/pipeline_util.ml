@@ -1,0 +1,46 @@
+open Gat_arch
+
+type entry = {
+  category : Throughput.category;
+  issue_cycles : float;
+  utilization : float;
+}
+
+let of_mix (gpu : Gpu.t) mix =
+  let cc = gpu.Gpu.cc in
+  let raw =
+    List.filter_map
+      (fun cat ->
+        let count = Imix.category_count mix cat in
+        if count <= 0.0 then None
+        else Some (cat, count *. Throughput.cpi cc cat))
+      Throughput.all_categories
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc +. c) 0.0 raw in
+  let entries =
+    List.map
+      (fun (category, issue_cycles) ->
+        {
+          category;
+          issue_cycles;
+          utilization = (if total > 0.0 then issue_cycles /. total else 0.0);
+        })
+      raw
+  in
+  List.sort (fun a b -> compare b.utilization a.utilization) entries
+
+let bottleneck gpu mix =
+  match of_mix gpu mix with [] -> None | e :: _ -> Some e
+
+let render entries =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      let bar = int_of_float (e.utilization *. 40.0) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-14s |%s %5.1f%%\n"
+           (Throughput.category_name e.category)
+           (String.make bar '#')
+           (e.utilization *. 100.0)))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Pipeline utilization — Section III-B.2.
+
+    Each SM exposes execution pipelines (FP units, SFU, load/store,
+    control).  Utilization of a pipeline is the share of issue cycles a
+    kernel's mix spends there: [count(cat) * cpi(cat)] normalized over
+    all categories.  A pipeline near 1.0 is the kernel's bottleneck;
+    adding warps beyond its saturation point only adds stalls (the
+    paper's over-subscription observation). *)
+
+type entry = {
+  category : Gat_arch.Throughput.category;
+  issue_cycles : float;  (** count * CPI on the target. *)
+  utilization : float;  (** Fraction of total issue cycles, in [0,1]. *)
+}
+
+val of_mix : Gat_arch.Gpu.t -> Imix.t -> entry list
+(** Entries for all categories present in the mix, sorted by descending
+    utilization. *)
+
+val bottleneck : Gat_arch.Gpu.t -> Imix.t -> entry option
+(** The most utilized pipeline, if the mix is non-empty. *)
+
+val render : entry list -> string
+(** Small ASCII bar chart of the utilization entries. *)

@@ -1,0 +1,18 @@
+let intensity_threshold = 4.0
+
+type band = Lower | Upper
+
+let band_of_intensity intensity =
+  if intensity > intensity_threshold then Upper else Lower
+
+let band_name = function Lower -> "lower" | Upper -> "upper"
+
+let apply ~intensity threads =
+  let n = List.length threads in
+  if n <= 1 then threads
+  else begin
+    let half = n / 2 in
+    match band_of_intensity intensity with
+    | Lower -> List.filteri (fun i _ -> i < half) threads
+    | Upper -> List.filteri (fun i _ -> i >= half) threads
+  end

@@ -1,0 +1,22 @@
+(** The rule-based heuristic — Section III-C.
+
+    Empirical observation (paper Section IV-B): kernels with
+    computational intensity above 4.0 favour the upper range of the
+    statically suggested thread counts, others the lower range.
+    Applying the rule on top of the occupancy-based suggestion halves
+    the thread candidates again (the "RB" bar of Fig. 6). *)
+
+val intensity_threshold : float
+(** 4.0, from the paper. *)
+
+type band = Lower | Upper
+
+val band_of_intensity : float -> band
+(** [Upper] when intensity strictly exceeds the threshold. *)
+
+val band_name : band -> string
+
+val apply : intensity:float -> int list -> int list
+(** Keep the lower or upper half (by position, upper half includes the
+    middle element of odd-length lists) of an ascending thread-count
+    list.  Empty and singleton lists pass through. *)

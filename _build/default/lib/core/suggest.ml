@@ -1,0 +1,71 @@
+open Gat_arch
+
+type t = {
+  threads : int list;
+  regs_used : int;
+  reg_headroom : int;
+  smem_headroom : int;
+  occupancy : float;
+}
+
+let candidate_threads (gpu : Gpu.t) =
+  let limit = gpu.Gpu.threads_per_block in
+  let rec go t acc = if t > limit then List.rev acc else go (t + 64) (t :: acc) in
+  go 64 []
+
+let occ_for gpu ~threads ~regs ~smem =
+  (Occupancy.calculate gpu
+     (Occupancy.input ~regs_per_thread:regs ~smem_per_block:smem
+        ~threads_per_block:threads ()))
+    .Occupancy.occupancy
+
+let suggest (gpu : Gpu.t) ~regs_per_thread ~smem_per_block =
+  let candidates = candidate_threads gpu in
+  let occ threads =
+    occ_for gpu ~threads ~regs:regs_per_thread ~smem:smem_per_block
+  in
+  let best = List.fold_left (fun acc t -> Float.max acc (occ t)) 0.0 candidates in
+  let threads = List.filter (fun t -> occ t = best) candidates in
+  let best_thread = match threads with t :: _ -> t | [] -> 64 in
+  (* Register headroom: largest extra Ru preserving the best occupancy
+     at the first best thread count. *)
+  let reg_headroom =
+    let rec grow extra =
+      if regs_per_thread + extra + 1 > gpu.Gpu.regs_per_thread then extra
+      else if
+        occ_for gpu ~threads:best_thread
+          ~regs:(regs_per_thread + extra + 1)
+          ~smem:smem_per_block
+        >= best
+      then grow (extra + 1)
+      else extra
+    in
+    grow 0
+  in
+  (* Shared-memory headroom: largest per-block allocation preserving the
+     best occupancy, beyond what is already used (128-byte steps). *)
+  let smem_headroom =
+    let rec grow extra =
+      let next = extra + 128 in
+      if smem_per_block + next > gpu.Gpu.smem_per_block then extra
+      else if
+        occ_for gpu ~threads:best_thread ~regs:regs_per_thread
+          ~smem:(smem_per_block + next)
+        >= best
+      then grow next
+      else extra
+    in
+    grow 0
+  in
+  {
+    threads;
+    regs_used = regs_per_thread;
+    reg_headroom;
+    smem_headroom;
+    occupancy = best;
+  }
+
+let row_to_string t =
+  Printf.sprintf "T*={%s}  [Ru:R*]=[%d:%d]  S*=%d  occ*=%.2f"
+    (String.concat ", " (List.map string_of_int t.threads))
+    t.regs_used t.reg_headroom t.smem_headroom t.occupancy

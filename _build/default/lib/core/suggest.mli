@@ -1,0 +1,33 @@
+(** Parameter suggestion — the static analyzer's output that feeds the
+    autotuner (paper Table VII).
+
+    Given a compiled kernel's resource usage (Ru registers per thread,
+    Su shared memory per block), find the thread counts that reach the
+    best achievable theoretical occupancy, and report the headroom left
+    in registers and shared memory at that occupancy. *)
+
+type t = {
+  threads : int list;
+      (** [T{^*}]: candidate block sizes (warp multiples) achieving the
+          best occupancy, ascending. *)
+  regs_used : int;  (** [R{^u}] as compiled. *)
+  reg_headroom : int;
+      (** [R{^*}]: additional registers per thread the kernel could use
+          without reducing the best occupancy. *)
+  smem_headroom : int;
+      (** [S{^*}]: shared-memory bytes per block available at the best
+          occupancy (beyond current usage). *)
+  occupancy : float;  (** [occ{^*}]: the best achievable occupancy. *)
+}
+
+val candidate_threads : Gat_arch.Gpu.t -> int list
+(** The block sizes the analyzer considers: every multiple of 64 up to
+    the device block limit (the paper's Table VII lists per-family
+    subsets of exactly these). *)
+
+val suggest :
+  Gat_arch.Gpu.t -> regs_per_thread:int -> smem_per_block:int -> t
+(** Compute the Table VII row for one kernel on one device. *)
+
+val row_to_string : t -> string
+(** Render like Table VII: threads, [Ru : R*], S*, occ*. *)

@@ -1,0 +1,1 @@
+lib/emu/dynamic_analysis.ml: Array Buffer Emulator Gat_compiler Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/emu/dynamic_analysis.mli: Emulator Gat_compiler

@@ -1,0 +1,1 @@
+lib/emu/emulator.ml: Array Basic_block Float Gat_arch Gat_compiler Gat_ir Gat_isa Hashtbl Instruction List Opcode Operand Option Printf Program Register

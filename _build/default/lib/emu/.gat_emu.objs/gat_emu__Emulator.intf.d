@@ -1,0 +1,1 @@
+lib/emu/emulator.mli: Gat_arch Gat_compiler Gat_ir Gat_isa

@@ -1,0 +1,1 @@
+lib/emu/simt.ml: Array Basic_block Emulator Fun Gat_cfg Gat_compiler Gat_ir Gat_isa Hashtbl List Option Printf Program Register

@@ -1,0 +1,1 @@
+lib/emu/simt.mli: Gat_compiler Gat_ir

@@ -1,0 +1,169 @@
+type branch_stat = {
+  block : string;
+  executions : int;
+  taken : int;
+  frequency : float;
+}
+
+type reuse_histogram = {
+  accesses : int;
+  lines : int;
+  cold : int;
+  buckets : (int * int) array;
+}
+
+type t = {
+  stats : Emulator.stats;
+  branches : branch_stat list;
+  reuse : reuse_histogram;
+}
+
+(* Fenwick tree over access timestamps: marks the position of each
+   line's most recent access, so "distinct lines since time T" is a
+   suffix sum. *)
+module Fenwick = struct
+  type t = { tree : int array; size : int }
+
+  let create size = { tree = Array.make (size + 1) 0; size }
+
+  let add t i delta =
+    let i = ref (i + 1) in
+    while !i <= t.size do
+      t.tree.(!i) <- t.tree.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* Sum of positions [0, i]. *)
+  let prefix t i =
+    let i = ref (i + 1) in
+    let acc = ref 0 in
+    while !i > 0 do
+      acc := !acc + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+
+  let range t lo hi = if hi < lo then 0 else prefix t hi - (if lo = 0 then 0 else prefix t (lo - 1))
+end
+
+(* Log2 bucket upper bounds for the histogram. *)
+let bucket_bounds = [| 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 4096; 16384; max_int |]
+
+let bucket_of distance =
+  let rec go i =
+    if i >= Array.length bucket_bounds - 1 then i
+    else if distance < bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+type reuse_state = {
+  mutable time : int;
+  last_access : (int, int) Hashtbl.t;  (* line -> timestamp *)
+  mutable counts : int array;
+  mutable cold : int;
+  fenwick : Fenwick.t;
+  capacity : int;
+}
+
+let reuse_create capacity =
+  {
+    time = 0;
+    last_access = Hashtbl.create 4096;
+    counts = Array.make (Array.length bucket_bounds) 0;
+    cold = 0;
+    fenwick = Fenwick.create capacity;
+    capacity;
+  }
+
+let reuse_access state line =
+  if state.time < state.capacity then begin
+    (match Hashtbl.find_opt state.last_access line with
+    | Some prev ->
+        let distinct = Fenwick.range state.fenwick (prev + 1) (state.time - 1) in
+        state.counts.(bucket_of distinct) <- state.counts.(bucket_of distinct) + 1;
+        Fenwick.add state.fenwick prev (-1)
+    | None -> state.cold <- state.cold + 1);
+    Fenwick.add state.fenwick state.time 1;
+    Hashtbl.replace state.last_access line state.time;
+    state.time <- state.time + 1
+  end
+
+let analyze ?step_limit (c : Gat_compiler.Driver.compiled) ~n ~seed =
+  let branch_exec = Hashtbl.create 16 and branch_taken = Hashtbl.create 16 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  (* Bound the traced stream so pathological launches stay tractable. *)
+  let reuse_state = reuse_create 2_000_000 in
+  let on_branch ~label ~taken =
+    bump branch_exec label;
+    if taken then bump branch_taken label
+  in
+  let on_memory ~thread:_ ~kind:_ ~addr = reuse_access reuse_state (addr / 128) in
+  let _, stats = Emulator.run_fresh ?step_limit ~on_memory ~on_branch c ~n ~seed in
+  let branches =
+    Hashtbl.fold
+      (fun block executions acc ->
+        let taken = Option.value ~default:0 (Hashtbl.find_opt branch_taken block) in
+        {
+          block;
+          executions;
+          taken;
+          frequency = float_of_int taken /. float_of_int executions;
+        }
+        :: acc)
+      branch_exec []
+    |> List.sort (fun a b -> compare a.block b.block)
+  in
+  let buckets =
+    Array.mapi (fun i count -> (bucket_bounds.(i), count)) reuse_state.counts
+  in
+  {
+    stats;
+    branches;
+    reuse =
+      {
+        accesses = reuse_state.time;
+        lines = Hashtbl.length reuse_state.last_access;
+        cold = reuse_state.cold;
+        buckets;
+      };
+  }
+
+let hit_ratio histogram ~capacity_lines =
+  if histogram.accesses = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iter
+      (fun (bound, count) -> if bound <= capacity_lines then hits := !hits + count)
+      histogram.buckets;
+    float_of_int !hits /. float_of_int histogram.accesses
+  end
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "branch frequencies (BF):\n";
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-8s taken %6d / %6d  (%.2f)\n" b.block b.taken
+           b.executions b.frequency))
+    t.branches;
+  Buffer.add_string buf
+    (Printf.sprintf "\nmemory reuse distance (MD): %d accesses over %d lines\n"
+       t.reuse.accesses t.reuse.lines);
+  Array.iter
+    (fun (bound, count) ->
+      if count > 0 then
+        Buffer.add_string buf
+          (if bound = max_int then Printf.sprintf "  >= %7d %8d\n" 16384 count
+           else Printf.sprintf "  < %8d %8d\n" bound count))
+    t.reuse.buckets;
+  Buffer.add_string buf (Printf.sprintf "  %10s %8d\n" "cold" t.reuse.cold);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nLRU hit ratio at 16KB / 48KB (128B lines): %.2f / %.2f\n"
+       (hit_ratio t.reuse ~capacity_lines:128)
+       (hit_ratio t.reuse ~capacity_lines:384));
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Dynamic analyses over emulated execution — the paper's Fig. 2
+    dynamic-analysis boxes: IC (instruction counts, already in
+    {!Emulator.stats}), BF (branch frequency) and MD (memory/reuse
+    distance). *)
+
+type branch_stat = {
+  block : string;  (** Label of the block ending in the branch. *)
+  executions : int;
+  taken : int;
+  frequency : float;  (** taken / executions. *)
+}
+
+type reuse_histogram = {
+  accesses : int;  (** Global-memory accesses observed. *)
+  lines : int;  (** Distinct 128-byte lines touched. *)
+  cold : int;  (** First touches (compulsory misses). *)
+  buckets : (int * int) array;
+      (** (upper-bound reuse distance in lines, count) for re-accesses;
+          the last bound is [max_int]. *)
+}
+
+type t = {
+  stats : Emulator.stats;
+  branches : branch_stat list;  (** In block order. *)
+  reuse : reuse_histogram;
+}
+
+val analyze :
+  ?step_limit:int ->
+  Gat_compiler.Driver.compiled ->
+  n:int ->
+  seed:int ->
+  t
+(** Emulate the grid while recording branch decisions and the global
+    128-byte-line access stream; reuse distance is the number of
+    distinct lines touched since the previous access to the same line
+    (exact, via a Fenwick tree over access timestamps). *)
+
+val hit_ratio : reuse_histogram -> capacity_lines:int -> float
+(** Fraction of accesses whose reuse distance is below the capacity —
+    the hit ratio of a fully-associative LRU cache with that many
+    lines.  Cold misses never hit. *)
+
+val render : t -> string

@@ -1,0 +1,366 @@
+open Gat_isa
+module Driver = Gat_compiler.Driver
+module Params = Gat_compiler.Params
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type stats = {
+  threads : int;
+  instructions : float;
+  per_category : (Gat_arch.Throughput.category * float) list;
+  per_block : (string * int) list;
+  max_local_bytes : int;
+}
+
+let categories = Array.of_list Gat_arch.Throughput.all_categories
+
+let category_index =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.replace tbl c i) categories;
+  fun c -> Hashtbl.find tbl c
+
+(* ---- memory image ---- *)
+
+type image = {
+  global : float array;  (** flat global memory, 4-byte words *)
+  param : float array;  (** parameter table, 8-byte slots *)
+  names : (string * int * int) list;  (** name, base byte address, words *)
+}
+
+let align256 x = (x + 255) / 256 * 256
+
+let build_image (kernel : Gat_ir.Kernel.t) ~n arrays =
+  let layout = ref [] in
+  let cursor = ref 0 in
+  List.iter
+    (fun (decl : Gat_ir.Kernel.array_decl) ->
+      let name = decl.Gat_ir.Kernel.array_name in
+      let data =
+        match Hashtbl.find_opt arrays name with
+        | Some d -> d
+        | None -> fault "missing array %s" name
+      in
+      let words = Array.length data in
+      layout := (name, !cursor, words) :: !layout;
+      cursor := align256 (!cursor + (words * 4)))
+    kernel.Gat_ir.Kernel.arrays;
+  let names = List.rev !layout in
+  let global = Array.make (max 1 (!cursor / 4)) 0.0 in
+  List.iter
+    (fun (name, base, words) ->
+      Array.blit (Hashtbl.find arrays name) 0 global (base / 4) words)
+    names;
+  (* Parameter table: slot 0 = N, slot 1+i = base address of array i. *)
+  let param = Array.make (1 + List.length names) 0.0 in
+  param.(0) <- float_of_int n;
+  List.iteri (fun i (_, base, _) -> param.(i + 1) <- float_of_int base) names;
+  { global; param; names }
+
+let writeback image arrays =
+  List.iter
+    (fun (name, base, words) ->
+      Array.blit image.global (base / 4) (Hashtbl.find arrays name) 0 words)
+    image.names
+
+(* ---- per-thread machine state ---- *)
+
+type thread = {
+  regs : float array;
+  preds : bool array;
+  local : float array;
+  mutable local_touched : int;  (* highest byte offset + 4 *)
+  tid : int;
+  ntid : int;
+  ctaid : int;
+  nctaid : int;
+}
+
+let special (t : thread) = function
+  | Operand.Tid_x -> float_of_int t.tid
+  | Operand.Ntid_x -> float_of_int t.ntid
+  | Operand.Ctaid_x -> float_of_int t.ctaid
+  | Operand.Nctaid_x -> float_of_int t.nctaid
+  | Operand.Laneid -> float_of_int (t.tid mod 32)
+
+let reg_value (t : thread) (r : Register.t) =
+  match r.Register.cls with
+  | Register.Gpr ->
+      if r.Register.id >= Array.length t.regs then
+        fault "register R%d out of file" r.Register.id
+      else t.regs.(r.Register.id)
+  | Register.Pred -> if t.preds.(r.Register.id) then 1.0 else 0.0
+
+let operand_value _image t (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> reg_value t r
+  | Operand.Imm i -> float_of_int i
+  | Operand.FImm f -> f
+  | Operand.Special s -> special t s
+  | Operand.Addr _ -> fault "address operand where a value was expected"
+
+let address_of _image t (o : Operand.t) =
+  match o with
+  | Operand.Addr { space; base; offset } ->
+      let b = int_of_float (reg_value t base) in
+      (space, b + offset)
+  | _ -> fault "expected an address operand"
+
+let load image t space addr =
+  let word = addr / 4 in
+  match space with
+  | Operand.Global ->
+      if word < 0 || word >= Array.length image.global then
+        fault "global load out of bounds at %d" addr
+      else image.global.(word)
+  | Operand.Param ->
+      let slot = addr / 8 in
+      if slot < 0 || slot >= Array.length image.param then
+        fault "param load out of bounds at %d" addr
+      else image.param.(slot)
+  | Operand.Const -> fault "constant memory is unused by the compiler"
+  | Operand.Local ->
+      if word < 0 || word >= Array.length t.local then
+        fault "local load out of bounds at %d" addr
+      else begin
+        t.local_touched <- max t.local_touched (addr + 4);
+        t.local.(word)
+      end
+  | Operand.Shared -> 0.0 (* staging scratch: reads return the primed zeros *)
+
+let store image t space addr value =
+  let word = addr / 4 in
+  match space with
+  | Operand.Global ->
+      if word < 0 || word >= Array.length image.global then
+        fault "global store out of bounds at %d" addr
+      else image.global.(word) <- value
+  | Operand.Local ->
+      if word < 0 || word >= Array.length t.local then
+        fault "local store out of bounds at %d" addr
+      else begin
+        t.local_touched <- max t.local_touched (addr + 4);
+        t.local.(word) <- value
+      end
+  | Operand.Shared -> () (* staging scratch *)
+  | Operand.Param | Operand.Const -> fault "store to read-only space"
+
+(* ---- instruction semantics ---- *)
+
+let int_op2 f a b = float_of_int (f (int_of_float a) (int_of_float b))
+
+let compare_values cmp a b =
+  match cmp with
+  | Instruction.EQ -> a = b
+  | Instruction.NE -> a <> b
+  | Instruction.LT -> a < b
+  | Instruction.LE -> a <= b
+  | Instruction.GT -> a > b
+  | Instruction.GE -> a >= b
+
+let execute image t ~notify_memory (ins : Instruction.t) =
+  let v i = operand_value image t (List.nth ins.Instruction.srcs i) in
+  let set value =
+    match ins.Instruction.dst with
+    | Some ({ Register.cls = Register.Gpr; _ } as r) ->
+        if r.Register.id >= Array.length t.regs then
+          fault "write to R%d out of file" r.Register.id
+        else t.regs.(r.Register.id) <- value
+    | Some { Register.cls = Register.Pred; id } -> t.preds.(id) <- value <> 0.0
+    | None -> fault "%s has no destination" (Opcode.mnemonic ins.Instruction.op)
+  in
+  match ins.Instruction.op with
+  | Opcode.MOV -> set (v 0)
+  | Opcode.SEL -> set (if v 2 <> 0.0 then v 0 else v 1)
+  | Opcode.FADD | Opcode.DADD -> set (v 0 +. v 1)
+  | Opcode.FMUL | Opcode.DMUL -> set (v 0 *. v 1)
+  | Opcode.FFMA | Opcode.DFMA -> set ((v 0 *. v 1) +. v 2)
+  | Opcode.IADD -> set (int_op2 ( + ) (v 0) (v 1))
+  | Opcode.IMUL -> set (int_op2 ( * ) (v 0) (v 1))
+  | Opcode.IMAD ->
+      set
+        (float_of_int
+           ((int_of_float (v 0) * int_of_float (v 1)) + int_of_float (v 2)))
+  | Opcode.LOP_AND -> set (int_op2 ( land ) (v 0) (v 1))
+  | Opcode.LOP_OR -> set (int_op2 ( lor ) (v 0) (v 1))
+  | Opcode.LOP_XOR -> set (int_op2 ( lxor ) (v 0) (v 1))
+  | Opcode.SHL -> set (int_op2 (fun a b -> a lsl b) (v 0) (v 1))
+  | Opcode.SHR -> set (int_op2 (fun a b -> a asr b) (v 0) (v 1))
+  | Opcode.SHF -> set (v 0)
+  | Opcode.VABSDIFF -> set (Float.abs (v 0 -. v 1))
+  | Opcode.FMNMX | Opcode.IMNMX ->
+      (* Third operand selects min (0) or max (1). *)
+      let take_max = List.length ins.Instruction.srcs > 2 && v 2 <> 0.0 in
+      set (if take_max then Float.max (v 0) (v 1) else Float.min (v 0) (v 1))
+  | Opcode.FSETP | Opcode.ISETP | Opcode.PSETP -> (
+      match ins.Instruction.cmp with
+      | Some cmp -> set (if compare_values cmp (v 0) (v 1) then 1.0 else 0.0)
+      | None -> fault "set-predicate without a comparison modifier")
+  | Opcode.MUFU_RCP -> set (1.0 /. v 0)
+  | Opcode.MUFU_SQRT -> set (sqrt (v 0))
+  | Opcode.MUFU_SIN -> set (sin (v 0))
+  | Opcode.MUFU_COS -> set (cos (v 0))
+  | Opcode.MUFU_LG2 -> set (Float.log2 (v 0))
+  | Opcode.MUFU_EX2 -> set (Float.exp2 (v 0))
+  | Opcode.F2I | Opcode.D2I -> set (Float.of_int (int_of_float (v 0)))
+  | Opcode.I2F | Opcode.I2D | Opcode.F2D | Opcode.D2F | Opcode.F2F -> set (v 0)
+  | Opcode.LDG | Opcode.LDS | Opcode.LDC | Opcode.LDL ->
+      let space, addr = address_of image t (List.nth ins.Instruction.srcs 0) in
+      if space = Operand.Global then notify_memory t `Load addr;
+      set (load image t space addr)
+  | Opcode.STG | Opcode.STS | Opcode.STL ->
+      let space, addr = address_of image t (List.nth ins.Instruction.srcs 0) in
+      if space = Operand.Global then notify_memory t `Store addr;
+      store image t space addr (v 1)
+  | Opcode.TEX -> fault "TEX is not emitted by the compiler"
+  | Opcode.BAR | Opcode.SSY -> () (* sequential execution: barriers are free *)
+  | Opcode.BRA | Opcode.EXIT -> fault "control opcode inside a block body"
+
+let guard_passes t (ins : Instruction.t) =
+  match ins.Instruction.pred with
+  | None -> true
+  | Some { Instruction.negated; reg } ->
+      let value = t.preds.(reg.Register.id) in
+      if negated then not value else value
+
+(* ---- grid execution ---- *)
+
+let default_on_memory ~thread:_ ~kind:_ ~addr:_ = ()
+let default_on_branch ~label:_ ~taken:_ = ()
+
+let run ?(step_limit = 1_000_000) ?(on_memory = default_on_memory)
+    ?(on_branch = default_on_branch) (c : Driver.compiled) ~n arrays =
+  let program = c.Driver.program in
+  let kernel = c.Driver.kernel in
+  let params = c.Driver.params in
+  let image = build_image kernel ~n arrays in
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Basic_block.t) -> Hashtbl.replace blocks b.Basic_block.label b)
+    program.Program.blocks;
+  let per_category = Array.make (Array.length categories) 0.0 in
+  let per_block = Hashtbl.create 16 in
+  let max_local = ref 0 in
+  let tc = params.Params.threads_per_block in
+  let bc = params.Params.block_count in
+  let reg_file = program.Program.regs_per_thread + 8 in
+  let local_words =
+    (c.Driver.log.Gat_compiler.Ptxas_info.stack_frame / 4) + 16
+  in
+  for ctaid = 0 to bc - 1 do
+    for tid = 0 to tc - 1 do
+      let t =
+        {
+          regs = Array.make reg_file 0.0;
+          preds = Array.make 8 false;
+          local = Array.make local_words 0.0;
+          local_touched = 0;
+          tid;
+          ntid = tc;
+          ctaid;
+          nctaid = bc;
+        }
+      in
+      let steps = ref 0 in
+      let current = ref (Some program.Program.entry) in
+      while !current <> None do
+        let label = Option.get !current in
+        let block =
+          match Hashtbl.find_opt blocks label with
+          | Some b -> b
+          | None -> fault "jump to unknown label %s" label
+        in
+        Hashtbl.replace per_block label
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_block label));
+        List.iter
+          (fun ins ->
+            incr steps;
+            if !steps > step_limit then fault "step limit exceeded in %s" label;
+            per_category.(category_index (Opcode.category ins.Instruction.op)) <-
+              per_category.(category_index (Opcode.category ins.Instruction.op))
+              +. 1.0;
+            if guard_passes t ins then
+              execute image t
+                ~notify_memory:(fun t kind addr ->
+                  on_memory ~thread:((t.ctaid * t.ntid) + t.tid) ~kind ~addr)
+                ins)
+          block.Basic_block.body;
+        (* terminator *)
+        incr steps;
+        per_category.(category_index
+                        (Opcode.category
+                           (Basic_block.terminator_instruction block)
+                             .Instruction.op)) <-
+          per_category.(category_index
+                          (Opcode.category
+                             (Basic_block.terminator_instruction block)
+                               .Instruction.op))
+          +. 1.0;
+        (match block.Basic_block.term with
+        | Basic_block.Jump l -> current := Some l
+        | Basic_block.Exit -> current := None
+        | Basic_block.Cond_branch { pred = { negated; reg }; if_true; if_false } ->
+            let value = t.preds.(reg.Register.id) in
+            let taken = if negated then not value else value in
+            on_branch ~label ~taken;
+            current := Some (if taken then if_true else if_false))
+      done;
+      max_local := max !max_local t.local_touched
+    done
+  done;
+  writeback image arrays;
+  let instructions = Array.fold_left ( +. ) 0.0 per_category in
+  {
+    threads = tc * bc;
+    instructions;
+    per_category =
+      Array.to_list (Array.mapi (fun i c -> (categories.(i), c)) per_category)
+      |> List.map (fun (c, x) -> (c, x))
+      |> List.filter (fun (_, x) -> x > 0.0);
+    per_block =
+      Hashtbl.fold (fun label count acc -> (label, count) :: acc) per_block []
+      |> List.sort compare;
+    max_local_bytes = !max_local;
+  }
+
+let run_fresh ?step_limit ?on_memory ?on_branch (c : Driver.compiled) ~n ~seed =
+  let arrays = Gat_ir.Eval.init_arrays c.Driver.kernel ~n ~seed in
+  let stats = run ?step_limit ?on_memory ?on_branch c ~n arrays in
+  (arrays, stats)
+
+let category_count stats cat =
+  Option.value ~default:0.0 (List.assoc_opt cat stats.per_category)
+
+module Internal = struct
+  type nonrec image = image
+
+  type nonrec thread = thread = {
+    regs : float array;
+    preds : bool array;
+    local : float array;
+    mutable local_touched : int;
+    tid : int;
+    ntid : int;
+    ctaid : int;
+    nctaid : int;
+  }
+
+  let build_image = build_image
+  let writeback = writeback
+
+  let make_thread ~reg_file ~local_words ~tid ~ntid ~ctaid ~nctaid =
+    {
+      regs = Array.make reg_file 0.0;
+      preds = Array.make 8 false;
+      local = Array.make local_words 0.0;
+      local_touched = 0;
+      tid;
+      ntid;
+      ctaid;
+      nctaid;
+    }
+
+  let execute = execute
+  let guard_passes = guard_passes
+end

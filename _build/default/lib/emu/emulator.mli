@@ -1,0 +1,105 @@
+(** Functional emulator for compiled variants.
+
+    Executes a compiled program thread by thread over the whole grid,
+    with a real register file, predicate registers, global/shared/local
+    memory, and the grid-stride special registers — the dynamic-analysis
+    counterpart of the static analyzer (the paper's companion tool
+    computes "instruction execution frequencies and control flow
+    information" dynamically; this module is that capability for the
+    simulated ISA).
+
+    Because it executes the final machine code (after lowering, load
+    scheduling, register allocation and spill insertion), comparing its
+    results against the {!Gat_ir.Eval} reference interpreter validates
+    the entire compiler end to end — including spill code.  Threads run
+    sequentially in grid order, so cross-thread read-modify-write
+    accumulations (atax/bicg/matvec2d) are deterministic but may order
+    float additions differently from the interpreter; comparisons use a
+    small tolerance.
+
+    The emulator is exact: SFU opcodes compute exact reciprocals and
+    square roots, so precise and fast-math code produce (nearly)
+    identical values.  It is a correctness oracle and counter source,
+    not a timing model — timing is {!Gat_sim.Engine}'s job. *)
+
+type stats = {
+  threads : int;  (** Threads launched (TC * BC). *)
+  instructions : float;  (** Thread-level instructions executed. *)
+  per_category : (Gat_arch.Throughput.category * float) list;
+      (** Executed instructions per Table II category. *)
+  per_block : (string * int) list;
+      (** Thread-level executions of each basic block. *)
+  max_local_bytes : int;  (** Peak per-thread local memory touched. *)
+}
+
+exception Fault of string
+(** Raised on invalid memory accesses, unimplemented opcodes, or
+    runaway execution (per-thread step limit). *)
+
+(** The optional [on_memory]/[on_branch] hooks observe every executed
+    global-memory access (byte address, after masking) and every
+    conditional-branch decision — the raw streams behind the dynamic
+    analyses of the paper's Fig. 2 ({!Dynamic_analysis}). *)
+
+val run :
+  ?step_limit:int ->
+  ?on_memory:(thread:int -> kind:[ `Load | `Store ] -> addr:int -> unit) ->
+  ?on_branch:(label:string -> taken:bool -> unit) ->
+  Gat_compiler.Driver.compiled ->
+  n:int ->
+  Gat_ir.Eval.arrays ->
+  stats
+(** [run compiled ~n arrays] executes the full grid against the named
+    arrays (as produced by {!Gat_ir.Eval.init_arrays}), mutating them in
+    place.  [step_limit] bounds instructions per thread (default
+    1_000_000). *)
+
+val run_fresh :
+  ?step_limit:int ->
+  ?on_memory:(thread:int -> kind:[ `Load | `Store ] -> addr:int -> unit) ->
+  ?on_branch:(label:string -> taken:bool -> unit) ->
+  Gat_compiler.Driver.compiled ->
+  n:int ->
+  seed:int ->
+  Gat_ir.Eval.arrays * stats
+(** Initialize arrays deterministically, run, and return both. *)
+
+val category_count : stats -> Gat_arch.Throughput.category -> float
+
+(** {2 Internals shared with the SIMT engine}
+
+    {!Simt} reuses the per-thread machine state and instruction
+    semantics; these are not a stable public API. *)
+
+module Internal : sig
+  type image
+
+  type thread = {
+    regs : float array;
+    preds : bool array;
+    local : float array;
+    mutable local_touched : int;
+    tid : int;
+    ntid : int;
+    ctaid : int;
+    nctaid : int;
+  }
+
+  val build_image :
+    Gat_ir.Kernel.t -> n:int -> Gat_ir.Eval.arrays -> image
+
+  val writeback : image -> Gat_ir.Eval.arrays -> unit
+
+  val make_thread :
+    reg_file:int -> local_words:int -> tid:int -> ntid:int -> ctaid:int ->
+    nctaid:int -> thread
+
+  val execute :
+    image ->
+    thread ->
+    notify_memory:(thread -> [ `Load | `Store ] -> int -> unit) ->
+    Gat_isa.Instruction.t ->
+    unit
+
+  val guard_passes : thread -> Gat_isa.Instruction.t -> bool
+end

@@ -1,0 +1,171 @@
+open Gat_isa
+module Driver = Gat_compiler.Driver
+module Params = Gat_compiler.Params
+module I = Emulator.Internal
+
+type stats = {
+  warps : int;
+  warp_issues : (string * int) list;
+  lane_sum : (string * float) list;
+  thread_instructions : float;
+  max_stack_depth : int;
+}
+
+(* One reconvergence-stack entry: lanes in [mask] execute from [pc]
+   until they reach [rpc], where they park and the entry below resumes
+   (Fung et al.'s immediate-post-dominator stack). *)
+type frame = { mutable pc : string; rpc : string option; mask : int }
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go mask 0
+
+let run ?(step_limit = 1_000_000) (c : Driver.compiled) ~n arrays =
+  let program = c.Driver.program in
+  let params = c.Driver.params in
+  let image = I.build_image c.Driver.kernel ~n arrays in
+  let blocks = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Basic_block.t) -> Hashtbl.replace blocks b.Basic_block.label b)
+    program.Program.blocks;
+  let cfg = Gat_cfg.Cfg.of_program program in
+  let pdom = Gat_cfg.Postdominators.compute cfg in
+  let reconv_of label =
+    match Gat_cfg.Postdominators.ipdom pdom (Gat_cfg.Cfg.index_of cfg label) with
+    | Some node -> cfg.Gat_cfg.Cfg.labels.(node)
+    | None ->
+        raise
+          (Emulator.Fault
+             (Printf.sprintf "divergent branch in %s has no reconvergence point"
+                label))
+  in
+  let tc = params.Params.threads_per_block in
+  let bc = params.Params.block_count in
+  let warps_per_block = (tc + 31) / 32 in
+  let reg_file = program.Program.regs_per_thread + 8 in
+  let local_words =
+    (c.Driver.log.Gat_compiler.Ptxas_info.stack_frame / 4) + 16
+  in
+  let warp_issues = Hashtbl.create 16 in
+  let lane_sum = Hashtbl.create 16 in
+  let thread_instructions = ref 0.0 in
+  let max_depth = ref 0 in
+  let notify_memory _ _ _ = () in
+  for ctaid = 0 to bc - 1 do
+    for warp = 0 to warps_per_block - 1 do
+      let lanes =
+        Array.init 32 (fun l ->
+            let tid = (warp * 32) + l in
+            if tid < tc then
+              Some
+                (I.make_thread ~reg_file ~local_words ~tid ~ntid:tc ~ctaid
+                   ~nctaid:bc)
+            else None)
+      in
+      let initial_mask =
+        Array.to_list lanes
+        |> List.mapi (fun l t -> match t with Some _ -> 1 lsl l | None -> 0)
+        |> List.fold_left ( lor ) 0
+      in
+      let stack = ref [ { pc = program.Program.entry; rpc = None; mask = initial_mask } ] in
+      let steps = ref 0 in
+      while !stack <> [] do
+        max_depth := max !max_depth (List.length !stack);
+        match !stack with
+        | [] -> ()
+        | frame :: rest ->
+            if frame.rpc = Some frame.pc then
+              (* Lanes park at the reconvergence point; the entry below
+                 (the join, already aimed at this label) resumes. *)
+              stack := rest
+            else begin
+              incr steps;
+              if !steps > step_limit then
+                raise (Emulator.Fault "SIMT step limit exceeded");
+              let block =
+                match Hashtbl.find_opt blocks frame.pc with
+                | Some b -> b
+                | None ->
+                    raise (Emulator.Fault ("jump to unknown label " ^ frame.pc))
+              in
+              let label = frame.pc in
+              let active = popcount frame.mask in
+              Hashtbl.replace warp_issues label
+                (1 + Option.value ~default:0 (Hashtbl.find_opt warp_issues label));
+              Hashtbl.replace lane_sum label
+                (float_of_int active
+                +. Option.value ~default:0.0 (Hashtbl.find_opt lane_sum label));
+              (* Body: every active lane executes in lock-step. *)
+              List.iter
+                (fun ins ->
+                  Array.iteri
+                    (fun l thread ->
+                      match thread with
+                      | Some t when frame.mask land (1 lsl l) <> 0 ->
+                          thread_instructions := !thread_instructions +. 1.0;
+                          if I.guard_passes t ins then
+                            I.execute image t ~notify_memory ins
+                      | Some _ | None -> ())
+                    lanes)
+                block.Basic_block.body;
+              (* Terminator. *)
+              (match block.Basic_block.term with
+              | Basic_block.Jump l -> frame.pc <- l
+              | Basic_block.Exit -> stack := rest
+              | Basic_block.Cond_branch
+                  { pred = { negated; reg }; if_true; if_false } ->
+                  let taken_mask = ref 0 in
+                  Array.iteri
+                    (fun l thread ->
+                      match thread with
+                      | Some t when frame.mask land (1 lsl l) <> 0 ->
+                          let value = t.I.preds.(reg.Register.id) in
+                          let taken = if negated then not value else value in
+                          if taken then taken_mask := !taken_mask lor (1 lsl l)
+                      | Some _ | None -> ())
+                    lanes;
+                  let t_mask = !taken_mask in
+                  let f_mask = frame.mask land lnot t_mask in
+                  if f_mask = 0 then frame.pc <- if_true
+                  else if t_mask = 0 then frame.pc <- if_false
+                  else begin
+                    let r = reconv_of label in
+                    (* This frame becomes the join, waiting at r. *)
+                    frame.pc <- r;
+                    stack :=
+                      { pc = if_true; rpc = Some r; mask = t_mask }
+                      :: { pc = if_false; rpc = Some r; mask = f_mask }
+                      :: !stack
+                  end);
+              (* Count the terminator's lane executions. *)
+              thread_instructions :=
+                !thread_instructions +. float_of_int active
+            end
+      done
+    done
+  done;
+  I.writeback image arrays;
+  let sorted tbl map =
+    Hashtbl.fold (fun k v acc -> (k, map v) :: acc) tbl []
+    |> List.sort compare
+  in
+  {
+    warps = bc * warps_per_block;
+    warp_issues = sorted warp_issues Fun.id;
+    lane_sum = sorted lane_sum Fun.id;
+    thread_instructions = !thread_instructions;
+    max_stack_depth = !max_depth;
+  }
+
+let run_fresh ?step_limit (c : Driver.compiled) ~n ~seed =
+  let arrays = Gat_ir.Eval.init_arrays c.Driver.kernel ~n ~seed in
+  let stats = run ?step_limit c ~n arrays in
+  (arrays, stats)
+
+let issues stats label =
+  Option.value ~default:0 (List.assoc_opt label stats.warp_issues)
+
+let avg_lanes stats label =
+  match (List.assoc_opt label stats.lane_sum, issues stats label) with
+  | Some lanes, n when n > 0 -> lanes /. (32.0 *. float_of_int n)
+  | _ -> 1.0

@@ -1,0 +1,54 @@
+(** SIMT (warp-level) execution engine.
+
+    Executes compiled programs the way the hardware does: warp by warp
+    with a 32-bit active mask and a reconvergence stack that rejoins
+    divergent lanes at the branch's immediate post-dominator (computed
+    by {!Gat_cfg.Postdominators}).  A divergent warp therefore issues
+    both sides of the branch — the serialization the paper's Fig. 1
+    illustrates — and the warp-level issue counts measured here are the
+    exact quantity the compile-time execution profile predicts.
+
+    On race-free kernels, results are identical to the per-thread
+    {!Emulator} and the IR interpreter.  On kernels whose threads
+    accumulate into shared locations (atax, bicg and matvec2d do
+    [y\[j\] <- y\[j\] + ...] across threads), lock-step execution
+    loses same-cycle contributions — the data race real hardware has,
+    which the per-thread engine hides by serializing threads and which
+    Orio's generated reductions avoid.  Issue counting is unaffected
+    (control flow in these kernels is index-driven). *)
+
+type stats = {
+  warps : int;  (** Warps launched: BC * ceil(TC/32). *)
+  warp_issues : (string * int) list;
+      (** Warp-level executions of each block, sorted by label. *)
+  lane_sum : (string * float) list;
+      (** Sum of active lanes over those executions (so
+          [lane_sum / (32 * warp_issues)] is the average active-lane
+          fraction — the profile's [lanes]). *)
+  thread_instructions : float;
+      (** Active-lane instruction executions, across the grid. *)
+  max_stack_depth : int;  (** Deepest reconvergence stack observed. *)
+}
+
+val run :
+  ?step_limit:int ->
+  Gat_compiler.Driver.compiled ->
+  n:int ->
+  Gat_ir.Eval.arrays ->
+  stats
+(** Execute the grid warp by warp, mutating [arrays].  [step_limit]
+    bounds block executions per warp (default 1_000_000).
+    @raise Emulator.Fault as the per-thread engine does. *)
+
+val run_fresh :
+  ?step_limit:int ->
+  Gat_compiler.Driver.compiled ->
+  n:int ->
+  seed:int ->
+  Gat_ir.Eval.arrays * stats
+
+val issues : stats -> string -> int
+(** Warp issues of one block (0 if never executed). *)
+
+val avg_lanes : stats -> string -> float
+(** Average active-lane fraction of one block (1.0 if never executed). *)

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Array Expr Float Gat_util Hashtbl Kernel List Printf Stmt

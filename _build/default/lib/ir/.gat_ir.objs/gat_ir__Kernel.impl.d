@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Buffer Dtype Format List Printf Stmt String

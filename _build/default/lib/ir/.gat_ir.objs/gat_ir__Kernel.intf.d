@@ -1,0 +1,1 @@
+lib/ir/kernel.mli: Dtype Format Stmt

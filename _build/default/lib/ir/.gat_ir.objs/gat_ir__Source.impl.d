@@ -1,0 +1,1 @@
+lib/ir/source.ml: Array Expr Hashtbl Kernel List Option Printf Stmt String Tuning_spec Typecheck

@@ -1,0 +1,1 @@
+lib/ir/source.mli: Kernel Tuning_spec

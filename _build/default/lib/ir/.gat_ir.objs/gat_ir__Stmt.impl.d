@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Expr Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/ir/tuning_spec.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/ir/typecheck.ml: Dtype Expr Kernel List Printf Stmt

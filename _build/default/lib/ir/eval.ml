@@ -1,0 +1,183 @@
+type arrays = (string, float array) Hashtbl.t
+
+type value = VI of int | VF of float
+
+let value_to_float = function VI i -> float_of_int i | VF f -> f
+
+let value_to_int context = function
+  | VI i -> i
+  | VF _ -> invalid_arg (context ^ ": expected integer value")
+
+let init_arrays kernel ~n ~seed =
+  let rng = Gat_util.Rng.create seed in
+  let arrays = Hashtbl.create 8 in
+  List.iter
+    (fun (decl : Kernel.array_decl) ->
+      let len =
+        match decl.Kernel.dims with
+        | 1 -> n
+        | 2 -> n * n
+        | 3 -> n * n * n
+        | d -> invalid_arg (Printf.sprintf "Eval.init_arrays: rank %d" d)
+      in
+      let data =
+        Array.init len (fun _ -> Gat_util.Rng.uniform rng -. 0.5)
+      in
+      Hashtbl.replace arrays decl.Kernel.array_name data)
+    kernel.Kernel.arrays;
+  arrays
+
+let copy_arrays arrays =
+  let out = Hashtbl.create (Hashtbl.length arrays) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace out k (Array.copy v)) arrays;
+  out
+
+let flat_index kernel ~n name idxs =
+  let decl =
+    match Kernel.find_array kernel name with
+    | d -> d
+    | exception Not_found -> invalid_arg ("Eval: undeclared array " ^ name)
+  in
+  let check i =
+    if i < 0 || i >= n then
+      invalid_arg
+        (Printf.sprintf "Eval: %s index %d out of bounds [0, %d)" name i n)
+  in
+  match (decl.Kernel.dims, idxs) with
+  | 1, [ i ] ->
+      check i;
+      i
+  | 2, [ i; j ] ->
+      check i;
+      check j;
+      (i * n) + j
+  | 3, [ i; j; k ] ->
+      check i;
+      check j;
+      check k;
+      (((i * n) + j) * n) + k
+  | _ -> invalid_arg ("Eval: rank mismatch on " ^ name)
+
+let apply_bin op a b =
+  match (op, a, b) with
+  | Expr.Add, VI x, VI y -> VI (x + y)
+  | Expr.Sub, VI x, VI y -> VI (x - y)
+  | Expr.Mul, VI x, VI y -> VI (x * y)
+  | Expr.Div, VI x, VI y -> VI (x / y)
+  | Expr.Min, VI x, VI y -> VI (min x y)
+  | Expr.Max, VI x, VI y -> VI (max x y)
+  | Expr.Add, (VF _ | VI _), (VF _ | VI _) ->
+      VF (value_to_float a +. value_to_float b)
+  | Expr.Sub, (VF _ | VI _), (VF _ | VI _) ->
+      VF (value_to_float a -. value_to_float b)
+  | Expr.Mul, (VF _ | VI _), (VF _ | VI _) ->
+      VF (value_to_float a *. value_to_float b)
+  | Expr.Div, (VF _ | VI _), (VF _ | VI _) ->
+      VF (value_to_float a /. value_to_float b)
+  | Expr.Min, (VF _ | VI _), (VF _ | VI _) ->
+      VF (Float.min (value_to_float a) (value_to_float b))
+  | Expr.Max, (VF _ | VI _), (VF _ | VI _) ->
+      VF (Float.max (value_to_float a) (value_to_float b))
+
+let apply_cmp op a b =
+  let r =
+    match (a, b) with
+    | VI x, VI y -> compare x y
+    | _ -> compare (value_to_float a) (value_to_float b)
+  in
+  let truth =
+    match op with
+    | Expr.Eq -> r = 0
+    | Expr.Ne -> r <> 0
+    | Expr.Lt -> r < 0
+    | Expr.Le -> r <= 0
+    | Expr.Gt -> r > 0
+    | Expr.Ge -> r >= 0
+  in
+  VI (if truth then 1 else 0)
+
+let apply_un op v =
+  match op with
+  | Expr.Neg -> ( match v with VI i -> VI (-i) | VF f -> VF (-.f))
+  | Expr.Abs -> ( match v with VI i -> VI (abs i) | VF f -> VF (Float.abs f))
+  | Expr.Sqrt -> VF (sqrt (value_to_float v))
+  | Expr.Recip -> VF (1.0 /. value_to_float v)
+  | Expr.Exp -> VF (exp (value_to_float v))
+  | Expr.Log -> VF (log (value_to_float v))
+  | Expr.Sin -> VF (sin (value_to_float v))
+  | Expr.Cos -> VF (cos (value_to_float v))
+
+type env = { kernel : Kernel.t; n : int; arrays : arrays; scalars : (string, value) Hashtbl.t }
+
+let rec eval env (e : Expr.t) : value =
+  match e with
+  | Expr.Int i -> VI i
+  | Expr.Float f -> VF f
+  | Expr.Size -> VI env.n
+  | Expr.Var v -> (
+      match Hashtbl.find_opt env.scalars v with
+      | Some value -> value
+      | None -> invalid_arg ("Eval: undefined scalar " ^ v))
+  | Expr.Read (a, idxs) -> (
+      let idx_values = List.map (fun i -> value_to_int "index" (eval env i)) idxs in
+      match Hashtbl.find_opt env.arrays a with
+      | None -> invalid_arg ("Eval: missing array " ^ a)
+      | Some data -> VF data.(flat_index env.kernel ~n:env.n a idx_values))
+  | Expr.Bin (op, a, b) -> apply_bin op (eval env a) (eval env b)
+  | Expr.Cmp (op, a, b) -> apply_cmp op (eval env a) (eval env b)
+  | Expr.Un (op, a) -> apply_un op (eval env a)
+  | Expr.Select (c, a, b) ->
+      if value_to_int "select" (eval env c) <> 0 then eval env a else eval env b
+
+let rec exec env (s : Stmt.t) : unit =
+  match s with
+  | Stmt.Assign (v, e) -> Hashtbl.replace env.scalars v (eval env e)
+  | Stmt.Store (a, idxs, e) -> (
+      let idx_values = List.map (fun i -> value_to_int "index" (eval env i)) idxs in
+      let value = value_to_float (eval env e) in
+      match Hashtbl.find_opt env.arrays a with
+      | None -> invalid_arg ("Eval: missing array " ^ a)
+      | Some data -> data.(flat_index env.kernel ~n:env.n a idx_values) <- value)
+  | Stmt.For { var; lo; hi; step; body; _ } ->
+      let lo = value_to_int "loop bound" (eval env lo) in
+      let hi = value_to_int "loop bound" (eval env hi) in
+      let saved = Hashtbl.find_opt env.scalars var in
+      let i = ref lo in
+      while !i < hi do
+        Hashtbl.replace env.scalars var (VI !i);
+        List.iter (exec env) body;
+        i := !i + step
+      done;
+      (match saved with
+      | Some v -> Hashtbl.replace env.scalars var v
+      | None -> Hashtbl.remove env.scalars var)
+  | Stmt.If (c, t_branch, e_branch) ->
+      if value_to_int "if" (eval env c) <> 0 then List.iter (exec env) t_branch
+      else List.iter (exec env) e_branch
+  | Stmt.Sync -> ()
+
+let run kernel ~n arrays =
+  let env = { kernel; n; arrays; scalars = Hashtbl.create 16 } in
+  List.iter (exec env) kernel.Kernel.body
+
+let run_fresh kernel ~n ~seed =
+  let arrays = init_arrays kernel ~n ~seed in
+  run kernel ~n arrays;
+  arrays
+
+let max_abs_diff a b =
+  if Hashtbl.length a <> Hashtbl.length b then
+    invalid_arg "Eval.max_abs_diff: different array sets";
+  let worst = ref 0.0 in
+  Hashtbl.iter
+    (fun name xs ->
+      match Hashtbl.find_opt b name with
+      | None -> invalid_arg ("Eval.max_abs_diff: missing array " ^ name)
+      | Some ys ->
+          if Array.length xs <> Array.length ys then
+            invalid_arg ("Eval.max_abs_diff: size mismatch on " ^ name);
+          Array.iteri
+            (fun i x -> worst := Float.max !worst (Float.abs (x -. ys.(i))))
+            xs)
+    a;
+  !worst

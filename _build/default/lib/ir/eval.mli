@@ -1,0 +1,29 @@
+(** Reference interpreter for kernels.
+
+    Executes a kernel sequentially on concrete arrays.  This is the
+    semantic oracle: compiler transformations (unrolling, fast-math at
+    [~approx:false]) must leave interpreter results unchanged, which the
+    property tests assert. *)
+
+type arrays = (string, float array) Hashtbl.t
+(** Array storage, row-major; an [n]-sized kernel uses [n^dims] floats
+    per array.  Integer arrays are not supported (none of the paper's
+    kernels need them). *)
+
+val init_arrays : Kernel.t -> n:int -> seed:int -> arrays
+(** Deterministic pseudo-random initialization of every declared array. *)
+
+val copy_arrays : arrays -> arrays
+
+val run : Kernel.t -> n:int -> arrays -> unit
+(** Execute the kernel body, mutating [arrays].  The parallel loop runs
+    as an ordinary sequential loop.
+    @raise Invalid_argument on out-of-bounds accesses or missing
+    arrays — the interpreter bounds-checks everything. *)
+
+val run_fresh : Kernel.t -> n:int -> seed:int -> arrays
+(** [init_arrays], then [run], returning the final state. *)
+
+val max_abs_diff : arrays -> arrays -> float
+(** Largest element-wise absolute difference across all arrays; raises
+    if the two states have different shapes. *)

@@ -1,0 +1,458 @@
+type parsed = { kernel : Kernel.t; spec : Tuning_spec.t option }
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Fail { line; message })) fmt
+
+(* ---- annotation extraction ---- *)
+
+(* Split off a leading /*@ ... @*/ Orio annotation block. *)
+let extract_annotation text =
+  let find needle from =
+    let nl = String.length needle in
+    let tl = String.length text in
+    let rec scan i =
+      if i + nl > tl then None
+      else if String.sub text i nl = needle then Some i
+      else scan (i + 1)
+    in
+    scan from
+  in
+  match find "/*@" 0 with
+  | None -> (None, text)
+  | Some start -> (
+      match find "@*/" start with
+      | None -> (None, text)
+      | Some stop ->
+          let annot = String.sub text start (stop + 3 - start) in
+          let blanked =
+            String.mapi
+              (fun i c ->
+                if i >= start && i < stop + 3 && c <> '\n' then ' ' else c)
+              text
+          in
+          (Some annot, blanked))
+
+(* ---- lexer ---- *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | PUNCT of string  (** one of the fixed operator/punctuation spellings *)
+  | EOF
+
+type lexed = { token : token; line : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let lex text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push token = tokens := { token; line = !line } :: !tokens in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      (* Block comment (annotations were blanked out earlier). *)
+      i := !i + 2;
+      let finished = ref false in
+      while (not !finished) && !i < n do
+        if text.[!i] = '\n' then incr line;
+        if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          i := !i + 2;
+          finished := true
+        end
+        else incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub text start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let saw_dot = ref false in
+      while
+        !i < n
+        && (is_digit text.[!i]
+           || text.[!i] = '.'
+           || text.[!i] = 'e'
+           || text.[!i] = 'E'
+           || ((text.[!i] = '+' || text.[!i] = '-')
+              && !i > start
+              && (text.[!i - 1] = 'e' || text.[!i - 1] = 'E')))
+      do
+        if text.[!i] = '.' || text.[!i] = 'e' || text.[!i] = 'E' then
+          saw_dot := true;
+        incr i
+      done;
+      let lexeme = String.sub text start (!i - start) in
+      if !saw_dot then
+        match float_of_string_opt lexeme with
+        | Some f -> push (FLOAT f)
+        | None -> fail !line "bad float literal %S" lexeme
+      else begin
+        match int_of_string_opt lexeme with
+        | Some v -> push (INT v)
+        | None -> fail !line "bad integer literal %S" lexeme
+      end
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub text !i 2 else "" in
+      match two with
+      | "<=" | ">=" | "==" | "!=" | "&&" | "++" | "+=" ->
+          push (PUNCT two);
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | '=' | '+' | '-'
+          | '*' | '/' | '<' | '>' | '?' | ':' ->
+              push (PUNCT (String.make 1 c));
+              incr i
+          | _ -> fail !line "unexpected character %C" c)
+    end
+  done;
+  tokens := { token = EOF; line = !line } :: !tokens;
+  Array.of_list (List.rev !tokens)
+
+(* ---- parser ---- *)
+
+type state = { toks : lexed array; mutable pos : int; arrays : (string, int) Hashtbl.t }
+
+let peek st = st.toks.(st.pos)
+let line_of st = (peek st).line
+let advance st = st.pos <- st.pos + 1
+
+let expect_punct st p =
+  match (peek st).token with
+  | PUNCT q when q = p -> advance st
+  | _ -> fail (line_of st) "expected %S" p
+
+let expect_ident st =
+  match (peek st).token with
+  | IDENT name ->
+      advance st;
+      name
+  | _ -> fail (line_of st) "expected an identifier"
+
+let accept_punct st p =
+  match (peek st).token with
+  | PUNCT q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_ident st name =
+  match (peek st).token with
+  | IDENT n when n = name ->
+      advance st;
+      true
+  | _ -> false
+
+let unary_calls =
+  [
+    ("sqrt", Expr.Sqrt); ("exp", Expr.Exp); ("log", Expr.Log);
+    ("sin", Expr.Sin); ("cos", Expr.Cos); ("fabs", Expr.Abs);
+    ("abs", Expr.Abs); ("recip", Expr.Recip);
+  ]
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_and st in
+  if accept_punct st "?" then begin
+    let a = parse_expr st in
+    expect_punct st ":";
+    let b = parse_expr st in
+    Expr.Select (cond, a, b)
+  end
+  else cond
+
+(* [a && b] multiplies the 0/1 comparison results, matching the IR's
+   boolean encoding. *)
+and parse_and st =
+  let lhs = parse_cmp st in
+  if accept_punct st "&&" then Expr.Bin (Expr.Mul, lhs, parse_and st) else lhs
+
+and parse_cmp st =
+  let lhs = parse_additive st in
+  let op =
+    match (peek st).token with
+    | PUNCT "<" -> Some Expr.Lt
+    | PUNCT "<=" -> Some Expr.Le
+    | PUNCT ">" -> Some Expr.Gt
+    | PUNCT ">=" -> Some Expr.Ge
+    | PUNCT "==" -> Some Expr.Eq
+    | PUNCT "!=" -> Some Expr.Ne
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+      advance st;
+      Expr.Cmp (op, lhs, parse_additive st)
+  | None -> lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_punct st "+" then
+      lhs := Expr.Bin (Expr.Add, !lhs, parse_multiplicative st)
+    else if accept_punct st "-" then
+      lhs := Expr.Bin (Expr.Sub, !lhs, parse_multiplicative st)
+    else continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if accept_punct st "*" then lhs := Expr.Bin (Expr.Mul, !lhs, parse_unary st)
+    else if accept_punct st "/" then
+      lhs := Expr.Bin (Expr.Div, !lhs, parse_unary st)
+    else continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if accept_punct st "-" then Expr.Un (Expr.Neg, parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  match (peek st).token with
+  | INT v ->
+      advance st;
+      Expr.Int v
+  | FLOAT f ->
+      advance st;
+      Expr.Float f
+  | PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | IDENT "N" ->
+      advance st;
+      Expr.Size
+  | IDENT name -> (
+      advance st;
+      match (peek st).token with
+      | PUNCT "(" ->
+          advance st;
+          let args = parse_args st in
+          apply_call st name args
+      | PUNCT "[" -> Expr.Read (name, parse_subscripts st)
+      | _ ->
+          if Hashtbl.mem st.arrays name then
+            fail (line_of st) "array %s used without a subscript" name
+          else Expr.Var name)
+  | _ -> fail (line_of st) "expected an expression"
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and apply_call st name args =
+  match (List.assoc_opt name unary_calls, args) with
+  | Some op, [ a ] -> Expr.Un (op, a)
+  | Some _, _ -> fail (line_of st) "%s takes one argument" name
+  | None, _ -> (
+      match (name, args) with
+      | "min", [ a; b ] -> Expr.Bin (Expr.Min, a, b)
+      | "max", [ a; b ] -> Expr.Bin (Expr.Max, a, b)
+      | ("min" | "max"), _ -> fail (line_of st) "%s takes two arguments" name
+      | _ -> fail (line_of st) "unknown function %s" name)
+
+and parse_subscripts st =
+  let rec go acc =
+    expect_punct st "[";
+    let e = parse_expr st in
+    expect_punct st "]";
+    let acc = e :: acc in
+    match (peek st).token with
+    | PUNCT "[" -> go acc
+    | _ -> List.rev acc
+  in
+  go []
+
+(* ---- statements ---- *)
+
+let rec parse_block st =
+  expect_punct st "{";
+  let rec go acc =
+    if accept_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  if accept_ident st "parallel" then begin
+    if not (accept_ident st "for") then
+      fail (line_of st) "expected 'for' after 'parallel'";
+    parse_for st ~kind:Stmt.Parallel
+  end
+  else if accept_ident st "for" then parse_for st ~kind:Stmt.Sequential
+  else if accept_ident st "if" then parse_if st
+  else if accept_ident st "sync" then begin
+    expect_punct st "(";
+    expect_punct st ")";
+    expect_punct st ";";
+    Stmt.Sync
+  end
+  else begin
+    let name = expect_ident st in
+    match (peek st).token with
+    | PUNCT "[" ->
+        let idxs = parse_subscripts st in
+        expect_punct st "=";
+        let value = parse_expr st in
+        expect_punct st ";";
+        Stmt.Store (name, idxs, value)
+    | PUNCT "=" ->
+        advance st;
+        let value = parse_expr st in
+        expect_punct st ";";
+        Stmt.Assign (name, value)
+    | _ -> fail (line_of st) "expected '=' or '[' after %s" name
+  end
+
+and parse_for st ~kind =
+  let header_line = line_of st in
+  expect_punct st "(";
+  let v = expect_ident st in
+  expect_punct st "=";
+  let lo = parse_expr st in
+  expect_punct st ";";
+  let v2 = expect_ident st in
+  if v2 <> v then fail header_line "loop condition tests %s, not %s" v2 v;
+  expect_punct st "<";
+  let hi = parse_expr st in
+  expect_punct st ";";
+  let v3 = expect_ident st in
+  if v3 <> v then fail header_line "loop increment updates %s, not %s" v3 v;
+  let step =
+    if accept_punct st "++" then 1
+    else if accept_punct st "+=" then begin
+      match (peek st).token with
+      | INT k when k >= 1 ->
+          advance st;
+          k
+      | _ -> fail (line_of st) "expected a positive step after '+='"
+    end
+    else fail (line_of st) "expected '++' or '+= k'"
+  in
+  expect_punct st ")";
+  let body = parse_block st in
+  Stmt.For { var = v; lo; hi; step; kind; body }
+
+and parse_if st =
+  expect_punct st "(";
+  let cond = parse_expr st in
+  expect_punct st ")";
+  let then_branch = parse_block st in
+  let else_branch = if accept_ident st "else" then parse_block st else [] in
+  Stmt.If (cond, then_branch, else_branch)
+
+(* ---- kernel header ---- *)
+
+let parse_params st =
+  expect_punct st "(";
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let name = expect_ident st in
+      let rec rank n =
+        if accept_punct st "[" then begin
+          (match (peek st).token with
+          | IDENT "N" -> advance st
+          | _ -> fail (line_of st) "array extents must be N");
+          expect_punct st "]";
+          rank (n + 1)
+        end
+        else n
+      in
+      let dims = rank 0 in
+      if dims < 1 || dims > 3 then
+        fail (line_of st) "array %s must have rank 1-3" name;
+      Hashtbl.replace st.arrays name dims;
+      let decl = Kernel.array_decl name dims in
+      if accept_punct st "," then go (decl :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (decl :: acc)
+      end
+    in
+    go []
+  end
+
+let parse ?description text =
+  let annotation, text = extract_annotation text in
+  match lex text with
+  | exception Fail e -> Error e
+  | toks -> (
+      let st = { toks; pos = 0; arrays = Hashtbl.create 8 } in
+      try
+        if not (accept_ident st "kernel") then
+          fail (line_of st) "expected 'kernel'";
+        let name = expect_ident st in
+        let arrays = parse_params st in
+        let body = parse_block st in
+        (match (peek st).token with
+        | EOF -> ()
+        | _ -> fail (line_of st) "trailing input after the kernel body");
+        let description =
+          Option.value ~default:("parsed kernel " ^ name) description
+        in
+        let kernel =
+          try Kernel.make ~name ~description ~arrays body
+          with Invalid_argument msg -> fail 1 "%s" msg
+        in
+        (match Typecheck.kernel kernel with
+        | Ok () -> ()
+        | Error msg -> fail 1 "type error: %s" msg);
+        let spec =
+          match annotation with
+          | None -> None
+          | Some block -> (
+              match Tuning_spec.parse block with
+              | Ok spec -> Some spec
+              | Error msg -> fail 1 "bad tuning annotation: %s" msg)
+        in
+        Ok { kernel; spec }
+      with Fail e -> Error e)
+
+let parse_exn ?description text =
+  match parse ?description text with
+  | Ok p -> p
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,52 @@
+(** Source frontend: parse annotated C-like kernel source into the IR.
+
+    Orio's input is annotated C; the paper's Section VII discusses
+    translating kernel sources into "the input required by Orio".  This
+    module accepts a small C-like kernel language:
+
+    {v
+    kernel atax(A[N][N], x[N], y[N]) {
+      parallel for (i = 0; i < N; i++) {
+        tmp = 0.0;
+        for (j = 0; j < N; j++) {
+          tmp = tmp + A[i][j] * x[j];
+        }
+        for (j = 0; j < N; j++) {
+          y[j] = y[j] + A[i][j] * tmp;
+        }
+      }
+    }
+    v}
+
+    Grammar notes:
+    - array parameters declare their rank with [\[N\]] suffixes (1–3);
+      [N] is the problem size and the only array extent;
+    - loops must have the shape
+      [for (v = lo; v < hi; v++)] or [... ; v += k)], optionally
+      prefixed by [parallel];
+    - statements: scalar assignment, array store, [if]/[else],
+      [sync();];
+    - expressions: [+ - * /], comparisons, [? :], calls to
+      [sqrt exp log sin cos fabs min max recip], integer and float
+      literals (a literal with a dot or exponent is float), variables
+      and array subscripts;
+    - [//] line comments and a leading Orio [/*@ ... @*/] annotation
+      block (returned separately for {!Tuning_spec.parse}). *)
+
+type parsed = {
+  kernel : Kernel.t;
+  spec : Tuning_spec.t option;
+      (** The [/*@ begin PerfTuning ... @*/] block, when present. *)
+}
+
+type error = { line : int; message : string }
+
+val error_to_string : error -> string
+
+val parse : ?description:string -> string -> (parsed, error) result
+(** Parse one kernel definition (with an optional preceding tuning
+    annotation).  The kernel is validated ({!Kernel.make}) and
+    type-checked. *)
+
+val parse_exn : ?description:string -> string -> parsed
+(** @raise Failure with a rendered error. *)

@@ -1,0 +1,172 @@
+type value = Int of int | Str of string
+type param = { pname : string; values : value list }
+type t = { params : param list }
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Str s -> "'" ^ s ^ "'"
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "/*@ begin PerfTuning (\n";
+  Buffer.add_string buf "def performance_params {\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "param %s[] = [%s];\n" p.pname
+           (String.concat "," (List.map value_to_string p.values))))
+    t.params;
+  Buffer.add_string buf "}\n) @*/\n";
+  Buffer.contents buf
+
+let find t name = List.find_opt (fun p -> p.pname = name) t.params
+
+let cardinality t =
+  List.fold_left (fun acc p -> acc * List.length p.values) 1 t.params
+
+let int_values t name =
+  match find t name with
+  | None -> []
+  | Some p ->
+      List.map
+        (function
+          | Int i -> i
+          | Str s ->
+              invalid_arg
+                (Printf.sprintf "Tuning_spec.int_values %s: string value %s"
+                   name s))
+        p.values
+
+let string_values t name =
+  match find t name with
+  | None -> []
+  | Some p ->
+      List.map (function Int i -> string_of_int i | Str s -> s) p.values
+
+(* ---- parsing ---- *)
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+(* The /*@ begin PerfTuning ... @*/ wrapper never contains ';', so we can
+   parse by locating each "param" keyword and reading to the next ';'. *)
+let param_statements text =
+  let statements = ref [] in
+  let len = String.length text in
+  let rec find_param i =
+    if i + 5 >= len then ()
+    else if
+      String.sub text i 5 = "param"
+      && (i = 0 || not (Char.equal text.[i - 1] '_'))
+    then begin
+      match String.index_from_opt text i ';' with
+      | None -> ()
+      | Some semi ->
+          statements := String.sub text (i + 5) (semi - i - 5) :: !statements;
+          find_param (semi + 1)
+    end
+    else find_param (i + 1)
+  in
+  find_param 0;
+  List.rev !statements
+
+let parse_values rhs =
+  let rhs = String.trim rhs in
+  let parse_scalar tok =
+    let tok = String.trim tok in
+    let len = String.length tok in
+    if len >= 2 && tok.[0] = '\'' && tok.[len - 1] = '\'' then
+      Ok (Str (String.sub tok 1 (len - 2)))
+    else if len >= 2 && tok.[0] = '"' && tok.[len - 1] = '"' then
+      Ok (Str (String.sub tok 1 (len - 2)))
+    else
+      match int_of_string_opt tok with
+      | Some i -> Ok (Int i)
+      | None -> fail "cannot parse value %S" tok
+  in
+  let collect toks =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | tok :: rest -> (
+          match parse_scalar tok with
+          | Ok v -> go (v :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] toks
+  in
+  let len = String.length rhs in
+  if len >= 6 && String.sub rhs 0 6 = "range(" && rhs.[len - 1] = ')' then begin
+    let args = String.sub rhs 6 (len - 7) in
+    let parts = String.split_on_char ',' args |> List.map String.trim in
+    match
+      List.map
+        (fun p ->
+          match int_of_string_opt p with
+          | Some i -> i
+          | None -> invalid_arg p)
+        parts
+    with
+    | exception Invalid_argument tok -> fail "bad range argument %S" tok
+    | [ lo; hi ] | [ lo; hi; 1 ] ->
+        Ok (List.init (max 0 (hi - lo)) (fun i -> Int (lo + i)))
+    | [ lo; hi; step ] when step > 0 ->
+        let count = if hi <= lo then 0 else ((hi - lo - 1) / step) + 1 in
+        Ok (List.init count (fun i -> Int (lo + (i * step))))
+    | _ -> fail "range needs 2 or 3 positive arguments: %S" rhs
+  end
+  else if len >= 2 && rhs.[0] = '[' && rhs.[len - 1] = ']' then begin
+    let body = String.sub rhs 1 (len - 2) in
+    if String.trim body = "" then Ok []
+    else collect (String.split_on_char ',' body)
+  end
+  else fail "cannot parse values %S" rhs
+
+let parse_statement stmt =
+  (* "<NAME>[] = <rhs>" *)
+  match String.index_opt stmt '=' with
+  | None -> fail "missing '=' in param statement %S" stmt
+  | Some eq -> (
+      let name_part = String.trim (String.sub stmt 0 eq) in
+      let rhs = String.sub stmt (eq + 1) (String.length stmt - eq - 1) in
+      let name =
+        let len = String.length name_part in
+        if len > 2 && String.sub name_part (len - 2) 2 = "[]" then
+          String.trim (String.sub name_part 0 (len - 2))
+        else name_part
+      in
+      if name = "" then fail "empty parameter name in %S" stmt
+      else
+        match parse_values rhs with
+        | Ok values -> Ok { pname = name; values }
+        | Error e -> Error e)
+
+let parse text =
+  let statements = param_statements text in
+  if statements = [] then fail "no param statements found"
+  else
+    let rec go acc = function
+      | [] -> Ok { params = List.rev acc }
+      | stmt :: rest -> (
+          match parse_statement stmt with
+          | Ok p -> go (p :: acc) rest
+          | Error e -> Error e)
+    in
+    go [] statements
+
+let parse_exn text =
+  match parse text with Ok t -> t | Error e -> failwith e
+
+(* Fig. 3 / Table III.  Fig. 3's BC step (24) is authoritative: it is the
+   only step consistent with the paper's 5,120-variant space
+   (32*8*5*2*2, with SC pinned). *)
+let table_iii =
+  parse_exn
+    {|/*@ begin PerfTuning (
+def performance_params {
+param TC[] = range(32,1025,32);
+param BC[] = range(24,193,24);
+param UIF[] = range(1,6);
+param PL[] = [16,48];
+param SC[] = range(1,6);
+param CFLAGS[] = ['', '-use_fast_math'];
+}
+) @*/|}

@@ -1,0 +1,48 @@
+(** Orio-style performance-tuning specifications (paper Fig. 3).
+
+    Parses the annotation syntax Orio embeds in C sources:
+    {v
+    /*@ begin PerfTuning (
+      def performance_params {
+        param TC[] = range(32,1025,32);
+        param PL[] = [16,48];
+        param CFLAGS[] = ['', '-use_fast_math'];
+      }
+    ) @*/
+    v}
+    [range] follows Python semantics (inclusive low, exclusive high,
+    default step 1); list values are integers or quoted strings. *)
+
+type value = Int of int | Str of string
+
+type param = { pname : string; values : value list }
+
+type t = { params : param list }
+
+val parse : string -> (t, string) result
+(** Parse a spec block.  The [/*@ begin PerfTuning (...) @*/] wrapper is
+    optional; bare [param …;] lines are accepted too. *)
+
+val parse_exn : string -> t
+
+val find : t -> string -> param option
+(** Case-sensitive parameter lookup. *)
+
+val cardinality : t -> int
+(** Product of the per-parameter value counts — the size of the
+    exhaustive search space. *)
+
+val int_values : t -> string -> int list
+(** Integer values of a named parameter ([] if absent); raises
+    [Invalid_argument] if any value is a string. *)
+
+val string_values : t -> string -> string list
+(** String values of a named parameter ([] if absent); integers are
+    rendered in decimal. *)
+
+val table_iii : t
+(** The paper's Table III / Fig. 3 space: TC, BC, UIF, PL, SC, CFLAGS. *)
+
+val value_to_string : value -> string
+val to_string : t -> string
+(** Re-render in Fig. 3 syntax; [parse (to_string t) = Ok t]. *)

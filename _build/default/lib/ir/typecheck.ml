@@ -1,0 +1,106 @@
+type env = (string * Dtype.t) list
+
+exception Type_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let join_numeric context a b =
+  if a = b then a
+  else
+    fail "%s: operand types differ (%s vs %s)" context (Dtype.to_string a)
+      (Dtype.to_string b)
+
+let rec expr kernel env (e : Expr.t) : Dtype.t =
+  match e with
+  | Expr.Int _ -> Dtype.I32
+  | Expr.Float _ -> Dtype.F32
+  | Expr.Size -> Dtype.I32
+  | Expr.Var v -> (
+      match List.assoc_opt v env with
+      | Some ty -> ty
+      | None -> fail "undefined scalar %s" v)
+  | Expr.Read (a, idxs) -> (
+      match Kernel.find_array kernel a with
+      | exception Not_found -> fail "undeclared array %s" a
+      | decl ->
+          if List.length idxs <> decl.Kernel.dims then
+            fail "array %s has rank %d, indexed with %d subscripts" a
+              decl.Kernel.dims (List.length idxs);
+          List.iter
+            (fun i ->
+              match expr kernel env i with
+              | Dtype.I32 -> ()
+              | ty ->
+                  fail "index of %s has type %s, expected i32" a
+                    (Dtype.to_string ty))
+            idxs;
+          decl.Kernel.elem)
+  | Expr.Bin (op, a, b) ->
+      let ta = expr kernel env a and tb = expr kernel env b in
+      join_numeric (Expr.binop_name op) ta tb
+  | Expr.Cmp (op, a, b) ->
+      let ta = expr kernel env a and tb = expr kernel env b in
+      let _ = join_numeric (Expr.cmpop_name op) ta tb in
+      Dtype.I32
+  | Expr.Un (op, a) -> (
+      let ta = expr kernel env a in
+      match op with
+      | Expr.Neg | Expr.Abs -> ta
+      | Expr.Sqrt | Expr.Recip | Expr.Exp | Expr.Log | Expr.Sin | Expr.Cos ->
+          if Dtype.is_float ta then ta
+          else fail "%s applied to integer operand" (Expr.unop_name op))
+  | Expr.Select (c, a, b) -> (
+      match expr kernel env c with
+      | Dtype.I32 ->
+          let ta = expr kernel env a and tb = expr kernel env b in
+          join_numeric "select" ta tb
+      | ty -> fail "select condition has type %s, expected i32" (Dtype.to_string ty))
+
+let rec stmt kernel env (s : Stmt.t) : env =
+  match s with
+  | Stmt.Assign (v, e) ->
+      let ty = expr kernel env e in
+      (match List.assoc_opt v env with
+      | Some old when old <> ty ->
+          fail "scalar %s reassigned with type %s (was %s)" v
+            (Dtype.to_string ty) (Dtype.to_string old)
+      | Some _ | None -> ());
+      (v, ty) :: env
+  | Stmt.Store (a, idxs, e) -> (
+      match Kernel.find_array kernel a with
+      | exception Not_found -> fail "undeclared array %s" a
+      | decl ->
+          if List.length idxs <> decl.Kernel.dims then
+            fail "store to %s: rank %d, %d subscripts" a decl.Kernel.dims
+              (List.length idxs);
+          List.iter
+            (fun i ->
+              if expr kernel env i <> Dtype.I32 then
+                fail "store index of %s is not i32" a)
+            idxs;
+          let ty = expr kernel env e in
+          if ty <> decl.Kernel.elem then
+            fail "store to %s: value type %s, element type %s" a
+              (Dtype.to_string ty)
+              (Dtype.to_string decl.Kernel.elem);
+          env)
+  | Stmt.For { var; lo; hi; body; _ } ->
+      if expr kernel env lo <> Dtype.I32 then fail "loop %s: lower bound not i32" var;
+      if expr kernel env hi <> Dtype.I32 then fail "loop %s: upper bound not i32" var;
+      let inner = (var, Dtype.I32) :: env in
+      let _ = List.fold_left (stmt kernel) inner body in
+      env
+  | Stmt.If (c, t_branch, e_branch) ->
+      if expr kernel env c <> Dtype.I32 then fail "if condition not i32";
+      let _ = List.fold_left (stmt kernel) env t_branch in
+      let _ = List.fold_left (stmt kernel) env e_branch in
+      env
+  | Stmt.Sync -> env
+
+let kernel k =
+  match List.fold_left (stmt k) [] k.Kernel.body with
+  | _ -> Ok ()
+  | exception Type_error msg -> Error msg
+
+let kernel_exn k =
+  match kernel k with Ok () -> () | Error msg -> raise (Type_error msg)

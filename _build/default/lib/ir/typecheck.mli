@@ -1,0 +1,21 @@
+(** Static type checking for kernels.
+
+    Catches arity and type errors in kernel definitions before they
+    reach the compiler: array rank mismatches, non-integer indices and
+    bounds, transcendental functions on integers, branch type mismatch,
+    and use of undefined scalars. *)
+
+type env = (string * Dtype.t) list
+(** Scalar variable typing context. *)
+
+exception Type_error of string
+
+val expr : Kernel.t -> env -> Expr.t -> Dtype.t
+(** Infer an expression's type in a scalar context.
+    @raise Type_error on ill-typed expressions. *)
+
+val kernel : Kernel.t -> (unit, string) result
+(** Check the whole kernel body. *)
+
+val kernel_exn : Kernel.t -> unit
+(** @raise Type_error instead of returning [Error]. *)

@@ -1,0 +1,1 @@
+lib/isa/basic_block.ml: Instruction List Opcode Weight

@@ -1,0 +1,1 @@
+lib/isa/basic_block.mli: Instruction Weight

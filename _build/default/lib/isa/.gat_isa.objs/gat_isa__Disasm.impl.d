@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Basic_block Buffer Format Gat_arch Instruction List Printf Program Register Weight

@@ -1,0 +1,1 @@
+lib/isa/disasm.mli: Basic_block Format Instruction Program

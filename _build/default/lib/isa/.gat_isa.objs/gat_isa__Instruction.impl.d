@@ -1,0 +1,1 @@
+lib/isa/instruction.ml: Buffer Format Fun List Opcode Operand Printf Register String

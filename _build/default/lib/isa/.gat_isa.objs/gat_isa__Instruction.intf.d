@@ -1,0 +1,1 @@
+lib/isa/instruction.mli: Format Opcode Operand Register

@@ -1,0 +1,1 @@
+lib/isa/opcode.ml: Compute_capability Format Gat_arch Gpu Hashtbl List

@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Basic_block Gat_arch Instruction List Printf Program Register String Weight

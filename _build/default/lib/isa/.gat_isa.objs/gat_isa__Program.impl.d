@@ -1,0 +1,1 @@
+lib/isa/program.ml: Basic_block Gat_arch Hashtbl Instruction List Register

@@ -1,0 +1,1 @@
+lib/isa/program.mli: Basic_block Gat_arch Instruction

@@ -1,0 +1,1 @@
+lib/isa/ptx.ml: Basic_block Buffer Format Gat_arch Instruction Int32 List Opcode Operand Printf Program Register String

@@ -1,0 +1,1 @@
+lib/isa/ptx.mli: Format Instruction Program

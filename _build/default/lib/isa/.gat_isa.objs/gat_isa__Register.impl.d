@@ -1,0 +1,1 @@
+lib/isa/register.ml: Format Int Map Printf Set String

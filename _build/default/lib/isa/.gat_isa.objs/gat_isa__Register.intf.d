@@ -1,0 +1,1 @@
+lib/isa/register.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/isa/weight.ml: Array Format List Printf String

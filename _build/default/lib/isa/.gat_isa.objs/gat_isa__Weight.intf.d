@@ -1,0 +1,1 @@
+lib/isa/weight.mli: Format

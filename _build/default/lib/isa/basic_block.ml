@@ -1,0 +1,35 @@
+type terminator =
+  | Jump of string
+  | Cond_branch of {
+      pred : Instruction.predicate;
+      if_true : string;
+      if_false : string;
+    }
+  | Exit
+
+type t = {
+  label : string;
+  body : Instruction.t list;
+  term : terminator;
+  weight : Weight.t;
+  active_frac : float;
+}
+
+let make ?(weight = Weight.one) ?(active_frac = 1.0) label body term =
+  if not (active_frac > 0.0 && active_frac <= 1.0) then
+    invalid_arg "Basic_block.make: active_frac outside (0, 1]";
+  { label; body; term; weight; active_frac }
+
+let successors t =
+  match t.term with
+  | Jump l -> [ l ]
+  | Cond_branch { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Exit -> []
+
+let terminator_instruction t =
+  match t.term with
+  | Jump _ -> Instruction.make Opcode.BRA []
+  | Cond_branch { pred; _ } -> Instruction.make ~pred Opcode.BRA []
+  | Exit -> Instruction.make Opcode.EXIT []
+
+let instruction_count t = List.length t.body + 1

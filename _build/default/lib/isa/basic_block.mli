@@ -1,0 +1,41 @@
+(** Basic blocks: a straight-line instruction body plus one terminator.
+
+    Besides code, each block carries two modelling annotations set by
+    the compiler and consumed by the simulator substrate:
+    - [weight]: per-thread execution count as a polynomial in N;
+    - [active_frac]: expected fraction of warp lanes active when the
+      block runs (1.0 when uniform; < 1.0 under thread-dependent
+      guards, the source of branch-divergence cost). *)
+
+type terminator =
+  | Jump of string  (** Unconditional branch to a label. *)
+  | Cond_branch of {
+      pred : Instruction.predicate;
+      if_true : string;
+      if_false : string;
+    }  (** Two-way branch on a predicate register. *)
+  | Exit  (** Kernel exit. *)
+
+type t = {
+  label : string;
+  body : Instruction.t list;
+  term : terminator;
+  weight : Weight.t;
+  active_frac : float;
+}
+
+val make :
+  ?weight:Weight.t -> ?active_frac:float -> string -> Instruction.t list ->
+  terminator -> t
+(** [make label body term] with [weight] defaulting to {!Weight.one} and
+    [active_frac] to 1.0.  Raises if [active_frac] is outside (0, 1]. *)
+
+val successors : t -> string list
+(** Labels this block can transfer control to. *)
+
+val terminator_instruction : t -> Instruction.t
+(** The control instruction the terminator encodes ([BRA] or [EXIT]);
+    counted by the instruction-mix analysis as a control op. *)
+
+val instruction_count : t -> int
+(** Body length plus one for the terminator. *)

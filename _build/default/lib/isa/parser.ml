@@ -1,0 +1,186 @@
+type error = { line : int; message : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Fail of error
+
+let fail line message = raise (Fail { line; message })
+
+type header = {
+  mutable name : string option;
+  mutable target : Gat_arch.Compute_capability.t option;
+  mutable regs : int;
+  mutable smem_static : int;
+  mutable smem_dynamic : int;
+}
+
+(* A block under construction. *)
+type building = {
+  label : string;
+  weight : Weight.t;
+  active_frac : float;
+  mutable body_rev : Instruction.t list;
+  mutable term : Basic_block.terminator option;
+}
+
+let parse_label_line lineno line =
+  (* "LABEL: ; weight=c0,c1,c2 active=f" *)
+  match String.index_opt line ':' with
+  | None -> fail lineno "expected ':' in label line"
+  | Some colon ->
+      let label = String.trim (String.sub line 0 colon) in
+      if label = "" then fail lineno "empty label";
+      let rest = String.sub line (colon + 1) (String.length line - colon - 1) in
+      let weight = ref Weight.one and active = ref 1.0 in
+      (match String.index_opt rest ';' with
+      | None -> ()
+      | Some semi ->
+          let annot =
+            String.sub rest (semi + 1) (String.length rest - semi - 1)
+          in
+          String.split_on_char ' ' annot
+          |> List.iter (fun tok ->
+                 let tok = String.trim tok in
+                 if tok = "" then ()
+                 else
+                   match String.index_opt tok '=' with
+                   | None -> fail lineno ("bad annotation: " ^ tok)
+                   | Some eq -> (
+                       let key = String.sub tok 0 eq in
+                       let value =
+                         String.sub tok (eq + 1) (String.length tok - eq - 1)
+                       in
+                       match key with
+                       | "weight" -> (
+                           match Weight.of_string value with
+                           | Some w -> weight := w
+                           | None -> fail lineno ("bad weight: " ^ value))
+                       | "active" -> (
+                           match float_of_string_opt value with
+                           | Some f -> active := f
+                           | None -> fail lineno ("bad active fraction: " ^ value))
+                       | _ -> fail lineno ("unknown annotation: " ^ key))));
+      { label; weight = !weight; active_frac = !active; body_rev = []; term = None }
+
+(* Terminator lines: "BRA l" / "@P0 BRA t else f" / "EXIT". *)
+let parse_terminator line =
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "EXIT" ] -> Some Basic_block.Exit
+  | [ "BRA"; target ] -> Some (Basic_block.Jump target)
+  | [ guard; "BRA"; if_true; "else"; if_false ]
+    when String.length guard > 1 && guard.[0] = '@' -> (
+      let tag = String.sub guard 1 (String.length guard - 1) in
+      let negated = tag.[0] = '!' in
+      let reg_str = if negated then String.sub tag 1 (String.length tag - 1) else tag in
+      match Register.of_string reg_str with
+      | Some reg ->
+          Some
+            (Basic_block.Cond_branch
+               { pred = { Instruction.negated; reg }; if_true; if_false })
+      | None -> None)
+  | _ -> None
+
+let finish_block lineno (b : building) =
+  match b.term with
+  | None -> fail lineno ("block " ^ b.label ^ " has no terminator")
+  | Some term ->
+      Basic_block.make ~weight:b.weight ~active_frac:b.active_frac b.label
+        (List.rev b.body_rev) term
+
+(* A label line is "IDENT:" possibly followed by an annotation comment;
+   the text before the first ':' must be a bare identifier (instruction
+   lines with ':' only have it inside '[space:reg]' memory operands). *)
+let is_label_line line =
+  match String.index_opt line ':' with
+  | None -> false
+  | Some colon ->
+      colon > 0
+      && (let ident = String.sub line 0 colon in
+          String.for_all
+            (fun c ->
+              (c >= 'A' && c <= 'Z')
+              || (c >= 'a' && c <= 'z')
+              || (c >= '0' && c <= '9')
+              || c = '_')
+            ident)
+
+let program text =
+  let header =
+    { name = None; target = None; regs = 0; smem_static = 0; smem_dynamic = 0 }
+  in
+  let blocks_rev = ref [] in
+  let current = ref None in
+  let handle_directive lineno line =
+    let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+    let int_arg v = match int_of_string_opt v with
+      | Some i -> i
+      | None -> fail lineno ("bad integer: " ^ v)
+    in
+    match words with
+    | [ ".kernel"; name ] -> header.name <- Some name
+    | [ ".target"; tgt ] -> (
+        match Gat_arch.Compute_capability.of_string tgt with
+        | Some cc -> header.target <- Some cc
+        | None -> fail lineno ("unknown target: " ^ tgt))
+    | [ ".regs"; v ] -> header.regs <- int_arg v
+    | [ ".smem.static"; v ] -> header.smem_static <- int_arg v
+    | [ ".smem.dynamic"; v ] -> header.smem_dynamic <- int_arg v
+    | _ -> fail lineno ("unknown directive: " ^ line)
+  in
+  let handle_line lineno raw =
+    let line = String.trim raw in
+    if line = "" then ()
+    else if line.[0] = '.' then handle_directive lineno line
+    else if is_label_line line then begin
+      (match !current with
+      | Some b -> blocks_rev := finish_block lineno b :: !blocks_rev
+      | None -> ());
+      current := Some (parse_label_line lineno line)
+    end
+    else begin
+      match !current with
+      | None -> fail lineno "instruction before first label"
+      | Some b -> (
+          if b.term <> None then fail lineno "instruction after terminator";
+          match parse_terminator line with
+          | Some term -> b.term <- Some term
+          | None -> (
+              match Instruction.of_string line with
+              | Some ins -> b.body_rev <- ins :: b.body_rev
+              | None -> fail lineno ("cannot parse instruction: " ^ line)))
+    end
+  in
+  try
+    let lines = String.split_on_char '\n' text in
+    List.iteri (fun i l -> handle_line (i + 1) l) lines;
+    let last_line = List.length lines in
+    (match !current with
+    | Some b -> blocks_rev := finish_block last_line b :: !blocks_rev
+    | None -> ());
+    let name =
+      match header.name with
+      | Some n -> n
+      | None -> fail 1 "missing .kernel directive"
+    in
+    let target =
+      match header.target with
+      | Some t -> t
+      | None -> fail 1 "missing .target directive"
+    in
+    let blocks = List.rev !blocks_rev in
+    if blocks = [] then fail last_line "no blocks";
+    Ok
+      (Program.make ~name ~target ~regs_per_thread:header.regs
+         ~smem_static:header.smem_static ~smem_dynamic:header.smem_dynamic
+         blocks)
+  with
+  | Fail e -> Error e
+  | Invalid_argument msg -> Error { line = 0; message = msg }
+
+let program_exn text =
+  match program text with
+  | Ok p -> p
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,15 @@
+(** Parser for the {!Disasm} listing format.
+
+    [program (Disasm.program p) = Ok p'] with [p'] structurally equal to
+    [p]; this round-trip is enforced by property tests. *)
+
+type error = { line : int; message : string }
+(** Parse failure at a 1-based line number. *)
+
+val error_to_string : error -> string
+
+val program : string -> (Program.t, error) result
+(** Parse a full listing. *)
+
+val program_exn : string -> Program.t
+(** Like {!program} but raises [Failure] with the rendered error. *)

@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  target : Gat_arch.Compute_capability.t;
+  entry : string;
+  blocks : Basic_block.t list;
+  regs_per_thread : int;
+  smem_static : int;
+  smem_dynamic : int;
+}
+
+let validate blocks =
+  if blocks = [] then invalid_arg "Program.make: no blocks";
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Basic_block.t) ->
+      if Hashtbl.mem labels b.Basic_block.label then
+        invalid_arg ("Program.make: duplicate label " ^ b.Basic_block.label);
+      Hashtbl.replace labels b.Basic_block.label ())
+    blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun target ->
+          if not (Hashtbl.mem labels target) then
+            invalid_arg ("Program.make: undefined branch target " ^ target))
+        (Basic_block.successors b))
+    blocks
+
+let make ~name ~target ?(regs_per_thread = 0) ?(smem_static = 0)
+    ?(smem_dynamic = 0) blocks =
+  validate blocks;
+  let entry = (List.hd blocks).Basic_block.label in
+  { name; target; entry; blocks; regs_per_thread; smem_static; smem_dynamic }
+
+let smem_per_block t = t.smem_static + t.smem_dynamic
+
+let find_block t label =
+  List.find (fun b -> b.Basic_block.label = label) t.blocks
+
+let block_labels t = List.map (fun b -> b.Basic_block.label) t.blocks
+
+let iter_instructions t f =
+  List.iter
+    (fun b ->
+      List.iter (f b) b.Basic_block.body;
+      f b (Basic_block.terminator_instruction b))
+    t.blocks
+
+let instruction_count t =
+  List.fold_left (fun acc b -> acc + Basic_block.instruction_count b) 0 t.blocks
+
+let max_virtual_register t =
+  let best = ref (-1) in
+  let consider (r : Register.t) =
+    if r.Register.cls = Register.Gpr then best := max !best r.Register.id
+  in
+  iter_instructions t (fun _ ins ->
+      List.iter consider (Instruction.defs ins);
+      List.iter consider (Instruction.uses ins));
+  !best

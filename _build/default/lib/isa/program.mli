@@ -1,0 +1,44 @@
+(** A compiled kernel: basic blocks plus the resource metadata that the
+    static analyzer reads from the ptxas compile log (registers per
+    thread, static/dynamic shared memory per block). *)
+
+type t = {
+  name : string;
+  target : Gat_arch.Compute_capability.t;  (** [-arch=sm_xx] target. *)
+  entry : string;  (** Label of the entry block. *)
+  blocks : Basic_block.t list;  (** In layout order, entry first. *)
+  regs_per_thread : int;  (** Allocated registers per thread. *)
+  smem_static : int;  (** Static shared memory per block (bytes). *)
+  smem_dynamic : int;  (** Dynamic shared memory per block (bytes). *)
+}
+
+val make :
+  name:string ->
+  target:Gat_arch.Compute_capability.t ->
+  ?regs_per_thread:int ->
+  ?smem_static:int ->
+  ?smem_dynamic:int ->
+  Basic_block.t list ->
+  t
+(** Builds a program whose entry is the first block.  Validates that
+    block labels are unique and every branch target exists; raises
+    [Invalid_argument] otherwise. *)
+
+val smem_per_block : t -> int
+(** Static plus dynamic shared memory. *)
+
+val find_block : t -> string -> Basic_block.t
+(** Raises [Not_found] for an unknown label. *)
+
+val block_labels : t -> string list
+
+val iter_instructions : t -> (Basic_block.t -> Instruction.t -> unit) -> unit
+(** Visit every body instruction and each block's terminator
+    instruction, block by block in layout order. *)
+
+val instruction_count : t -> int
+(** Total static instructions, terminators included. *)
+
+val max_virtual_register : t -> int
+(** Largest GPR id mentioned (or -1 if none); used by the register
+    allocator to size its tables. *)

@@ -1,0 +1,1 @@
+lib/report/ablation.ml: Array Buffer Context Float Gat_arch Gat_compiler Gat_core Gat_ir Gat_tuner Gat_util List Printf

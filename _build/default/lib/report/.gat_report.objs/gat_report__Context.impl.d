@@ -1,0 +1,1 @@
+lib/report/context.ml: Gat_arch Gat_tuner Gat_workloads List

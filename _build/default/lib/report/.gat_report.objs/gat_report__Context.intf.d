@@ -1,0 +1,1 @@
+lib/report/context.mli: Gat_arch Gat_ir Gat_tuner

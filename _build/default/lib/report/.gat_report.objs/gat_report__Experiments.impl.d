@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Ablation Fig1 Fig4 Fig5 Fig6 Fig7 List Printf String Table1 Table2 Table34 Table5 Table6 Table7

@@ -1,0 +1,1 @@
+lib/report/fig1.ml: Gat_arch Gat_compiler Gat_ir Gat_sim Gat_util Kernel List Printf Stmt

@@ -1,0 +1,1 @@
+lib/report/fig4.ml: Buffer Context Gat_arch Gat_ir Gat_tuner Gat_util List Printf

@@ -1,0 +1,1 @@
+lib/report/fig4.mli: Gat_arch Gat_ir Gat_util

@@ -1,0 +1,1 @@
+lib/report/fig5.ml: Array Context Gat_arch Gat_compiler Gat_core Gat_ir Gat_tuner Gat_util List Printf

@@ -1,0 +1,1 @@
+lib/report/fig6.ml: Context Float Gat_arch Gat_ir Gat_tuner Gat_util List Printf

@@ -1,0 +1,1 @@
+lib/report/fig7.ml: Buffer Gat_arch Gat_compiler Gat_core Gat_ir Gat_workloads List Option Printf

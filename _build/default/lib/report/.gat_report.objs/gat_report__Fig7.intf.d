@@ -1,0 +1,1 @@
+lib/report/fig7.mli: Gat_arch Gat_ir

@@ -1,0 +1,1 @@
+lib/report/table1.ml: Compute_capability Context Gat_arch Gat_util Gpu List Printf

@@ -1,0 +1,1 @@
+lib/report/table2.ml: Compute_capability Gat_arch Gat_util List Printf Throughput

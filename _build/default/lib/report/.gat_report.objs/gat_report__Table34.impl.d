@@ -1,0 +1,1 @@
+lib/report/table34.ml: Context Gat_ir Gat_tuner Gat_util List Option String

@@ -1,0 +1,1 @@
+lib/report/table5.ml: Context Gat_arch Gat_ir Gat_tuner Gat_util List Printf

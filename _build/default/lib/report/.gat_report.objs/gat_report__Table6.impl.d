@@ -1,0 +1,1 @@
+lib/report/table6.ml: Context Gat_arch Gat_compiler Gat_core Gat_ir Gat_sim Gat_util Gat_workloads List Printf

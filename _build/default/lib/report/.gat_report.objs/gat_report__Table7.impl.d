@@ -1,0 +1,1 @@
+lib/report/table7.ml: Context Gat_arch Gat_compiler Gat_core Gat_ir Gat_util List Printf String

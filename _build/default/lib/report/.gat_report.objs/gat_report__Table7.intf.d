@@ -1,0 +1,1 @@
+lib/report/table7.mli: Gat_core

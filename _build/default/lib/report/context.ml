@@ -1,0 +1,24 @@
+let seed = 42
+let gpus = Gat_arch.Gpu.all
+let kernels = Gat_workloads.Workloads.all
+let eval_size kernel = Gat_workloads.Workloads.default_size kernel
+
+let sweep kernel gpu =
+  Gat_tuner.Tuner.sweep kernel gpu ~n:(eval_size kernel) ~seed
+
+let ranking kernel gpu = Gat_tuner.Ranking.split (sweep kernel gpu)
+
+let sweeps kernel gpu =
+  List.map
+    (fun n -> (n, Gat_tuner.Tuner.sweep kernel gpu ~n ~seed))
+    (Gat_workloads.Workloads.input_sizes kernel)
+
+let pooled_ranking kernel gpu =
+  let rankings =
+    List.map (fun (_, vs) -> Gat_tuner.Ranking.split vs) (sweeps kernel gpu)
+  in
+  {
+    Gat_tuner.Ranking.rank1 =
+      List.concat_map (fun r -> r.Gat_tuner.Ranking.rank1) rankings;
+    rank2 = List.concat_map (fun r -> r.Gat_tuner.Ranking.rank2) rankings;
+  }

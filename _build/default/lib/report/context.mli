@@ -1,0 +1,32 @@
+(** Shared experiment configuration: which devices, kernels, sizes and
+    seed every report uses, so the whole evaluation is reproducible from
+    one number. *)
+
+val seed : int
+(** 42. *)
+
+val gpus : Gat_arch.Gpu.t list
+(** The Table I testbed. *)
+
+val kernels : Gat_ir.Kernel.t list
+(** The Table IV kernels. *)
+
+val eval_size : Gat_ir.Kernel.t -> int
+(** Problem size used for the sweep-based experiments: the middle of
+    the paper's five input sizes. *)
+
+val sweep : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Variant.t list
+(** The exhaustive 5,120-variant evaluation for a kernel/device pair
+    at {!eval_size} (process-cached). *)
+
+val ranking : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Ranking.t
+(** The sweep split at the 50th percentile. *)
+
+val sweeps :
+  Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> (int * Gat_tuner.Variant.t list) list
+(** One exhaustive sweep per paper input size (process-cached). *)
+
+val pooled_ranking : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Ranking.t
+(** Rank variants within each input size, then pool the rank-1 and
+    rank-2 halves across sizes — the population behind the paper's
+    Fig. 4 histograms and Table V statistics. *)

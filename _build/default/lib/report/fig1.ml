@@ -1,0 +1,84 @@
+open Gat_ir
+open Gat_ir.Expr
+
+type point = {
+  active_lanes : int;
+  time_ms : float;
+  slowdown : float;
+  lane_utilization : float;
+}
+
+(* A kernel whose warps diverge: lanes with (p mod 32) < active take an
+   expensive path, the rest a cheap one.  Both paths do arithmetic on
+   the same data so the only variable is the mask. *)
+let divergent_kernel ~active =
+  let lane = var "p" - (var "p" / int 32 * int 32) in
+  let work e = Un (Sqrt, (e * e) + float 1.0) in
+  Kernel.make
+    ~name:(Printf.sprintf "diverge%d" active)
+    ~description:"synthetic branch-divergence microbenchmark"
+    ~arrays:[ Kernel.array_decl "a" 1; Kernel.array_decl "b" 1 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "p" (int 0) Size
+        [
+          Stmt.Assign ("lane", lane);
+          Stmt.If
+            ( Cmp (Lt, var "lane", int active),
+              [
+                Stmt.Assign ("v", work (read "a" [ var "p" ]));
+                Stmt.Assign ("v", work (work (var "v")));
+                Stmt.Store ("b", [ var "p" ], var "v");
+              ],
+              [ Stmt.Store ("b", [ var "p" ], read "a" [ var "p" ]) ] );
+        ];
+    ]
+
+let lane_counts = [ 32; 16; 8; 4; 2; 1 ]
+
+let study ?(gpu = Gat_arch.Gpu.k20) ?(n = 65536) () =
+  let time active =
+    let kernel = divergent_kernel ~active in
+    let params =
+      Gat_compiler.Params.make ~threads_per_block:256 ~block_count:128 ()
+    in
+    let compiled = Gat_compiler.Driver.compile_exn kernel gpu params in
+    Gat_sim.Engine.run compiled ~n
+  in
+  let base = (time 32).Gat_sim.Engine.time_ms in
+  List.map
+    (fun active ->
+      let r = time active in
+      (* Cost per hot-path element: fewer active lanes produce
+         proportionally less useful work for nearly the same time —
+         the serialization loss of Fig. 1 (up to 32x). *)
+      let per_element =
+        r.Gat_sim.Engine.time_ms /. base *. (32.0 /. float_of_int active)
+      in
+      {
+        active_lanes = active;
+        time_ms = r.Gat_sim.Engine.time_ms;
+        slowdown = per_element;
+        lane_utilization = r.Gat_sim.Engine.lane_utilization;
+      })
+    lane_counts
+
+let render () =
+  let points = study () in
+  let t =
+    Gat_util.Table.create
+      ~title:
+        "Fig. 1. Branch divergence: performance loss as fewer lanes per\n\
+         warp take the hot path (both sides of the branch are issued)."
+      [ "Active lanes/warp"; "Time (ms)"; "Cost/hot element"; "Lane utilization" ]
+  in
+  List.iter
+    (fun p ->
+      Gat_util.Table.add_row t
+        [
+          string_of_int p.active_lanes;
+          Printf.sprintf "%.4f" p.time_ms;
+          Printf.sprintf "%.2fx" p.slowdown;
+          Printf.sprintf "%.2f" p.lane_utilization;
+        ])
+    points;
+  Gat_util.Table.render t

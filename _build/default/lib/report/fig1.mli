@@ -1,0 +1,23 @@
+(** Paper Fig. 1: the branch-divergence problem and the performance
+    loss it incurs.
+
+    We build a family of synthetic kernels whose only difference is the
+    fraction of lanes per warp taking a divergent branch (32/32 active
+    down to 1/32), run them on the simulator and report the slowdown
+    relative to the uniform kernel — the lock-step serialization cost
+    the figure illustrates. *)
+
+type point = {
+  active_lanes : int;  (** Lanes taking the hot path per warp. *)
+  time_ms : float;
+  slowdown : float;
+      (** Relative cost per hot-path element vs the uniform kernel —
+          fewer active lanes do proportionally less useful work in
+          nearly the same time (up to 32x loss). *)
+  lane_utilization : float;  (** Issue-weighted active-lane fraction. *)
+}
+
+val study : ?gpu:Gat_arch.Gpu.t -> ?n:int -> unit -> point list
+(** One point per active-lane count in {32, 16, 8, 4, 2, 1}. *)
+
+val render : unit -> string

@@ -1,0 +1,50 @@
+let histogram kernel gpu =
+  let ranking = Context.pooled_ranking kernel gpu in
+  let hist vs =
+    Gat_util.Histogram.create ~lo:0.0 ~hi:1056.0 ~bins:33
+      (Gat_tuner.Ranking.thread_counts vs)
+  in
+  (hist ranking.Gat_tuner.Ranking.rank1, hist ranking.Gat_tuner.Ranking.rank2)
+
+(* Quartiles give a compact textual stand-in for the histogram shape. *)
+let quartiles vs =
+  let tcs = Gat_tuner.Ranking.thread_counts vs in
+  Gat_util.Stats.quartiles tcs
+
+let render_one kernel gpu =
+  let ranking = Context.pooled_ranking kernel gpu in
+  let h1, h2 = histogram kernel gpu in
+  let q1a, q1b, q1c = quartiles ranking.Gat_tuner.Ranking.rank1 in
+  let q2a, q2b, q2c = quartiles ranking.Gat_tuner.Ranking.rank2 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "kernel=%s arch=%s\n" kernel.Gat_ir.Kernel.name
+       (Gat_arch.Gpu.family gpu));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  rank 1 (good) thread quartiles: %.0f / %.0f / %.0f\n"
+       q1a q1b q1c);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  rank 2 (poor) thread quartiles: %.0f / %.0f / %.0f\n"
+       q2a q2b q2c);
+  Buffer.add_string buf "  rank 1 thread-count histogram:\n";
+  Buffer.add_string buf (Gat_util.Histogram.render ~width:30 h1);
+  Buffer.add_string buf "  rank 2 thread-count histogram:\n";
+  Buffer.add_string buf (Gat_util.Histogram.render ~width:30 h2);
+  Buffer.contents buf
+
+let render () =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    "Fig. 4. Thread counts for Orio autotuning exhaustive search,\n\
+     comparing architectures and kernels.\n\n";
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun gpu ->
+          Buffer.add_string buf (render_one kernel gpu);
+          Buffer.add_char buf '\n')
+        Context.gpus)
+    Context.kernels;
+  Buffer.contents buf

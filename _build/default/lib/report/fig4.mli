@@ -1,0 +1,12 @@
+(** Paper Fig. 4: thread-count histograms of the exhaustive autotuning,
+    split by rank (good vs poor performers), per kernel and device. *)
+
+val histogram :
+  Gat_ir.Kernel.t -> Gat_arch.Gpu.t ->
+  Gat_util.Histogram.t * Gat_util.Histogram.t
+(** (rank 1, rank 2) thread-count histograms, 32-wide bins over
+    [\[0, 1024\]]. *)
+
+val render_one : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> string
+val render : unit -> string
+(** All kernel x device panels. *)

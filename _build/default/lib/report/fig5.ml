@@ -1,0 +1,49 @@
+type cell = { kernel : string; family : string; mae : float }
+
+let cell kernel gpu =
+  let variants = Context.sweep kernel gpu in
+  let predicted =
+    Array.of_list
+      (List.map
+         (fun (v : Gat_tuner.Variant.t) ->
+           (* Eq. 6 on the whole grid's estimated work: the per-thread
+              mix scaled by the launched thread count. *)
+           let mix =
+             Gat_core.Imix.scale
+               (float_of_int
+                  (Gat_compiler.Params.total_threads v.Gat_tuner.Variant.params))
+               v.Gat_tuner.Variant.est_mix
+           in
+           Gat_core.Predict.cost gpu mix)
+         variants)
+  in
+  let measured =
+    Array.of_list
+      (List.map (fun (v : Gat_tuner.Variant.t) -> v.Gat_tuner.Variant.time_ms) variants)
+  in
+  {
+    kernel = kernel.Gat_ir.Kernel.name;
+    family = Gat_arch.Gpu.family gpu;
+    mae = Gat_core.Predict.normalized_error ~predicted ~measured;
+  }
+
+let cells () =
+  List.concat_map
+    (fun kernel -> List.map (cell kernel) Context.gpus)
+    Context.kernels
+
+let render () =
+  let t =
+    Gat_util.Table.create
+      ~title:
+        "Fig. 5. Execution time from static instruction mixes: mean\n\
+         absolute error of the normalized Eq. 6 estimate vs the\n\
+         normalized measured time, per kernel and architecture."
+      [ "Kernel"; "Arch"; "MAE" ]
+  in
+  List.iter
+    (fun c ->
+      Gat_util.Table.add_row t
+        [ c.kernel; c.family; Printf.sprintf "%.4f" c.mae ])
+    (cells ());
+  Gat_util.Table.render t

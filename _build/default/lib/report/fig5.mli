@@ -1,0 +1,13 @@
+(** Paper Fig. 5: predicting execution time from static instruction
+    mixes (Eq. 6).
+
+    For every variant of the exhaustive sweep, the Eq. 6 cost of its
+    statically estimated dynamic mix is compared against the measured
+    time: both series are normalized to [0,1], ordered by measured
+    time, and the mean absolute error is reported per kernel and
+    architecture. *)
+
+type cell = { kernel : string; family : string; mae : float }
+
+val cells : unit -> cell list
+val render : unit -> string

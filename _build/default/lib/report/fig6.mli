@@ -1,0 +1,21 @@
+(** Paper Fig. 6: improved search time over exhaustive autotuning.
+
+    The pruned searches evaluate a fraction of the 5,120-variant space;
+    the improvement is the fraction of evaluations (equivalently,
+    empirical trials) avoided.  The quality column checks how close the
+    pruned search's best variant is to the true optimum found by the
+    exhaustive baseline. *)
+
+type row = {
+  kernel : string;
+  family : string;
+  static_improvement : float;  (** Fraction of space avoided, static. *)
+  rule_improvement : float;  (** Fraction avoided, static + rules. *)
+  static_quality : float;
+      (** Best time found by static search / exhaustive best (1.0 =
+          found the optimum; ties within noise can dip below 1). *)
+  rule_quality : float;
+}
+
+val rows : unit -> row list
+val render : unit -> string

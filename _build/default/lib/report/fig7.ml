@@ -1,0 +1,60 @@
+let render ?kernel ?gpu () =
+  let kernel = Option.value ~default:Gat_workloads.Workloads.atax kernel in
+  let gpu = Option.value ~default:Gat_arch.Gpu.k20 gpu in
+  let compiled =
+    Gat_compiler.Driver.compile_exn kernel gpu Gat_compiler.Params.default
+  in
+  let log = compiled.Gat_compiler.Driver.log in
+  let ru = log.Gat_compiler.Ptxas_info.registers in
+  let su =
+    log.Gat_compiler.Ptxas_info.smem_static
+    + log.Gat_compiler.Ptxas_info.smem_dynamic
+  in
+  let tc =
+    compiled.Gat_compiler.Driver.params.Gat_compiler.Params.threads_per_block
+  in
+  let suggestion =
+    Gat_core.Suggest.suggest gpu ~regs_per_thread:ru ~smem_per_block:su
+  in
+  let optimized_tc =
+    match suggestion.Gat_core.Suggest.threads with t :: _ -> t | [] -> tc
+  in
+  let optimized_ru = ru + suggestion.Gat_core.Suggest.reg_headroom in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Fig. 7. Occupancy calculator for %s on %s: thread, register and\n\
+        shared-memory impact for the current (top) and potential (bottom)\n\
+        configurations.\n\n"
+       kernel.Gat_ir.Kernel.name (Gat_arch.Gpu.family gpu));
+  let panel ~tag ~tc ~ru =
+    Buffer.add_string buf
+      (Printf.sprintf "[%s] TC=%d Ru=%d Su=%d\n" tag tc ru su);
+    Buffer.add_string buf
+      (Gat_core.Occupancy_curves.render
+         ~title:"occupancy vs block size (threads)" ~marker:tc
+         (Gat_core.Occupancy_curves.vs_threads gpu ~regs_per_thread:ru
+            ~smem_per_block:su));
+    Buffer.add_string buf
+      (Gat_core.Occupancy_curves.render
+         ~title:"occupancy vs registers per thread" ~marker:ru
+         (List.filter
+            (fun (p : Gat_core.Occupancy_curves.point) ->
+              p.Gat_core.Occupancy_curves.x mod 4 = 0
+              || p.Gat_core.Occupancy_curves.x = ru)
+            (Gat_core.Occupancy_curves.vs_registers gpu ~threads_per_block:tc
+               ~smem_per_block:su)));
+    Buffer.add_string buf
+      (Gat_core.Occupancy_curves.render
+         ~title:"occupancy vs shared memory per block (bytes)"
+         ~marker:(su / 512 * 512)
+         (List.filter
+            (fun (p : Gat_core.Occupancy_curves.point) ->
+              p.Gat_core.Occupancy_curves.x mod 4096 = 0)
+            (Gat_core.Occupancy_curves.vs_smem gpu ~threads_per_block:tc
+               ~regs_per_thread:ru)));
+    Buffer.add_char buf '\n'
+  in
+  panel ~tag:"current" ~tc ~ru;
+  panel ~tag:"potential" ~tc:optimized_tc ~ru:optimized_ru;
+  Buffer.contents buf

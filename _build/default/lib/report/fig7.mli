@@ -1,0 +1,7 @@
+(** Paper Fig. 7: the occupancy calculator's impact graphs for the ATAX
+    kernel — occupancy vs block size, registers per thread and shared
+    memory per block — for the current configuration and the
+    potentially optimized one (registers grown into the suggested
+    headroom). *)
+
+val render : ?kernel:Gat_ir.Kernel.t -> ?gpu:Gat_arch.Gpu.t -> unit -> string

@@ -1,0 +1,30 @@
+open Gat_arch
+
+let render () =
+  let t =
+    Gat_util.Table.create ~title:"Table I. GPUs used in this experiment."
+      ("Parameter" :: List.map (fun g -> g.Gpu.name) Context.gpus)
+  in
+  let row name f = Gat_util.Table.add_row t (name :: List.map f Context.gpus) in
+  row "CUDA capability (cc)" (fun g ->
+      Printf.sprintf "%g" (Compute_capability.version g.Gpu.cc));
+  row "Global mem (MB)" (fun g -> string_of_int g.Gpu.global_mem_mb);
+  row "Multiprocessors (mp)" (fun g -> string_of_int g.Gpu.multiprocessors);
+  row "CUDA cores / mp" (fun g -> string_of_int g.Gpu.cores_per_mp);
+  row "CUDA cores" (fun g -> string_of_int (Gpu.cuda_cores g));
+  row "GPU clock (MHz)" (fun g -> string_of_int g.Gpu.gpu_clock_mhz);
+  row "Mem clock (MHz)" (fun g -> string_of_int g.Gpu.mem_clock_mhz);
+  row "L2 cache (KB)" (fun g -> string_of_int g.Gpu.l2_cache_kb);
+  row "Constant mem (B)" (fun g -> string_of_int g.Gpu.const_mem_bytes);
+  row "Sh mem / block (B)" (fun g -> string_of_int g.Gpu.smem_per_block);
+  row "Regs per block (Rfs)" (fun g -> string_of_int g.Gpu.reg_file_size);
+  row "Warp size (WB)" (fun g -> string_of_int g.Gpu.warp_size);
+  row "Threads per mp" (fun g -> string_of_int g.Gpu.threads_per_mp);
+  row "Threads per block" (fun g -> string_of_int g.Gpu.threads_per_block);
+  row "Thread blocks / mp" (fun g -> string_of_int g.Gpu.blocks_per_mp);
+  row "Threads per warp" (fun g -> string_of_int g.Gpu.threads_per_warp);
+  row "Warps per mp" (fun g -> string_of_int g.Gpu.warps_per_mp);
+  row "Reg alloc size (RB)" (fun g -> string_of_int g.Gpu.reg_alloc_unit);
+  row "Regs per thread (RT)" (fun g -> string_of_int g.Gpu.regs_per_thread);
+  row "Family" Gpu.family;
+  Gat_util.Table.render t

@@ -1,0 +1,3 @@
+(** Paper Table I: GPUs used in the experiments. *)
+
+val render : unit -> string

@@ -1,0 +1,24 @@
+open Gat_arch
+
+let render () =
+  let ccs = Compute_capability.all in
+  let t =
+    Gat_util.Table.create
+      ~title:"Table II. Instruction throughput per number of cycles."
+      ([ "Category"; "Op" ]
+      @ List.map
+          (fun cc -> "SM" ^ Printf.sprintf "%.0f" (Compute_capability.version cc *. 10.))
+          ccs)
+  in
+  List.iter
+    (fun cat ->
+      Gat_util.Table.add_row t
+        ([
+           Throughput.category_name cat;
+           Throughput.klass_name (Throughput.klass_of_category cat);
+         ]
+        @ List.map
+            (fun cc -> Printf.sprintf "%.0f" (Throughput.ipc cc cat))
+            ccs))
+    Throughput.all_categories;
+  Gat_util.Table.render t

@@ -1,0 +1,4 @@
+(** Paper Table II: instruction throughput (IPC) per category and
+    compute capability. *)
+
+val render : unit -> string

@@ -1,0 +1,56 @@
+let render_table3 () =
+  let spec = Gat_ir.Tuning_spec.table_iii in
+  let t =
+    Gat_util.Table.create
+      ~title:
+        "Table III. Features used for thread block classification."
+      [ "Feature"; "Values"; "Count" ]
+  in
+  List.iter
+    (fun (p : Gat_ir.Tuning_spec.param) ->
+      let values = List.map Gat_ir.Tuning_spec.value_to_string p.Gat_ir.Tuning_spec.values in
+      let shown =
+        if List.length values > 8 then
+          String.concat ", " (List.filteri (fun i _ -> i < 4) values)
+          ^ ", ..., "
+          ^ List.nth values (List.length values - 1)
+        else String.concat ", " values
+      in
+      Gat_util.Table.add_row t
+        [ p.Gat_ir.Tuning_spec.pname; shown; string_of_int (List.length values) ])
+    spec.Gat_ir.Tuning_spec.params;
+  Gat_util.Table.add_row t
+    [
+      "(paper space)";
+      "SC pinned to 1";
+      string_of_int (Gat_tuner.Space.cardinality Gat_tuner.Space.paper);
+    ];
+  Gat_util.Table.render t
+
+let render_fig3 () =
+  "Fig. 3. Performance tuning specification in Orio.\n"
+  ^ Gat_ir.Tuning_spec.to_string Gat_ir.Tuning_spec.table_iii
+
+let categories =
+  [
+    ("atax", ("Elementary linear algebra", "y = A^T (Ax)"));
+    ("bicg", ("Linear solvers", "q = Ap, s = A^T r"));
+    ("ex14fj", ("3-D Jacobi computation", "F(x) = A(x)x - b = 0"));
+    ("matvec2d", ("Elementary linear algebra", "y = Ax"));
+  ]
+
+let render_table4 () =
+  let t =
+    Gat_util.Table.create ~title:"Table IV. Kernel specifications."
+      [ "Kernel"; "Category"; "Description"; "Operation" ]
+  in
+  List.iter
+    (fun (k : Gat_ir.Kernel.t) ->
+      let category, operation =
+        Option.value ~default:("", "")
+          (List.assoc_opt k.Gat_ir.Kernel.name categories)
+      in
+      Gat_util.Table.add_row t
+        [ k.Gat_ir.Kernel.name; category; k.Gat_ir.Kernel.description; operation ])
+    Context.kernels;
+  Gat_util.Table.render t

@@ -1,0 +1,11 @@
+(** Paper Table III (feature space), Fig. 3 (the Orio tuning spec) and
+    Table IV (kernel specifications). *)
+
+val render_table3 : unit -> string
+(** Feature axes and their sizes. *)
+
+val render_fig3 : unit -> string
+(** The PerfTuning annotation, round-tripped through the parser. *)
+
+val render_table4 : unit -> string
+(** Kernel name, category, description and source form. *)

@@ -1,0 +1,87 @@
+type row = {
+  kernel : string;
+  family : string;
+  rank : int;
+  occ_mean : float;
+  occ_std : float;
+  occ_mode : float;
+  reg_mean : float;
+  reg_std : float;
+  allocated : int;
+  t25 : float;
+  t50 : float;
+  t75 : float;
+}
+
+let row_of kernel gpu rank variants =
+  let occ = Gat_tuner.Ranking.occupancies variants in
+  let regs = Gat_tuner.Ranking.register_instruction_counts variants in
+  let tcs = Gat_tuner.Ranking.thread_counts variants in
+  let t25, t50, t75 = Gat_util.Stats.quartiles tcs in
+  {
+    kernel = kernel.Gat_ir.Kernel.name;
+    family = Gat_arch.Gpu.family gpu;
+    rank;
+    occ_mean = Gat_util.Stats.mean occ;
+    occ_std = Gat_util.Stats.std occ;
+    occ_mode = Gat_util.Stats.mode occ;
+    reg_mean = Gat_util.Stats.mean regs;
+    reg_std = Gat_util.Stats.std regs;
+    allocated = Gat_tuner.Ranking.registers_allocated variants;
+    t25;
+    t50;
+    t75;
+  }
+
+let rows () =
+  let per_rank rank =
+    List.concat_map
+      (fun kernel ->
+        List.map
+          (fun gpu ->
+            let ranking = Context.pooled_ranking kernel gpu in
+            let variants =
+              if rank = 1 then ranking.Gat_tuner.Ranking.rank1
+              else ranking.Gat_tuner.Ranking.rank2
+            in
+            row_of kernel gpu rank variants)
+          Context.gpus)
+      Context.kernels
+  in
+  per_rank 1 @ per_rank 2
+
+let render () =
+  let t =
+    Gat_util.Table.create
+      ~title:
+        "Table V. Statistics for autotuned kernels: top performers (rank 1,\n\
+         upper half) and poor performers (rank 2, lower half)."
+      [
+        "Kernel"; "Arch"; "Rank"; "Occ mean"; "Occ std"; "Occ mode";
+        "RegIns mean"; "RegIns std"; "Alloc"; "T 25th"; "T 50th"; "T 75th";
+      ]
+  in
+  let last_rank = ref 1 in
+  List.iter
+    (fun r ->
+      if r.rank <> !last_rank then begin
+        Gat_util.Table.add_sep t;
+        last_rank := r.rank
+      end;
+      Gat_util.Table.add_row t
+        [
+          r.kernel;
+          r.family;
+          string_of_int r.rank;
+          Printf.sprintf "%.2f" r.occ_mean;
+          Printf.sprintf "%.2f" r.occ_std;
+          Printf.sprintf "%.2f" r.occ_mode;
+          Printf.sprintf "%.1f" r.reg_mean;
+          Printf.sprintf "%.1f" r.reg_std;
+          string_of_int r.allocated;
+          Printf.sprintf "%.0f" r.t25;
+          Printf.sprintf "%.0f" r.t50;
+          Printf.sprintf "%.0f" r.t75;
+        ])
+    (rows ());
+  Gat_util.Table.render t

@@ -1,0 +1,25 @@
+(** Paper Table V: statistics for autotuned kernels — occupancy
+    (mean/std/mode), dynamic register-operand traffic (mean/std),
+    allocated registers, and thread-count quartiles — for good (rank 1)
+    and poor (rank 2) performers, per kernel and architecture. *)
+
+type row = {
+  kernel : string;
+  family : string;
+  rank : int;
+  occ_mean : float;
+  occ_std : float;
+  occ_mode : float;
+  reg_mean : float;
+  reg_std : float;
+  allocated : int;
+  t25 : float;
+  t50 : float;
+  t75 : float;
+}
+
+val rows : unit -> row list
+(** Rank-1 rows for all kernels/devices, then rank-2 rows (the paper's
+    top/bottom halves). *)
+
+val render : unit -> string

@@ -1,0 +1,76 @@
+type row = {
+  kernel : string;
+  family : string;
+  flops_err : float;
+  mem_err : float;
+  ctrl_err : float;
+  intensity : float;
+}
+
+let class_fractions mix =
+  let total = Gat_core.Imix.total mix in
+  if total <= 0.0 then (0.0, 0.0, 0.0)
+  else
+    ( Gat_core.Imix.ofl mix /. total,
+      Gat_core.Imix.omem mix /. total,
+      Gat_core.Imix.octrl mix /. total )
+
+let row kernel gpu =
+  let params = Gat_compiler.Params.default in
+  let compiled = Gat_compiler.Driver.compile_exn kernel gpu params in
+  let sizes = Gat_workloads.Workloads.input_sizes kernel in
+  let fe = ref 0.0 and me = ref 0.0 and ce = ref 0.0 in
+  let last_intensity = ref 0.0 in
+  (* The static side is the raw disassembly mix (each instruction once),
+     as the paper's analyzer extracts; the dynamic side is what the
+     simulated hardware actually issues. *)
+  let static_mix =
+    Gat_core.Imix.static_of_program compiled.Gat_compiler.Driver.program
+  in
+  List.iter
+    (fun n ->
+      let dynamic_mix = (Gat_sim.Engine.run compiled ~n).Gat_sim.Engine.dynamic_mix in
+      let sf, sm, sc = class_fractions static_mix in
+      let df, dm, dc = class_fractions dynamic_mix in
+      let sq_rel s d = if d <= 0.0 then 0.0 else ((s -. d) /. d) ** 2.0 in
+      fe := !fe +. sq_rel sf df;
+      me := !me +. sq_rel sm dm;
+      ce := !ce +. sq_rel sc dc;
+      last_intensity := Gat_core.Imix.intensity dynamic_mix)
+    sizes;
+  {
+    kernel = kernel.Gat_ir.Kernel.name;
+    family = Gat_arch.Gpu.family gpu;
+    flops_err = !fe;
+    mem_err = !me;
+    ctrl_err = !ce;
+    intensity = !last_intensity;
+  }
+
+let rows () =
+  List.concat_map
+    (fun kernel -> List.map (row kernel) Context.gpus)
+    Context.kernels
+
+let render () =
+  let t =
+    Gat_util.Table.create
+      ~title:
+        "Table VI. Error rates when estimating dynamic instruction mixes\n\
+         from static mixes (sum of squared class-fraction differences\n\
+         over the five input sizes, x100), with computational intensity."
+      [ "Kernel"; "Arch"; "FLOPS"; "MEM"; "CTRL"; "Itns" ]
+  in
+  List.iter
+    (fun r ->
+      Gat_util.Table.add_row t
+        [
+          r.kernel;
+          r.family;
+          Printf.sprintf "%.2f" r.flops_err;
+          Printf.sprintf "%.2f" r.mem_err;
+          Printf.sprintf "%.2f" r.ctrl_err;
+          Printf.sprintf "%.1f" r.intensity;
+        ])
+    (rows ());
+  Gat_util.Table.render t

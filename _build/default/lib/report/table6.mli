@@ -1,0 +1,24 @@
+(** Paper Table VI: error rates when estimating dynamic instruction
+    mixes from static mixes, plus computational intensity.
+
+    The raw static mix (each disassembled instruction counted once —
+    what the paper's analyzer extracts) and the simulator's true
+    dynamic mix (exact warp issues, divergence included) at each of the
+    paper's five input sizes are reduced to FLOPS/MEM/CTRL class
+    fractions; the reported error per class is the sum over input sizes
+    of squared relative fraction errors.  The
+    paper computes its errors "using sum of squares" against hardware
+    counters; this is the same quantity against the simulated
+    hardware. *)
+
+type row = {
+  kernel : string;
+  family : string;
+  flops_err : float;
+  mem_err : float;
+  ctrl_err : float;
+  intensity : float;  (** FLOPS / memory operations (dynamic). *)
+}
+
+val rows : unit -> row list
+val render : unit -> string

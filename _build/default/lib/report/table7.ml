@@ -1,0 +1,50 @@
+type row = {
+  kernel : string;
+  family : string;
+  suggestion : Gat_core.Suggest.t;
+}
+
+let row kernel gpu =
+  let compiled =
+    Gat_compiler.Driver.compile_exn kernel gpu Gat_compiler.Params.default
+  in
+  let log = compiled.Gat_compiler.Driver.log in
+  {
+    kernel = kernel.Gat_ir.Kernel.name;
+    family = Gat_arch.Gpu.family gpu;
+    suggestion =
+      Gat_core.Suggest.suggest gpu
+        ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
+        ~smem_per_block:
+          (log.Gat_compiler.Ptxas_info.smem_static
+          + log.Gat_compiler.Ptxas_info.smem_dynamic);
+  }
+
+let rows () =
+  List.concat_map
+    (fun kernel -> List.map (row kernel) Context.gpus)
+    Context.kernels
+
+let render () =
+  let t =
+    Gat_util.Table.create
+      ~title:
+        "Table VII. Suggested parameters to achieve theoretical occupancy."
+      [ "Kernel"; "Arch"; "T*"; "[Ru : R*]"; "S*"; "occ*" ]
+  in
+  List.iter
+    (fun r ->
+      let s = r.suggestion in
+      Gat_util.Table.add_row t
+        [
+          r.kernel;
+          r.family;
+          String.concat ", "
+            (List.map string_of_int s.Gat_core.Suggest.threads);
+          Printf.sprintf "[%d : %d]" s.Gat_core.Suggest.regs_used
+            s.Gat_core.Suggest.reg_headroom;
+          string_of_int s.Gat_core.Suggest.smem_headroom;
+          Printf.sprintf "%.2f" s.Gat_core.Suggest.occupancy;
+        ])
+    (rows ());
+  Gat_util.Table.render t

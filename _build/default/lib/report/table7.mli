@@ -1,0 +1,13 @@
+(** Paper Table VII: suggested parameters to achieve theoretical
+    occupancy — thread ranges T*, register usage and headroom
+    [Ru : R*], shared-memory headroom S* and the achievable occupancy
+    occ*, per kernel and architecture. *)
+
+type row = {
+  kernel : string;
+  family : string;
+  suggestion : Gat_core.Suggest.t;
+}
+
+val rows : unit -> row list
+val render : unit -> string

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Basic_block Float Gat_arch Gat_compiler Gat_core Gat_isa Gat_util Gpu Instruction List Memory_model Opcode Option Program Throughput

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Gat_compiler Gat_core Gat_util

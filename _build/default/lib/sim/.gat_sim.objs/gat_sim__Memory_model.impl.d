@@ -1,0 +1,1 @@
+lib/sim/memory_model.ml: Compute_capability Float Gat_arch Gpu

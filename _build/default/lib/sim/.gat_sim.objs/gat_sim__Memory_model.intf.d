@@ -1,0 +1,1 @@
+lib/sim/memory_model.mli: Gat_arch

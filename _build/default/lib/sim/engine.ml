@@ -1,0 +1,223 @@
+open Gat_arch
+open Gat_isa
+module Driver = Gat_compiler.Driver
+module Profile = Gat_compiler.Profile
+module Params = Gat_compiler.Params
+
+type result = {
+  cycles : float;
+  time_ms : float;
+  occupancy : float;
+  active_blocks : int;
+  waves : int;
+  issue_cycles : float;
+  mem_cycles : float;
+  latency_cycles : float;
+  bound : [ `Issue | `Bandwidth | `Latency ];
+  dynamic_mix : Gat_core.Imix.t;
+  transactions : float;
+  lane_utilization : float;
+}
+
+(* Resident blocks per SM, honouring the L1-preference shared-memory
+   carveout where it exists; if the carveout would make the kernel
+   unlaunchable the hardware ignores the preference (it is a hint). *)
+let residency (c : Driver.compiled) =
+  let gpu = c.Driver.gpu in
+  let params = c.Driver.params in
+  let occ_input =
+    Gat_core.Occupancy.input
+      ~regs_per_thread:c.Driver.log.Gat_compiler.Ptxas_info.registers
+      ~smem_per_block:(Program.smem_per_block c.Driver.program)
+      ~threads_per_block:params.Params.threads_per_block ()
+  in
+  let constrained =
+    match
+      Memory_model.smem_per_mp_effective gpu
+        ~l1_pref_kb:params.Params.l1_pref_kb
+    with
+    | Some smem_per_mp ->
+        Gat_core.Occupancy.calculate_with ~smem_per_mp gpu occ_input
+    | None -> Gat_core.Occupancy.calculate gpu occ_input
+  in
+  if constrained.Gat_core.Occupancy.active_blocks > 0 then constrained
+  else Gat_core.Occupancy.calculate gpu occ_input
+
+(* Warp-instruction issue cost: 32 thread-ops through a pipeline of
+   [ipc] ops/cycle. *)
+let warp_issue_cycles gpu op =
+  32.0 /. Throughput.ipc gpu.Gpu.cc (Opcode.category op)
+
+let single_instruction_mix ins =
+  let categories = Array.of_list Throughput.all_categories in
+  let per_category = Array.make (Array.length categories) 0.0 in
+  Array.iteri
+    (fun i c -> if c = Opcode.category ins.Instruction.op then per_category.(i) <- 1.0)
+    categories;
+  {
+    Gat_core.Imix.per_category;
+    reg_operands = float_of_int (Instruction.register_operands ins);
+  }
+
+let run (c : Driver.compiled) ~n =
+  let gpu = c.Driver.gpu in
+  let params = c.Driver.params in
+  let profile = c.Driver.profile in
+  let occ = residency c in
+  let program = c.Driver.program in
+  (* Per-block static properties. *)
+  let blocks = program.Program.blocks in
+  let issue_cost_of_block b =
+    List.fold_left
+      (fun acc ins -> acc +. warp_issue_cycles gpu ins.Instruction.op)
+      (warp_issue_cycles gpu
+         (Basic_block.terminator_instruction b).Instruction.op)
+      b.Basic_block.body
+  in
+  let global_loads_of_block b =
+    List.fold_left
+      (fun acc ins ->
+        if Opcode.is_global_memory ins.Instruction.op && Opcode.is_load ins.Instruction.op
+        then acc + 1
+        else acc)
+      0 b.Basic_block.body
+  in
+  let barrier_count_of_block b =
+    List.fold_left
+      (fun acc ins -> if Opcode.is_barrier ins.Instruction.op then acc + 1 else acc)
+      0 b.Basic_block.body
+  in
+  (* Aggregate over blocks using the exact profile counts. *)
+  let issue_cycles = ref 0.0 in
+  let load_issues = ref 0.0 in
+  let transactions = ref 0.0 in
+  let barrier_issues = ref 0.0 in
+  let weighted_lanes = ref 0.0 in
+  let total_issues = ref 0.0 in
+  let mix = ref Gat_core.Imix.zero in
+  let lat_weighted = ref 0.0 in
+  List.iter
+    (fun b ->
+      let label = b.Basic_block.label in
+      let agg = Profile.find_counts profile ~n label in
+      let e = agg.Profile.execs in
+      if e > 0.0 then begin
+        issue_cycles := !issue_cycles +. (e *. issue_cost_of_block b);
+        load_issues :=
+          !load_issues +. (e *. float_of_int (global_loads_of_block b));
+        barrier_issues :=
+          !barrier_issues +. (e *. float_of_int (barrier_count_of_block b));
+        let accesses =
+          Option.value ~default:[]
+            (List.assoc_opt label profile.Profile.mem_accesses)
+        in
+        List.iter
+          (fun (a : Profile.mem_access) ->
+            transactions := !transactions +. (e *. a.Profile.transactions);
+            if a.Profile.kind = Profile.Load then
+              lat_weighted :=
+                !lat_weighted
+                +. e
+                   *. Memory_model.effective_latency gpu
+                        ~l1_pref_kb:params.Params.l1_pref_kb
+                        ~staging:params.Params.staging
+                        ~transactions:a.Profile.transactions)
+          accesses;
+        (* Dynamic instruction counts: warp-level issues per category. *)
+        let instr_count = float_of_int (Basic_block.instruction_count b) in
+        total_issues := !total_issues +. (e *. instr_count);
+        weighted_lanes :=
+          !weighted_lanes +. (e *. instr_count *. agg.Profile.lanes);
+        let block_mix =
+          List.fold_left
+            (fun acc ins ->
+              Gat_core.Imix.add acc
+                (Gat_core.Imix.scale e (single_instruction_mix ins)))
+            Gat_core.Imix.zero
+            (b.Basic_block.body
+            @ [ Basic_block.terminator_instruction b ])
+        in
+        mix := Gat_core.Imix.add !mix block_mix
+      end)
+    blocks;
+  (* Distribute over SMs.  Grid-stride work lives in the first
+     [ceil(work / TC)] blocks; when the launch has more threads than
+     work items, only those blocks' SMs are busy and the rest retire
+     almost immediately — concentrating all traffic on a few SMs.  The
+     busiest SM sets the kernel's duration. *)
+  let n_sm = gpu.Gpu.multiprocessors in
+  let bc = params.Params.block_count in
+  let tc = params.Params.threads_per_block in
+  let work = profile.Profile.work_items n in
+  let working_blocks = max 1 (min bc ((work + tc - 1) / tc)) in
+  let busy_sms = min n_sm working_blocks in
+  let blocks_busy_sm = (working_blocks + busy_sms - 1) / busy_sms in
+  let sm_share = float_of_int blocks_busy_sm /. float_of_int working_blocks in
+  let active_blocks = max 1 occ.Gat_core.Occupancy.active_blocks in
+  let waves = (blocks_busy_sm + active_blocks - 1) / active_blocks in
+  let resident_warps_avg =
+    Float.min
+      (float_of_int occ.Gat_core.Occupancy.active_warps)
+      (float_of_int (blocks_busy_sm * occ.Gat_core.Occupancy.warps_per_block)
+      /. float_of_int (max 1 waves))
+  in
+  let issue_sm = !issue_cycles *. sm_share in
+  (* Barrier synchronization: each barrier stalls proportionally to the
+     warps it gathers. *)
+  let barrier_sm =
+    !barrier_issues *. sm_share *. 2.0
+    *. float_of_int occ.Gat_core.Occupancy.warps_per_block
+  in
+  (* Only warps that have work can hide each other's latency or keep
+     memory requests in flight; idle warps retire immediately.  Grid-
+     stride assigns work to the first ceil(min(work,T)/32) warps. *)
+  let total_threads = tc * bc in
+  let working_warps =
+    Float.max 1.0 (Float.of_int (min work total_threads) /. 32.0)
+  in
+  let warps_busy_sm =
+    Float.min resident_warps_avg (working_warps /. float_of_int busy_sms)
+  in
+  let avg_load_latency =
+    if !load_issues > 0.0 then !lat_weighted /. !load_issues else 1.0
+  in
+  (* Little's law: achievable per-SM bandwidth is bounded by in-flight
+     requests (warps x memory-level parallelism) over latency. *)
+  let mlp = 4.0 in
+  let achievable_bw =
+    Float.min
+      (Memory_model.bytes_per_cycle_per_sm gpu)
+      (Float.max 0.25 (warps_busy_sm *. mlp *. 128.0 /. avg_load_latency))
+  in
+  let mem_sm = !transactions *. sm_share *. 128.0 /. achievable_bw in
+  let latency_sm = !lat_weighted *. sm_share /. Float.max 1.0 warps_busy_sm in
+  let launch_overhead = 600.0 +. (300.0 *. float_of_int waves) in
+  let issue_total = issue_sm +. barrier_sm in
+  let cycles =
+    launch_overhead +. Float.max issue_total (Float.max mem_sm latency_sm)
+  in
+  let bound =
+    if issue_total >= mem_sm && issue_total >= latency_sm then `Issue
+    else if mem_sm >= latency_sm then `Bandwidth
+    else `Latency
+  in
+  let time_ms = cycles /. (float_of_int gpu.Gpu.gpu_clock_mhz *. 1000.0) in
+  {
+    cycles;
+    time_ms;
+    occupancy = occ.Gat_core.Occupancy.occupancy;
+    active_blocks;
+    waves;
+    issue_cycles = !issue_cycles;
+    mem_cycles = mem_sm;
+    latency_cycles = latency_sm;
+    bound;
+    dynamic_mix = !mix;
+    transactions = !transactions;
+    lane_utilization =
+      (if !total_issues > 0.0 then !weighted_lanes /. !total_issues else 1.0);
+  }
+
+let measured_time_ms c ~n ~rng =
+  let base = (run c ~n).time_ms in
+  base *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02

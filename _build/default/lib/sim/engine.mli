@@ -1,0 +1,53 @@
+(** The GPU performance simulator — the testbed stand-in.
+
+    Given a compiled variant and a problem size, computes the kernel's
+    execution time on the target device from the variant's execution
+    profile (exact warp-level block issue counts) and an SM-level
+    analytic model with three bounds:
+
+    - issue throughput: every warp instruction costs [32 / IPC] cycles
+      of its pipeline (Table II);
+    - memory bandwidth: global transactions times 128 bytes against the
+      device's per-SM bandwidth share;
+    - latency: each warp's global loads serialize at their effective
+      latency, hidden by the other resident warps — this is where
+      occupancy (itself limited by registers/shared memory/block size,
+      including the L1-preference shared-memory carveout on
+      Fermi/Kepler) matters.
+
+    Divergent branches cost extra issues because warps execute both
+    sides (already present in the profile counts); barriers cost
+    proportionally to the warps they synchronize.
+
+    The model deliberately knows more than the paper's static analyzer
+    (achieved occupancy, coalescing, cache behaviour, wave
+    quantization): static-vs-dynamic prediction error in the
+    reproduced experiments comes from this gap. *)
+
+type result = {
+  cycles : float;  (** Kernel duration in core-clock cycles. *)
+  time_ms : float;  (** Duration in milliseconds. *)
+  occupancy : float;  (** Achieved occupancy used for latency hiding. *)
+  active_blocks : int;  (** Resident blocks per SM. *)
+  waves : int;  (** Block waves per SM. *)
+  issue_cycles : float;  (** Total issue-bound cycles (all SMs). *)
+  mem_cycles : float;  (** Bandwidth-bound cycles (per busiest SM). *)
+  latency_cycles : float;  (** Latency-bound cycles (per busiest SM). *)
+  bound : [ `Issue | `Bandwidth | `Latency ];  (** Binding constraint. *)
+  dynamic_mix : Gat_core.Imix.t;
+      (** Dynamic instruction counts (warp-level issues per Table II
+          category, register operands included). *)
+  transactions : float;  (** Total 128-byte global transactions. *)
+  lane_utilization : float;
+      (** Issue-weighted average active-lane fraction (1 - divergence
+          loss). *)
+}
+
+val run : Gat_compiler.Driver.compiled -> n:int -> result
+(** Simulate one launch.  Deterministic: no noise — measurement noise
+    belongs to the tuner's trial protocol. *)
+
+val measured_time_ms :
+  Gat_compiler.Driver.compiled -> n:int -> rng:Gat_util.Rng.t -> float
+(** One noisy "wall-clock" trial: the deterministic time scaled by a
+    small lognormal measurement error, as a real timer would report. *)

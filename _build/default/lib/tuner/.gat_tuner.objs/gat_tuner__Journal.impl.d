@@ -1,0 +1,1 @@
+lib/tuner/journal.ml: Buffer Float Fun Gat_compiler Gat_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/tuner/journal.mli: Gat_compiler Search

@@ -1,0 +1,1 @@
+lib/tuner/measure.ml: Gat_compiler Gat_core Gat_sim Gat_util List Variant

@@ -1,0 +1,1 @@
+lib/tuner/measure.mli: Gat_arch Gat_compiler Gat_ir Gat_util Variant

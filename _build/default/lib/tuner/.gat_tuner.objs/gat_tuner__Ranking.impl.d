@@ -1,0 +1,1 @@
+lib/tuner/ranking.ml: Array Gat_compiler Gat_core List Variant

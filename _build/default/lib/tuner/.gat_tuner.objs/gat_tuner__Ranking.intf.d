@@ -1,0 +1,1 @@
+lib/tuner/ranking.mli: Variant

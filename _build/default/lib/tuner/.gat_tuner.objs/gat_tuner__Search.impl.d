@@ -1,0 +1,1 @@
+lib/tuner/search.ml: Array Gat_compiler Gat_util Map Space

@@ -1,0 +1,1 @@
+lib/tuner/search.mli: Gat_compiler Gat_util Space

@@ -1,0 +1,1 @@
+lib/tuner/space.ml: Gat_compiler Gat_ir List Printf String

@@ -1,0 +1,1 @@
+lib/tuner/space.mli: Gat_compiler Gat_ir

@@ -1,0 +1,1 @@
+lib/tuner/static_search.ml: Gat_compiler Gat_core List Search Space Strategies

@@ -1,0 +1,1 @@
+lib/tuner/static_search.mli: Gat_arch Gat_core Gat_ir Search Space

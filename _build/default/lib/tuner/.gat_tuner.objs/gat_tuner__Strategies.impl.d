@@ -1,0 +1,1 @@
+lib/tuner/strategies.ml: Array Float Gat_util Option Search

@@ -1,0 +1,1 @@
+lib/tuner/strategies.mli: Gat_util Search Space

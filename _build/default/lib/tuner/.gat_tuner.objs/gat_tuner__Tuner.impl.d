@@ -1,0 +1,1 @@
+lib/tuner/tuner.ml: Gat_arch Gat_compiler Gat_ir Gat_util Hashtbl Journal List Measure Printf Search Space Static_search Strategies Variant

@@ -1,0 +1,1 @@
+lib/tuner/tuner.mli: Gat_arch Gat_ir Journal Search Space Variant

@@ -1,0 +1,1 @@
+lib/tuner/variant.ml: Gat_compiler Gat_core Printf

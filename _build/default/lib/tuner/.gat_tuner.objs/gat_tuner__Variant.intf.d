@@ -1,0 +1,1 @@
+lib/tuner/variant.mli: Gat_compiler Gat_core

@@ -1,0 +1,35 @@
+let repetitions = 10
+let selected_trial = 5
+
+let time_of compiled ~n ~rng =
+  (* The simulated kernel time is deterministic; each trial differs
+     only by measurement noise, as on real hardware. *)
+  let base = (Gat_sim.Engine.run compiled ~n).Gat_sim.Engine.time_ms in
+  let trials =
+    List.init repetitions (fun _ ->
+        base *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02)
+  in
+  List.nth trials (selected_trial - 1)
+
+let evaluate kernel gpu ~n ~rng params =
+  match Gat_compiler.Driver.compile kernel gpu params with
+  | Error e -> Error e
+  | Ok compiled ->
+      let sim = Gat_sim.Engine.run compiled ~n in
+      let trials =
+        List.init repetitions (fun _ ->
+            sim.Gat_sim.Engine.time_ms
+            *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02)
+      in
+      let time_ms = List.nth trials (selected_trial - 1) in
+      Ok
+        {
+          Variant.params;
+          time_ms;
+          occupancy = sim.Gat_sim.Engine.occupancy;
+          registers = compiled.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers;
+          dynamic_mix = sim.Gat_sim.Engine.dynamic_mix;
+          est_mix =
+            Gat_core.Imix.estimate_dynamic
+              compiled.Gat_compiler.Driver.program ~n;
+        }

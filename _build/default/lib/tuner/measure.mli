@@ -1,0 +1,23 @@
+(** The paper's measurement protocol (Section IV-A): each variant runs
+    ten times and the fifth overall trial is the recorded time. *)
+
+val repetitions : int
+(** 10. *)
+
+val selected_trial : int
+(** 5 (1-indexed). *)
+
+val time_of : Gat_compiler.Driver.compiled -> n:int -> rng:Gat_util.Rng.t -> float
+(** Run the trial protocol on the simulator and return the selected
+    trial's milliseconds. *)
+
+val evaluate :
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  rng:Gat_util.Rng.t ->
+  Gat_compiler.Params.t ->
+  (Variant.t, string) result
+(** Compile and measure one parameter point; [Error] for invalid
+    configurations (the autotuner skips them, as Orio skips variants
+    that fail to build). *)

@@ -1,0 +1,35 @@
+type t = { rank1 : Variant.t list; rank2 : Variant.t list }
+
+let split variants =
+  let sorted = List.sort Variant.compare_time variants in
+  let n = List.length sorted in
+  let half = n / 2 in
+  let rank1 = List.filteri (fun i _ -> i < half) sorted in
+  let rank2 = List.filteri (fun i _ -> i >= half) sorted in
+  { rank1; rank2 }
+
+let best t =
+  match t.rank1 with
+  | v :: _ -> v
+  | [] -> (
+      match t.rank2 with
+      | v :: _ -> v
+      | [] -> invalid_arg "Ranking.best: empty ranking")
+
+let thread_counts variants =
+  Array.of_list
+    (List.map
+       (fun (v : Variant.t) ->
+         float_of_int v.Variant.params.Gat_compiler.Params.threads_per_block)
+       variants)
+
+let occupancies variants =
+  Array.of_list
+    (List.map (fun (v : Variant.t) -> v.Variant.occupancy *. 100.0) variants)
+
+let register_instruction_counts variants =
+  Array.of_list
+    (List.map (fun (v : Variant.t) -> Gat_core.Imix.oreg v.Variant.dynamic_mix) variants)
+
+let registers_allocated variants =
+  List.fold_left (fun acc (v : Variant.t) -> max acc v.Variant.registers) 0 variants

@@ -1,0 +1,27 @@
+(** Variant ranking: the paper sorts measured times ascending and splits
+    at the 50th percentile — Rank 1 are the good performers, Rank 2 the
+    poor ones (Section IV-A). *)
+
+type t = {
+  rank1 : Variant.t list;  (** Fast half, ascending time. *)
+  rank2 : Variant.t list;  (** Slow half, ascending time. *)
+}
+
+val split : Variant.t list -> t
+(** Sort by time and split at the median (odd counts put the middle
+    variant in rank 2). *)
+
+val best : t -> Variant.t
+(** Fastest variant.  Raises [Invalid_argument] on empty rankings. *)
+
+val thread_counts : Variant.t list -> float array
+(** TC of each variant, for the Fig. 4 histograms. *)
+
+val occupancies : Variant.t list -> float array
+val register_instruction_counts : Variant.t list -> float array
+(** Dynamic register-operand traffic (the "Register Instructions"
+    columns of Table V). *)
+
+val registers_allocated : Variant.t list -> int
+(** Maximum registers/thread allocated across the variants (Table V's
+    "Allocated" column). *)

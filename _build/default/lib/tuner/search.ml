@@ -1,0 +1,93 @@
+type objective = Gat_compiler.Params.t -> float option
+
+type outcome = {
+  best_params : Gat_compiler.Params.t option;
+  best_time : float;
+  evaluations : int;
+}
+
+type axis =
+  | Tc of int array
+  | Bc of int array
+  | Uif of int array
+  | Pl of int array
+  | Sc of int array
+  | Fm of bool array
+
+type axes = axis array
+
+let axes_of_space (s : Space.t) =
+  [|
+    Tc (Array.of_list s.Space.tc);
+    Bc (Array.of_list s.Space.bc);
+    Uif (Array.of_list s.Space.uif);
+    Pl (Array.of_list s.Space.pl);
+    Sc (Array.of_list s.Space.sc);
+    Fm (Array.of_list s.Space.cflags);
+  |]
+
+let dims (a : axes) = Array.length a
+
+let axis_length (a : axes) i =
+  match a.(i) with
+  | Tc v | Bc v | Uif v | Pl v | Sc v -> Array.length v
+  | Fm v -> Array.length v
+
+let clamp lo hi x = max lo (min hi x)
+
+let params_of_point (a : axes) point =
+  let idx i = clamp 0 (axis_length a i - 1) point.(i) in
+  let geti = function
+    | Tc v | Bc v | Uif v | Pl v | Sc v -> fun k -> v.(k)
+    | Fm _ -> fun _ -> assert false
+  in
+  let tc = (geti a.(0)) (idx 0) in
+  let bc = (geti a.(1)) (idx 1) in
+  let uif = (geti a.(2)) (idx 2) in
+  let pl = (geti a.(3)) (idx 3) in
+  let sc = (geti a.(4)) (idx 4) in
+  let fm = match a.(5) with Fm v -> v.(idx 5) | _ -> assert false in
+  Gat_compiler.Params.make ~threads_per_block:tc ~block_count:bc ~unroll:uif
+    ~l1_pref_kb:pl ~staging:sc ~fast_math:fm ()
+
+let random_point rng (a : axes) =
+  Array.init (dims a) (fun i -> Gat_util.Rng.int rng (axis_length a i))
+
+let fold_points (a : axes) ~init ~f =
+  let d = dims a in
+  let point = Array.make d 0 in
+  let acc = ref init in
+  let rec go i =
+    if i = d then acc := f !acc (params_of_point a point)
+    else
+      for k = 0 to axis_length a i - 1 do
+        point.(i) <- k;
+        go (i + 1)
+      done
+  in
+  go 0;
+  !acc
+
+let counting_objective objective =
+  let count = ref 0 in
+  let wrapped params =
+    incr count;
+    objective params
+  in
+  (wrapped, fun () -> !count)
+
+module PMap = Map.Make (struct
+  type t = Gat_compiler.Params.t
+
+  let compare = Gat_compiler.Params.compare
+end)
+
+let memoized_objective objective =
+  let cache = ref PMap.empty in
+  fun params ->
+    match PMap.find_opt params !cache with
+    | Some r -> r
+    | None ->
+        let r = objective params in
+        cache := PMap.add params r !cache;
+        r

@@ -1,0 +1,31 @@
+(** Orio's search strategies, reimplemented.
+
+    Every strategy takes an objective and a space and returns the best
+    point it found with its evaluation count.  All are deterministic
+    given the caller's PRNG. *)
+
+val exhaustive : Search.objective -> Space.t -> Search.outcome
+(** Evaluate every point. *)
+
+val random :
+  ?budget:int -> Gat_util.Rng.t -> Search.objective -> Space.t ->
+  Search.outcome
+(** [budget] uniformly random points (default 100). *)
+
+val annealing :
+  ?iterations:int -> ?initial_temp:float -> Gat_util.Rng.t ->
+  Search.objective -> Space.t -> Search.outcome
+(** Simulated annealing with single-axis neighbour moves and geometric
+    cooling (defaults: 300 iterations, T0 = 1). *)
+
+val genetic :
+  ?generations:int -> ?population:int -> Gat_util.Rng.t ->
+  Search.objective -> Space.t -> Search.outcome
+(** Tournament-selection GA with uniform crossover and per-axis
+    mutation (defaults: 15 generations of 20). *)
+
+val nelder_mead :
+  ?restarts:int -> Gat_util.Rng.t -> Search.objective -> Space.t ->
+  Search.outcome
+(** Nelder–Mead simplex on the index space (rounded to lattice points),
+    with random restarts (default 3). *)

@@ -1,0 +1,80 @@
+let objective kernel gpu ~n ~seed =
+  (* Each parameter point gets its own trial stream derived from the
+     master seed, so measurement order cannot change results. *)
+  Search.memoized_objective (fun params ->
+      let point_seed =
+        Hashtbl.hash
+          ( seed,
+            kernel.Gat_ir.Kernel.name,
+            gpu.Gat_arch.Gpu.name,
+            Gat_compiler.Params.to_string params )
+      in
+      let rng = Gat_util.Rng.create point_seed in
+      match Measure.evaluate kernel gpu ~n ~rng params with
+      | Ok v -> Some v.Variant.time_ms
+      | Error _ -> None)
+
+let sweep_cache : (string, Variant.t list) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset sweep_cache
+
+let sweep ?(space = Space.paper) kernel gpu ~n ~seed =
+  let key =
+    Printf.sprintf "%s/%s/%d/%d/%s" kernel.Gat_ir.Kernel.name
+      gpu.Gat_arch.Gpu.name n seed (Space.to_string space)
+  in
+  match Hashtbl.find_opt sweep_cache key with
+  | Some vs -> vs
+  | None ->
+      let variants =
+        List.filter_map
+          (fun params ->
+            let point_seed =
+              Hashtbl.hash
+                ( seed,
+                  kernel.Gat_ir.Kernel.name,
+                  gpu.Gat_arch.Gpu.name,
+                  Gat_compiler.Params.to_string params )
+            in
+            let rng = Gat_util.Rng.create point_seed in
+            match Measure.evaluate kernel gpu ~n ~rng params with
+            | Ok v -> Some v
+            | Error _ -> None)
+          (Space.points space)
+      in
+      Hashtbl.replace sweep_cache key variants;
+      variants
+
+type strategy =
+  | Exhaustive
+  | Random of int
+  | Annealing of int
+  | Genetic of int * int
+  | Nelder_mead of int
+  | Static
+  | Static_rules
+
+let strategy_name = function
+  | Exhaustive -> "exhaustive"
+  | Random b -> Printf.sprintf "random(%d)" b
+  | Annealing i -> Printf.sprintf "annealing(%d)" i
+  | Genetic (g, p) -> Printf.sprintf "genetic(%dx%d)" g p
+  | Nelder_mead r -> Printf.sprintf "nelder-mead(%d)" r
+  | Static -> "static"
+  | Static_rules -> "static+rules"
+
+let autotune ?(space = Space.paper) ?journal ~strategy kernel gpu ~n ~seed =
+  let obj = objective kernel gpu ~n ~seed in
+  let obj =
+    match journal with Some j -> Journal.recording j obj | None -> obj
+  in
+  let rng = Gat_util.Rng.create (seed + 17) in
+  match strategy with
+  | Exhaustive -> Strategies.exhaustive obj space
+  | Random budget -> Strategies.random ~budget rng obj space
+  | Annealing iterations -> Strategies.annealing ~iterations rng obj space
+  | Genetic (generations, population) ->
+      Strategies.genetic ~generations ~population rng obj space
+  | Nelder_mead restarts -> Strategies.nelder_mead ~restarts rng obj space
+  | Static -> Static_search.run kernel gpu ~rule_based:false obj space
+  | Static_rules -> Static_search.run kernel gpu ~rule_based:true obj space

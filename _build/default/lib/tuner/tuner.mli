@@ -1,0 +1,46 @@
+(** Autotuning orchestration: the Orio driver loop.
+
+    Evaluating the full paper space (5,120 variants) per kernel and
+    device is the expensive exhaustive baseline; sweeps are cached per
+    (kernel, device, size, seed) within the process so reports that
+    need the same sweep (Fig. 4, Table V, Fig. 5, Table VI, Fig. 6)
+    share one evaluation. *)
+
+val objective :
+  Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> n:int -> seed:int -> Search.objective
+(** A memoized objective implementing the measurement protocol. *)
+
+val sweep :
+  ?space:Space.t ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  Variant.t list
+(** Evaluate every point of the space (default {!Space.paper}); invalid
+    variants are dropped.  Cached. *)
+
+val clear_cache : unit -> unit
+
+type strategy =
+  | Exhaustive
+  | Random of int  (** budget *)
+  | Annealing of int  (** iterations *)
+  | Genetic of int * int  (** generations, population *)
+  | Nelder_mead of int  (** restarts *)
+  | Static  (** paper: occupancy-suggested thread counts *)
+  | Static_rules  (** paper: static + intensity rule *)
+
+val strategy_name : strategy -> string
+
+val autotune :
+  ?space:Space.t ->
+  ?journal:Journal.t ->
+  strategy:strategy ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  Search.outcome
+(** Run one strategy end to end.  With [journal], every evaluation is
+    recorded for later {!Journal.replay}. *)

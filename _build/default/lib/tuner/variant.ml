@@ -1,0 +1,15 @@
+type t = {
+  params : Gat_compiler.Params.t;
+  time_ms : float;
+  occupancy : float;
+  registers : int;
+  dynamic_mix : Gat_core.Imix.t;
+  est_mix : Gat_core.Imix.t;
+}
+
+let compare_time a b = compare a.time_ms b.time_ms
+
+let summary t =
+  Printf.sprintf "%s  time=%.4f ms  occ=%.2f  regs=%d"
+    (Gat_compiler.Params.to_string t.params)
+    t.time_ms t.occupancy t.registers

@@ -1,0 +1,20 @@
+(** One evaluated code variant: parameters, compiled artifact and its
+    measured time under the paper's trial protocol. *)
+
+type t = {
+  params : Gat_compiler.Params.t;
+  time_ms : float;  (** The selected trial time (see {!Measure}). *)
+  occupancy : float;  (** Theoretical occupancy of the configuration. *)
+  registers : int;  (** Registers per thread from the compile log. *)
+  dynamic_mix : Gat_core.Imix.t;  (** Simulator dynamic counts. *)
+  est_mix : Gat_core.Imix.t;
+      (** Statically estimated per-thread dynamic mix at the measured
+          size — the Eq. 6 input.  The full compiled artifact is not
+          retained: exhaustive sweeps hold hundreds of thousands of
+          variants and keeping programs alive exhausts memory. *)
+}
+
+val compare_time : t -> t -> int
+(** Ascending measured time. *)
+
+val summary : t -> string

@@ -1,0 +1,37 @@
+type t = { lo : float; hi : float; counts : int array }
+
+let create ~lo ~hi ~bins xs =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if lo >= hi then invalid_arg "Histogram.create: lo must be < hi";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let clamp i = max 0 (min (bins - 1) i) in
+  Array.iter
+    (fun x ->
+      let i = clamp (int_of_float (Float.floor ((x -. lo) /. width))) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; hi; counts }
+
+let bin_edges t =
+  let bins = Array.length t.counts in
+  let width = (t.hi -. t.lo) /. float_of_int bins in
+  Array.init bins (fun i ->
+      (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width)))
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let render ?(width = 40) ?(label = fun x -> Printf.sprintf "%8.0f" x) t =
+  let peak = Array.fold_left max 1 t.counts in
+  let edges = bin_edges t in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i count ->
+      let lo, _ = edges.(i) in
+      let bar = count * width / peak in
+      Buffer.add_string buf (label lo);
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.make bar '#');
+      Buffer.add_string buf (Printf.sprintf " %d\n" count))
+    t.counts;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Fixed-width binning of float samples, used by the Fig. 4 thread-count
+    histograms and the divergence study. *)
+
+type t = {
+  lo : float;  (** Inclusive lower edge of the first bin. *)
+  hi : float;  (** Exclusive upper edge of the last bin. *)
+  counts : int array;  (** Per-bin sample counts. *)
+}
+
+val create : lo:float -> hi:float -> bins:int -> float array -> t
+(** [create ~lo ~hi ~bins xs] bins every [x] with [lo <= x < hi]; values
+    outside the range are clamped into the edge bins so no sample is
+    dropped.  [bins] must be positive and [lo < hi]. *)
+
+val bin_edges : t -> (float * float) array
+(** Lower/upper edge of each bin, in order. *)
+
+val total : t -> int
+(** Total number of binned samples. *)
+
+val render : ?width:int -> ?label:(float -> string) -> t -> string
+(** ASCII bar rendering, one bin per line, bars scaled to [width]
+    characters (default 40).  [label] formats the bin's lower edge. *)

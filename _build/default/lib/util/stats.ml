@@ -1,0 +1,123 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std xs = sqrt (variance xs)
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile_sorted ys p =
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+  end
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0,100]";
+  percentile_sorted (sorted_copy xs) p
+
+let median xs = percentile xs 50.0
+
+let quartiles xs =
+  check_nonempty "Stats.quartiles" xs;
+  let ys = sorted_copy xs in
+  (percentile_sorted ys 25.0, percentile_sorted ys 50.0, percentile_sorted ys 75.0)
+
+let mode ?(decimals = 2) xs =
+  check_nonempty "Stats.mode" xs;
+  let scale = 10.0 ** float_of_int decimals in
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun x ->
+      let key = Float.round (x *. scale) /. scale in
+      let count = try Hashtbl.find tbl key with Not_found -> 0 in
+      Hashtbl.replace tbl key (count + 1))
+    xs;
+  let best = ref (nan, 0) in
+  Hashtbl.iter
+    (fun key count ->
+      let bk, bc = !best in
+      if count > bc || (count = bc && key < bk) then best := (key, count))
+    tbl;
+  fst !best
+
+let check_same_length name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": length mismatch");
+  check_nonempty name a
+
+let mae a b =
+  check_same_length "Stats.mae" a b;
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. Float.abs (x -. b.(i))) a;
+  !acc /. float_of_int (Array.length a)
+
+let sse a b =
+  check_same_length "Stats.sse" a b;
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. ((x -. b.(i)) *. (x -. b.(i)))) a;
+  !acc
+
+let rmse a b = sqrt (sse a b /. float_of_int (Array.length a))
+
+let normalize xs =
+  check_nonempty "Stats.normalize" xs;
+  let lo, hi = min_max xs in
+  let span = hi -. lo in
+  if span <= 0.0 then Array.map (fun _ -> 0.0) xs
+  else Array.map (fun x -> (x -. lo) /. span) xs
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  mode : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  check_nonempty "Stats.summarize" xs;
+  let ys = sorted_copy xs in
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    std = std xs;
+    mode = mode xs;
+    p25 = percentile_sorted ys 25.0;
+    p50 = percentile_sorted ys 50.0;
+    p75 = percentile_sorted ys 75.0;
+    min = ys.(0);
+    max = ys.(Array.length ys - 1);
+  }

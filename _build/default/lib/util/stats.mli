@@ -1,0 +1,60 @@
+(** Descriptive statistics over float samples.
+
+    Provides exactly the estimators the paper's evaluation reports:
+    mean, standard deviation, mode, percentiles/quartiles, mean absolute
+    error and sums of squared errors (Table V, Table VI, Fig. 5). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty sample. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val std : float array -> float
+(** Sample standard deviation, [sqrt variance]. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  Raises on an empty sample. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation
+    between closest ranks (the NumPy default).  Does not mutate [xs]. *)
+
+val quartiles : float array -> float * float * float
+(** 25th, 50th and 75th percentiles. *)
+
+val mode : ?decimals:int -> float array -> float
+(** Most frequent value after rounding to [decimals] places (default 2);
+    ties broken towards the smaller value.  Matches the occupancy-mode
+    column of Table V, where occupancies take discrete values. *)
+
+val mae : float array -> float array -> float
+(** Mean absolute error between two equal-length samples. *)
+
+val sse : float array -> float array -> float
+(** Sum of squared errors between two equal-length samples. *)
+
+val rmse : float array -> float array -> float
+(** Root mean squared error. *)
+
+val normalize : float array -> float array
+(** Affine rescale to [\[0,1\]]; constant samples map to all zeros. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  std : float;
+  mode : float;
+  p25 : float;
+  p50 : float;
+  p75 : float;
+  min : float;
+  max : float;
+}
+(** One-shot description of a sample, as used by the Table V rows. *)
+
+val summarize : float array -> summary
+(** Compute all [summary] fields in one pass over a non-empty sample. *)

@@ -1,0 +1,83 @@
+type align = Left | Right | Center
+
+type line = Row of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  mutable aligns : align list;
+  mutable lines : line list;  (* reversed *)
+}
+
+let create ?title headers =
+  { title; headers; aligns = List.map (fun _ -> Left) headers; lines = [] }
+
+let set_aligns t aligns =
+  if List.length aligns <> List.length t.headers then
+    invalid_arg "Table.set_aligns: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_sep t = t.lines <- Sep :: t.lines
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+        let left = (width - n) / 2 in
+        String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let rows = List.rev t.lines in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let consider row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  consider t.headers;
+  List.iter (function Row r -> consider r | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line aligns row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let align = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad align widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  line (List.map (fun _ -> Center) t.headers) t.headers;
+  rule ();
+  List.iter (function Row r -> line t.aligns r | Sep -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let of_rows ?title headers rows =
+  let t = create ?title headers in
+  List.iter (add_row t) rows;
+  render t

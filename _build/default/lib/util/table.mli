@@ -1,0 +1,28 @@
+(** Plain-text table rendering for experiment reports.
+
+    All paper tables (I, II, V, VI, VII) are printed through this module
+    so their layout is uniform across the CLI, examples and benches. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> string list -> t
+(** [create ?title headers] starts a table with one column per header.
+    Columns default to left alignment. *)
+
+val set_aligns : t -> align list -> unit
+(** Override per-column alignment; the list must match the header count. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must match the header count. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing ASCII ([+---+] rules, [|] column bars). *)
+
+val of_rows : ?title:string -> string list -> string list list -> string
+(** One-shot convenience: build, fill and render. *)

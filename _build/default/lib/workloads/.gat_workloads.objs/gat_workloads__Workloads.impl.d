@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Gat_ir Kernel List Stmt String

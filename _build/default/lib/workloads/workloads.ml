@@ -1,0 +1,138 @@
+open Gat_ir
+open Gat_ir.Expr
+
+let decl = Kernel.array_decl
+
+(* y = A^T (A x):
+   per row i, tmp = sum_j A[i][j] * x[j]; then y[j] += A[i][j] * tmp. *)
+let atax =
+  Kernel.make ~name:"atax"
+    ~description:"Matrix transpose, vector multiplication: y = A^T(Ax)"
+    ~arrays:[ decl "A" 2; decl "x" 1; decl "y" 1 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "i" (int 0) Size
+        [
+          Stmt.Assign ("tmp", float 0.0);
+          Stmt.for_ "j" (int 0) Size
+            [
+              Stmt.Assign
+                ("tmp", var "tmp" + (read "A" [ var "i"; var "j" ] * read "x" [ var "j" ]));
+            ];
+          Stmt.for_ "j" (int 0) Size
+            [
+              Stmt.Store
+                ( "y",
+                  [ var "j" ],
+                  read "y" [ var "j" ] + (read "A" [ var "i"; var "j" ] * var "tmp") );
+            ];
+        ];
+    ]
+
+(* q = A p  and  s = A^T r. *)
+let bicg =
+  Kernel.make ~name:"bicg"
+    ~description:"BiCGStab linear-solver sub-kernel: q = Ap, s = A^T r"
+    ~arrays:[ decl "A" 2; decl "p" 1; decl "r" 1; decl "q" 1; decl "s" 1 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "i" (int 0) Size
+        [
+          Stmt.Assign ("acc", float 0.0);
+          Stmt.for_ "j" (int 0) Size
+            [
+              Stmt.Assign
+                ("acc", var "acc" + (read "A" [ var "i"; var "j" ] * read "p" [ var "j" ]));
+              Stmt.Store
+                ( "s",
+                  [ var "j" ],
+                  read "s" [ var "j" ] + (read "A" [ var "i"; var "j" ] * read "r" [ var "i" ]) );
+            ];
+          Stmt.Store ("q", [ var "i" ], var "acc");
+        ];
+    ]
+
+(* Solid-fuel-ignition Jacobi sweep on an N^3 domain (PETSc ex14):
+   interior points get the 7-point Bratu residual, boundary points are
+   Dirichlet.  One thread per flattened grid point. *)
+let ex14fj =
+  let lambda = 6.0 in
+  let u idx = read "u" idx in
+  let interior =
+    (* Product of 0/1 comparisons acts as logical AND. *)
+    Cmp (Ge, var "k", int 1)
+    * Cmp (Lt, var "k", Size - int 1)
+    * Cmp (Ge, var "j", int 1)
+    * Cmp (Lt, var "j", Size - int 1)
+    * Cmp (Ge, var "i", int 1)
+    * Cmp (Lt, var "i", Size - int 1)
+  in
+  let laplacian =
+    (float 6.0 * u [ var "k"; var "j"; var "i" ])
+    - u [ var "k"; var "j"; var "i" - int 1 ]
+    - u [ var "k"; var "j"; var "i" + int 1 ]
+    - u [ var "k"; var "j" - int 1; var "i" ]
+    - u [ var "k"; var "j" + int 1; var "i" ]
+    - u [ var "k" - int 1; var "j"; var "i" ]
+    - u [ var "k" + int 1; var "j"; var "i" ]
+  in
+  Kernel.make ~name:"ex14fj"
+    ~description:"3-D Jacobi stencil, solid fuel ignition (Bratu): F(x) = A(x)x - b"
+    ~arrays:[ decl "u" 3; decl "f" 3 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "p" (int 0) (Size * Size * Size)
+        [
+          Stmt.Assign ("k", var "p" / (Size * Size));
+          Stmt.Assign ("rem", var "p" - (var "k" * Size * Size));
+          Stmt.Assign ("j", var "rem" / Size);
+          Stmt.Assign ("i", var "rem" - (var "j" * Size));
+          Stmt.If
+            ( interior,
+              [
+                Stmt.Assign ("lap", laplacian);
+                Stmt.Assign
+                  ( "sc",
+                    Un (Exp, u [ var "k"; var "j"; var "i" ]) * float lambda );
+                Stmt.Store
+                  ( "f",
+                    [ var "k"; var "j"; var "i" ],
+                    var "lap" - var "sc" );
+              ],
+              [
+                (* Dirichlet boundary: F = u - g with g = 0. *)
+                Stmt.Store
+                  ("f", [ var "k"; var "j"; var "i" ], u [ var "k"; var "j"; var "i" ]);
+              ] );
+        ];
+    ]
+
+(* y = A x with a 2-D decomposition: one thread per matrix element,
+   each accumulating its partial product into the output row (Orio's
+   generated code reduces these concurrently; see the module comment on
+   sequential accumulation semantics). *)
+let matvec2d =
+  Kernel.make ~name:"matvec2d"
+    ~description:"Dense matrix-vector multiplication, 2-D decomposition: y = Ax"
+    ~arrays:[ decl "A" 2; decl "x" 1; decl "y" 1 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "p" (int 0) (Size * Size)
+        [
+          Stmt.Assign ("i", var "p" / Size);
+          Stmt.Assign ("j", var "p" - (var "i" * Size));
+          Stmt.Store
+            ( "y",
+              [ var "i" ],
+              read "y" [ var "i" ]
+              + (read "A" [ var "i"; var "j" ] * read "x" [ var "j" ]) );
+        ];
+    ]
+
+let all = [ atax; bicg; ex14fj; matvec2d ]
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt (fun k -> String.lowercase_ascii k.Kernel.name = needle) all
+
+let input_sizes k =
+  if k.Kernel.name = "ex14fj" then [ 8; 16; 32; 64; 128 ]
+  else [ 32; 64; 128; 256; 512 ]
+
+let default_size k = List.nth (input_sizes k) 2

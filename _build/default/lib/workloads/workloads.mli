@@ -1,0 +1,38 @@
+(** The paper's benchmark kernels (Table IV), written in the kernel IR.
+
+    Each kernel parallelizes one loop dimension (the one Orio's CUDA
+    transformation maps to threads) and keeps the rest sequential per
+    thread.  [atax] and [bicg] accumulate into a shared output array
+    along their sequential dimension; under a truly concurrent execution
+    Orio generates a reduction for these — our performance model never
+    executes the ISA concurrently, and the reference interpreter runs
+    sequentially, so the simple form is semantically adequate and
+    instruction-accurate. *)
+
+val atax : Gat_ir.Kernel.t
+(** y = Aᵀ(Ax): matrix transpose and vector multiplication. *)
+
+val bicg : Gat_ir.Kernel.t
+(** q = Ap and s = Aᵀr: the BiCGStab sub-kernel. *)
+
+val ex14fj : Gat_ir.Kernel.t
+(** 3-D Jacobi / solid-fuel-ignition stencil (PETSc ex14): one thread
+    per grid point of an N³ rectangular domain, Bratu nonlinearity
+    [lambda * exp(u)] inside, Dirichlet boundary outside. *)
+
+val matvec2d : Gat_ir.Kernel.t
+(** y = Ax: dense matrix–vector multiplication. *)
+
+val all : Gat_ir.Kernel.t list
+(** The four kernels, in Table IV order. *)
+
+val find : string -> Gat_ir.Kernel.t option
+(** Case-insensitive lookup by kernel name ("atax", "bicg", "ex14fj",
+    "matvec2d"). *)
+
+val input_sizes : Gat_ir.Kernel.t -> int list
+(** The paper's five input sizes: [{32,64,128,256,512}] for all kernels
+    except ex14FJ's [{8,16,32,64,128}] (its domain is N³). *)
+
+val default_size : Gat_ir.Kernel.t -> int
+(** The middle input size (128, or 32 for ex14FJ). *)

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Compute_capability Gat_arch Gpu List Option Throughput

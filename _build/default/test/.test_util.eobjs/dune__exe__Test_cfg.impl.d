@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Basic_block Fun Gat_arch Gat_cfg Gat_compiler Gat_ir Gat_isa Gat_workloads Instruction List Opcode Operand Printf Program QCheck QCheck_alcotest Register String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gat_arch Gat_compiler Gat_core Gat_isa Gat_workloads Imix List Occupancy Occupancy_curves Pipeline_util Predict QCheck QCheck_alcotest Rules String Suggest

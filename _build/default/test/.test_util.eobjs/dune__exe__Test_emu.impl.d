@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Array Driver Eval Expr Float Gat_arch Gat_compiler Gat_emu Gat_ir Gat_workloads Hashtbl Kernel List Params Printf Profile QCheck QCheck_alcotest Regalloc Stmt String

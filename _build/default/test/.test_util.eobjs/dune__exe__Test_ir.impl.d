@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Eval Gat_arch Gat_compiler Gat_ir Gat_isa Gat_workloads Hashtbl Kernel List Printf Source Stdlib Stmt Tuning_spec Typecheck

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Basic_block Disasm Float Gat_arch Gat_compiler Gat_ir Gat_isa Gat_workloads Instruction List Opcode Operand Parser Program Ptx QCheck QCheck_alcotest Register String Weight

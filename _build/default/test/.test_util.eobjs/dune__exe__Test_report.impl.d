@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Gat_arch Gat_core Gat_ir Gat_report Gat_workloads List String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Gat_arch Gat_compiler Gat_core Gat_sim Gat_util Gat_workloads List Memory_model Printf QCheck QCheck_alcotest

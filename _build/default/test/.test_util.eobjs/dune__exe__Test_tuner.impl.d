@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Float Gat_arch Gat_compiler Gat_ir Gat_tuner Gat_util Gat_workloads List Option String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Csv Float Fun Gat_util Gen Histogram List QCheck QCheck_alcotest Rng Stats String Table

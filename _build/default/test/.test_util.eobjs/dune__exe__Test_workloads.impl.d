@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Eval Gat_arch Gat_compiler Gat_ir Gat_sim Gat_workloads Hashtbl Kernel List Printf Stmt Typecheck

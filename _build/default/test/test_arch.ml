@@ -1,0 +1,172 @@
+(* Tests for gat_arch: compute capabilities, GPU descriptions and the
+   Table II throughput tables. *)
+
+open Gat_arch
+
+let test_cc_roundtrip () =
+  List.iter
+    (fun cc ->
+      Alcotest.(check (option string))
+        "roundtrip" (Some (Compute_capability.to_string cc))
+        (Option.map Compute_capability.to_string
+           (Compute_capability.of_string (Compute_capability.to_string cc))))
+    Compute_capability.all
+
+let test_cc_of_version_string () =
+  Alcotest.(check bool) "3.5" true
+    (Compute_capability.of_string "3.5" = Some Compute_capability.Sm35);
+  Alcotest.(check bool) "bogus" true (Compute_capability.of_string "9.9" = None)
+
+let test_cc_families () =
+  Alcotest.(check (list string)) "family names"
+    [ "Fermi"; "Kepler"; "Maxwell"; "Pascal" ]
+    (List.map Compute_capability.family Compute_capability.all)
+
+let test_cc_short () =
+  Alcotest.(check (list string)) "short tags" [ "F"; "K"; "M"; "P" ]
+    (List.map Compute_capability.short Compute_capability.all)
+
+let test_cc_order () =
+  let sorted = List.sort Compute_capability.compare Compute_capability.all in
+  Alcotest.(check bool) "already in generation order" true
+    (sorted = Compute_capability.all)
+
+let test_cc_versions_increase () =
+  let versions = List.map Compute_capability.version Compute_capability.all in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing versions)
+
+(* ---- Gpu (Table I) ---- *)
+
+let test_gpu_count () = Alcotest.(check int) "four devices" 4 (List.length Gpu.all)
+
+let test_gpu_cuda_cores () =
+  Alcotest.(check int) "M2050 cores" 448 (Gpu.cuda_cores Gpu.m2050);
+  Alcotest.(check int) "K20 cores" 2496 (Gpu.cuda_cores Gpu.k20);
+  Alcotest.(check int) "M40 cores" 3072 (Gpu.cuda_cores Gpu.m40);
+  Alcotest.(check int) "P100 cores" 3584 (Gpu.cuda_cores Gpu.p100)
+
+let test_gpu_table1_limits () =
+  (* Spot-check the Table I limits the occupancy model depends on. *)
+  Alcotest.(check int) "Fermi warps/mp" 48 Gpu.m2050.Gpu.warps_per_mp;
+  Alcotest.(check int) "Kepler warps/mp" 64 Gpu.k20.Gpu.warps_per_mp;
+  Alcotest.(check int) "Fermi blocks/mp" 8 Gpu.m2050.Gpu.blocks_per_mp;
+  Alcotest.(check int) "Kepler blocks/mp" 16 Gpu.k20.Gpu.blocks_per_mp;
+  Alcotest.(check int) "Maxwell blocks/mp" 32 Gpu.m40.Gpu.blocks_per_mp;
+  Alcotest.(check int) "Fermi reg file" 32768 Gpu.m2050.Gpu.reg_file_size;
+  Alcotest.(check int) "Fermi reg alloc" 64 Gpu.m2050.Gpu.reg_alloc_unit;
+  Alcotest.(check int) "Kepler reg alloc" 256 Gpu.k20.Gpu.reg_alloc_unit;
+  Alcotest.(check int) "Fermi regs/thread" 63 Gpu.m2050.Gpu.regs_per_thread;
+  Alcotest.(check int) "Pascal regs/thread" 255 Gpu.p100.Gpu.regs_per_thread;
+  Alcotest.(check int) "Fermi threads/mp" 1536 Gpu.m2050.Gpu.threads_per_mp
+
+let test_gpu_lookup_by_name () =
+  Alcotest.(check bool) "K20" true (Gpu.of_name "k20" = Some Gpu.k20);
+  Alcotest.(check bool) "by family" true (Gpu.of_name "pascal" = Some Gpu.p100);
+  Alcotest.(check bool) "unknown" true (Gpu.of_name "V100" = None)
+
+let test_gpu_of_cc () =
+  List.iter
+    (fun gpu ->
+      Alcotest.(check string) "of_cc" gpu.Gpu.name (Gpu.of_cc gpu.Gpu.cc).Gpu.name)
+    Gpu.all
+
+let test_gpu_warp_size () =
+  List.iter
+    (fun gpu ->
+      Alcotest.(check int) "warp 32" 32 gpu.Gpu.warp_size;
+      Alcotest.(check int) "threads/warp 32" 32 gpu.Gpu.threads_per_warp)
+    Gpu.all
+
+(* ---- Throughput (Table II) ---- *)
+
+let test_table2_spot_values () =
+  let open Throughput in
+  let open Compute_capability in
+  Alcotest.(check (float 0.0)) "fp32 sm20" 32.0 (ipc Sm20 Fp32);
+  Alcotest.(check (float 0.0)) "fp32 sm35" 192.0 (ipc Sm35 Fp32);
+  Alcotest.(check (float 0.0)) "fp32 sm52" 128.0 (ipc Sm52 Fp32);
+  Alcotest.(check (float 0.0)) "fp32 sm60" 64.0 (ipc Sm60 Fp32);
+  Alcotest.(check (float 0.0)) "fp64 sm52" 4.0 (ipc Sm52 Fp64);
+  Alcotest.(check (float 0.0)) "sfu sm20" 4.0 (ipc Sm20 Log_sin_cos);
+  Alcotest.(check (float 0.0)) "mem sm52" 64.0 (ipc Sm52 Mem);
+  Alcotest.(check (float 0.0)) "move everywhere" 32.0 (ipc Sm20 Move);
+  Alcotest.(check (float 0.0)) "conv64 sm35" 8.0 (ipc Sm35 Conv64)
+
+let test_cpi_reciprocal () =
+  List.iter
+    (fun cc ->
+      List.iter
+        (fun cat ->
+          Alcotest.(check (float 1e-12))
+            "cpi = 1/ipc"
+            (1.0 /. Throughput.ipc cc cat)
+            (Throughput.cpi cc cat))
+        Throughput.all_categories)
+    Compute_capability.all
+
+let test_klass_partition () =
+  let counts =
+    List.map
+      (fun k ->
+        List.length
+          (List.filter
+             (fun c -> Throughput.klass_of_category c = k)
+             Throughput.all_categories))
+      Throughput.all_klasses
+  in
+  Alcotest.(check int) "total" (List.length Throughput.all_categories)
+    (List.fold_left ( + ) 0 counts);
+  List.iter (fun n -> Alcotest.(check bool) "non-empty" true (n > 0)) counts
+
+let test_class_cpi_positive () =
+  List.iter
+    (fun cc ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) "positive" true (Throughput.class_cpi cc k > 0.0))
+        Throughput.all_klasses)
+    Compute_capability.all
+
+let test_category_names_unique () =
+  let names = List.map Throughput.category_name Throughput.all_categories in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_table2_row_count () =
+  Alcotest.(check int) "12 categories" 12 (List.length Throughput.all_categories)
+
+let () =
+  Alcotest.run "gat_arch"
+    [
+      ( "compute_capability",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_cc_roundtrip;
+          Alcotest.test_case "of version string" `Quick test_cc_of_version_string;
+          Alcotest.test_case "families" `Quick test_cc_families;
+          Alcotest.test_case "short tags" `Quick test_cc_short;
+          Alcotest.test_case "ordering" `Quick test_cc_order;
+          Alcotest.test_case "versions increase" `Quick test_cc_versions_increase;
+        ] );
+      ( "gpu",
+        [
+          Alcotest.test_case "count" `Quick test_gpu_count;
+          Alcotest.test_case "cuda cores" `Quick test_gpu_cuda_cores;
+          Alcotest.test_case "table I limits" `Quick test_gpu_table1_limits;
+          Alcotest.test_case "lookup by name" `Quick test_gpu_lookup_by_name;
+          Alcotest.test_case "of_cc" `Quick test_gpu_of_cc;
+          Alcotest.test_case "warp size" `Quick test_gpu_warp_size;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "table II spot values" `Quick test_table2_spot_values;
+          Alcotest.test_case "cpi reciprocal" `Quick test_cpi_reciprocal;
+          Alcotest.test_case "class partition" `Quick test_klass_partition;
+          Alcotest.test_case "class cpi positive" `Quick test_class_cpi_positive;
+          Alcotest.test_case "unique names" `Quick test_category_names_unique;
+          Alcotest.test_case "row count" `Quick test_table2_row_count;
+        ] );
+    ]

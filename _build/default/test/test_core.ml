@@ -1,0 +1,395 @@
+(* Tests for gat_core: the occupancy model (Eqs. 1-5), instruction
+   mixes, the Eq. 6 predictor, pipeline utilization, parameter
+   suggestion (Table VII) and the rule-based heuristic. *)
+
+open Gat_core
+module Gpu = Gat_arch.Gpu
+
+let occ gpu ?(regs = 0) ?(smem = 0) tc =
+  Occupancy.calculate gpu
+    (Occupancy.input ~regs_per_thread:regs ~smem_per_block:smem
+       ~threads_per_block:tc ())
+
+(* ---- Occupancy ---- *)
+
+let test_occupancy_full_fermi () =
+  (* 256 threads = 8 warps/block; 6 blocks fill the 48 warp slots. *)
+  let r = occ Gpu.m2050 256 in
+  Alcotest.(check int) "active blocks" 6 r.Occupancy.active_blocks;
+  Alcotest.(check int) "warps/block" 8 r.Occupancy.warps_per_block;
+  Alcotest.(check int) "active warps" 48 r.Occupancy.active_warps;
+  Alcotest.(check (float 1e-9)) "occupancy" 1.0 r.Occupancy.occupancy
+
+let test_occupancy_small_blocks_limited () =
+  (* 32-thread blocks on Fermi: the 8-block cap leaves 8 warps of 48. *)
+  let r = occ Gpu.m2050 32 in
+  Alcotest.(check int) "blocks capped" 8 r.Occupancy.active_blocks;
+  Alcotest.(check (float 1e-6)) "occ 1/6" (8.0 /. 48.0) r.Occupancy.occupancy;
+  Alcotest.(check bool) "warp-limited" true (r.Occupancy.limiter = Occupancy.Warps)
+
+let test_occupancy_register_limited () =
+  (* Fermi, 256 threads, 63 regs/thread: regs/warp = 64-aligned 2048;
+     32768/2048 = 16 warps -> 2 blocks of 8 warps. *)
+  let r = occ Gpu.m2050 ~regs:63 256 in
+  Alcotest.(check int) "blocks by regs" 2 r.Occupancy.blocks_by_regs;
+  Alcotest.(check int) "active" 2 r.Occupancy.active_blocks;
+  Alcotest.(check bool) "reg-limited" true (r.Occupancy.limiter = Occupancy.Registers)
+
+let test_occupancy_register_granularity () =
+  (* 21 regs * 32 threads = 672 -> rounds to 768 on Kepler (unit 256). *)
+  let r = occ Gpu.k20 ~regs:21 256 in
+  (* 65536/768 = 85 warps -> / 8 warps per block = 10 blocks. *)
+  Alcotest.(check int) "granularity rounding" 10 r.Occupancy.blocks_by_regs
+
+let test_occupancy_smem_limited () =
+  (* 12 KB blocks on Fermi's 48 KB SM: 4 blocks. *)
+  let r = occ Gpu.m2050 ~smem:12288 64 in
+  Alcotest.(check int) "blocks by smem" 4 r.Occupancy.blocks_by_smem;
+  Alcotest.(check bool) "smem-limited" true
+    (r.Occupancy.limiter = Occupancy.Shared_memory)
+
+let test_occupancy_smem_granularity () =
+  (* 1 byte rounds up to 128; 49152/128 = 384, still above the block cap. *)
+  let r = occ Gpu.m2050 ~smem:1 64 in
+  Alcotest.(check int) "tiny smem no constraint" 384 r.Occupancy.blocks_by_smem
+
+let test_occupancy_illegal_regs () =
+  let r = occ Gpu.m2050 ~regs:64 256 in
+  Alcotest.(check int) "zero blocks" 0 r.Occupancy.active_blocks;
+  Alcotest.(check bool) "illegal" true (r.Occupancy.limiter = Occupancy.Illegal);
+  Alcotest.(check (float 1e-9)) "occ 0" 0.0 r.Occupancy.occupancy
+
+let test_occupancy_illegal_smem () =
+  let r = occ Gpu.k20 ~smem:50000 256 in
+  Alcotest.(check bool) "illegal" true (r.Occupancy.limiter = Occupancy.Illegal)
+
+let test_occupancy_oversized_block () =
+  let r = occ Gpu.k20 2048 in
+  Alcotest.(check int) "no blocks" 0 r.Occupancy.active_blocks
+
+let test_occupancy_rejects_nonpositive () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (occ Gpu.k20 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_occupancy_non_warp_multiple () =
+  (* 100 threads occupy 4 warp slots. *)
+  let r = occ Gpu.k20 100 in
+  Alcotest.(check int) "ceil warps" 4 r.Occupancy.warps_per_block
+
+let test_occupancy_with_reduced_smem () =
+  (* Shrinking the SM's shared memory (PL=48 carveout) tightens blocks. *)
+  let input = Occupancy.input ~smem_per_block:8192 ~threads_per_block:64 () in
+  let full = Occupancy.calculate Gpu.m2050 input in
+  let shrunk = Occupancy.calculate_with ~smem_per_mp:16384 Gpu.m2050 input in
+  Alcotest.(check bool) "fewer blocks" true
+    (shrunk.Occupancy.active_blocks < full.Occupancy.active_blocks)
+
+let prop_occupancy_bounded =
+  QCheck.Test.make ~count:300 ~name:"occupancy in [0,1]"
+    QCheck.(
+      quad (int_range 1 1024) (int_range 0 255) (int_range 0 49152)
+        (int_range 0 3))
+    (fun (tc, regs, smem, gpu_idx) ->
+      let gpu = List.nth Gpu.all gpu_idx in
+      let r = occ gpu ~regs ~smem tc in
+      r.Occupancy.occupancy >= 0.0 && r.Occupancy.occupancy <= 1.0)
+
+let prop_occupancy_monotone_regs =
+  QCheck.Test.make ~count:200 ~name:"more registers never raise occupancy"
+    QCheck.(triple (int_range 1 1024) (int_range 1 200) (int_range 1 55))
+    (fun (tc, regs, extra) ->
+      let a = occ Gpu.k20 ~regs tc in
+      let b = occ Gpu.k20 ~regs:(regs + extra) tc in
+      b.Occupancy.occupancy <= a.Occupancy.occupancy +. 1e-9)
+
+let prop_occupancy_monotone_smem =
+  QCheck.Test.make ~count:200 ~name:"more shared memory never raises occupancy"
+    QCheck.(triple (int_range 1 1024) (int_range 0 40000) (int_range 1 9000))
+    (fun (tc, smem, extra) ->
+      let a = occ Gpu.m40 ~smem tc in
+      let b = occ Gpu.m40 ~smem:(smem + extra) tc in
+      b.Occupancy.occupancy <= a.Occupancy.occupancy +. 1e-9)
+
+(* ---- Imix ---- *)
+
+let compiled kernel =
+  (Gat_compiler.Driver.compile_exn kernel Gpu.k20 Gat_compiler.Params.default)
+    .Gat_compiler.Driver.program
+
+let test_imix_static_counts () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.matvec2d) in
+  Alcotest.(check (float 1e-9)) "total = instruction count"
+    (float_of_int
+       (Gat_isa.Program.instruction_count (compiled Gat_workloads.Workloads.matvec2d)))
+    (Imix.total mix)
+
+let test_imix_classes_sum () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  Alcotest.(check (float 1e-6)) "classes partition the total"
+    (Imix.total mix)
+    (Imix.ofl mix +. Imix.omem mix +. Imix.octrl mix)
+
+let test_imix_fractions_sum_to_one () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.bicg) in
+  let sum =
+    List.fold_left
+      (fun acc (k, f) -> if k = Gat_arch.Throughput.Register then acc else acc +. f)
+      0.0 (Imix.klass_fractions mix)
+  in
+  Alcotest.(check (float 1e-6)) "fractions sum" 1.0 sum
+
+let test_imix_scale_add () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  let doubled = Imix.add mix mix in
+  let scaled = Imix.scale 2.0 mix in
+  Alcotest.(check (float 1e-9)) "add = scale 2" (Imix.total doubled) (Imix.total scaled);
+  Alcotest.(check (float 1e-9)) "oreg too" (Imix.oreg doubled) (Imix.oreg scaled)
+
+let test_imix_estimate_grows_with_n () =
+  let p = compiled Gat_workloads.Workloads.matvec2d in
+  let small = Imix.estimate_dynamic p ~n:32 in
+  let large = Imix.estimate_dynamic p ~n:512 in
+  Alcotest.(check bool) "larger N more work" true
+    (Imix.total large > Imix.total small)
+
+let test_imix_intensity_ordering () =
+  (* ex14fj (compute + transcendentals) is more intense than bicg. *)
+  let intensity k = Imix.intensity (Imix.static_of_program (compiled k)) in
+  Alcotest.(check bool) "ex14fj > bicg" true
+    (intensity Gat_workloads.Workloads.ex14fj > intensity Gat_workloads.Workloads.bicg)
+
+let test_imix_zero () =
+  Alcotest.(check (float 0.0)) "zero total" 0.0 (Imix.total Imix.zero);
+  Alcotest.(check (float 0.0)) "zero intensity" 0.0 (Imix.intensity Imix.zero)
+
+(* ---- Predict ---- *)
+
+let test_predict_cost_positive () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  List.iter
+    (fun gpu ->
+      Alcotest.(check bool) "positive" true (Predict.cost gpu mix > 0.0))
+    Gpu.all
+
+let test_predict_cost_additive () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  let gpu = Gpu.k20 in
+  Alcotest.(check (float 1e-6)) "cost linear in mix"
+    (2.0 *. Predict.cost gpu mix)
+    (Predict.cost gpu (Imix.scale 2.0 mix))
+
+let test_predict_rank_order () =
+  Alcotest.(check (array int)) "sorts ascending" [| 2; 0; 1 |]
+    (Predict.rank_order [| 5.0; 9.0; 1.0 |])
+
+let test_predict_normalized_error_zero_for_identical () =
+  let xs = [| 3.0; 1.0; 2.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "zero" 0.0
+    (Predict.normalized_error ~predicted:xs ~measured:xs)
+
+let test_predict_normalized_error_bounds () =
+  let measured = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let predicted = [| 4.0; 3.0; 2.0; 1.0 |] in
+  let e = Predict.normalized_error ~predicted ~measured in
+  Alcotest.(check bool) "in [0,1]" true (e >= 0.0 && e <= 1.0);
+  Alcotest.(check bool) "anti-correlated is large" true (e > 0.4)
+
+let test_predict_category_cost_close_to_class_cost () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  let gpu = Gpu.k20 in
+  let a = Predict.cost gpu mix and b = Predict.cost_per_category gpu mix in
+  Alcotest.(check bool) "same order of magnitude" true
+    (a /. b < 4.0 && b /. a < 4.0)
+
+(* ---- Pipeline utilization ---- *)
+
+let test_pipeline_fractions () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  let entries = Pipeline_util.of_mix Gpu.k20 mix in
+  let sum = List.fold_left (fun acc e -> acc +. e.Pipeline_util.utilization) 0.0 entries in
+  Alcotest.(check (float 1e-6)) "sums to 1" 1.0 sum;
+  (* sorted descending *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Pipeline_util.utilization >= b.Pipeline_util.utilization && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending" true (sorted entries)
+
+let test_pipeline_bottleneck () =
+  let mix = Imix.static_of_program (compiled Gat_workloads.Workloads.atax) in
+  match Pipeline_util.bottleneck Gpu.k20 mix with
+  | Some e -> Alcotest.(check bool) "positive" true (e.Pipeline_util.utilization > 0.0)
+  | None -> Alcotest.fail "expected a bottleneck"
+
+let test_pipeline_empty_mix () =
+  Alcotest.(check bool) "no bottleneck for empty mix" true
+    (Pipeline_util.bottleneck Gpu.k20 Imix.zero = None)
+
+(* ---- Suggest (Table VII) ---- *)
+
+let test_suggest_candidates () =
+  let c = Suggest.candidate_threads Gpu.k20 in
+  Alcotest.(check int) "16 candidates" 16 (List.length c);
+  List.iter
+    (fun t -> Alcotest.(check int) "multiple of 64" 0 (t mod 64))
+    c
+
+let test_suggest_paper_thread_lists () =
+  (* With modest registers and no shared memory, the suggested lists
+     match Table VII exactly. *)
+  let suggest gpu = (Suggest.suggest gpu ~regs_per_thread:20 ~smem_per_block:0).Suggest.threads in
+  Alcotest.(check (list int)) "Fermi" [ 192; 256; 384; 512; 768 ] (suggest Gpu.m2050);
+  Alcotest.(check (list int)) "Kepler" [ 128; 256; 512; 1024 ] (suggest Gpu.k20);
+  Alcotest.(check (list int)) "Maxwell" [ 64; 128; 256; 512; 1024 ] (suggest Gpu.m40);
+  Alcotest.(check (list int)) "Pascal" [ 64; 128; 256; 512; 1024 ] (suggest Gpu.p100)
+
+let test_suggest_headroom_preserves_occupancy () =
+  let gpu = Gpu.k20 in
+  let s = Suggest.suggest gpu ~regs_per_thread:20 ~smem_per_block:0 in
+  let best_tc = List.hd s.Suggest.threads in
+  let r =
+    occ gpu ~regs:(20 + s.Suggest.reg_headroom) ~smem:s.Suggest.smem_headroom best_tc
+  in
+  Alcotest.(check (float 1e-9)) "occ preserved at headroom" s.Suggest.occupancy
+    r.Occupancy.occupancy
+
+let test_suggest_headroom_is_maximal () =
+  let gpu = Gpu.k20 in
+  let s = Suggest.suggest gpu ~regs_per_thread:20 ~smem_per_block:0 in
+  let best_tc = List.hd s.Suggest.threads in
+  let beyond = occ gpu ~regs:(20 + s.Suggest.reg_headroom + 1) best_tc in
+  Alcotest.(check bool) "one more register drops occupancy" true
+    (beyond.Occupancy.occupancy < s.Suggest.occupancy
+    || 20 + s.Suggest.reg_headroom + 1 > gpu.Gpu.regs_per_thread)
+
+let test_suggest_row_string () =
+  let s = Suggest.suggest Gpu.k20 ~regs_per_thread:20 ~smem_per_block:0 in
+  let str = Suggest.row_to_string s in
+  Alcotest.(check bool) "mentions occ" true (String.length str > 10)
+
+(* ---- Rules ---- *)
+
+let test_rules_threshold () =
+  Alcotest.(check bool) "4.0 is lower" true (Rules.band_of_intensity 4.0 = Rules.Lower);
+  Alcotest.(check bool) "4.1 is upper" true (Rules.band_of_intensity 4.1 = Rules.Upper)
+
+let test_rules_apply () =
+  Alcotest.(check (list int)) "lower half" [ 128; 256 ]
+    (Rules.apply ~intensity:1.0 [ 128; 256; 512; 1024 ]);
+  Alcotest.(check (list int)) "upper half" [ 512; 1024 ]
+    (Rules.apply ~intensity:9.0 [ 128; 256; 512; 1024 ]);
+  Alcotest.(check (list int)) "odd length upper includes middle" [ 256; 512; 768 ]
+    (Rules.apply ~intensity:9.0 [ 64; 128; 256; 512; 768 ]);
+  Alcotest.(check (list int)) "singleton unchanged" [ 99 ]
+    (Rules.apply ~intensity:9.0 [ 99 ]);
+  Alcotest.(check (list int)) "empty" [] (Rules.apply ~intensity:9.0 [])
+
+(* ---- Occupancy curves ---- *)
+
+let test_curves_threads () =
+  let pts = Occupancy_curves.vs_threads Gpu.k20 ~regs_per_thread:20 ~smem_per_block:0 in
+  Alcotest.(check int) "32..1024 step 32" 32 (List.length pts);
+  List.iter
+    (fun (p : Occupancy_curves.point) ->
+      Alcotest.(check bool) "bounded" true
+        (p.Occupancy_curves.occupancy >= 0.0 && p.Occupancy_curves.occupancy <= 1.0))
+    pts
+
+let test_curves_registers () =
+  let pts = Occupancy_curves.vs_registers Gpu.m2050 ~threads_per_block:256 ~smem_per_block:0 in
+  Alcotest.(check int) "1..63" 63 (List.length pts);
+  (* Monotone non-increasing. *)
+  let rec non_increasing = function
+    | (a : Occupancy_curves.point) :: (b :: _ as rest) ->
+        a.Occupancy_curves.occupancy >= b.Occupancy_curves.occupancy -. 1e-9
+        && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-increasing" true (non_increasing pts)
+
+let test_curves_smem () =
+  let pts = Occupancy_curves.vs_smem Gpu.k20 ~threads_per_block:256 ~regs_per_thread:20 in
+  Alcotest.(check bool) "has points" true (List.length pts > 50)
+
+let test_curves_render_marker () =
+  let pts = Occupancy_curves.vs_threads Gpu.k20 ~regs_per_thread:20 ~smem_per_block:0 in
+  let s = Occupancy_curves.render ~title:"t" ~marker:128 pts in
+  Alcotest.(check bool) "marker shown" true
+    (let needle = "<== current" in
+     let rec scan i =
+       i + String.length needle <= String.length s
+       && (String.sub s i (String.length needle) = needle || scan (i + 1))
+     in
+     scan 0)
+
+let () =
+  Alcotest.run "gat_core"
+    [
+      ( "occupancy",
+        [
+          Alcotest.test_case "full fermi" `Quick test_occupancy_full_fermi;
+          Alcotest.test_case "small blocks" `Quick test_occupancy_small_blocks_limited;
+          Alcotest.test_case "register limited" `Quick test_occupancy_register_limited;
+          Alcotest.test_case "register granularity" `Quick test_occupancy_register_granularity;
+          Alcotest.test_case "smem limited" `Quick test_occupancy_smem_limited;
+          Alcotest.test_case "smem granularity" `Quick test_occupancy_smem_granularity;
+          Alcotest.test_case "illegal regs" `Quick test_occupancy_illegal_regs;
+          Alcotest.test_case "illegal smem" `Quick test_occupancy_illegal_smem;
+          Alcotest.test_case "oversized block" `Quick test_occupancy_oversized_block;
+          Alcotest.test_case "nonpositive rejected" `Quick test_occupancy_rejects_nonpositive;
+          Alcotest.test_case "non warp multiple" `Quick test_occupancy_non_warp_multiple;
+          Alcotest.test_case "reduced smem" `Quick test_occupancy_with_reduced_smem;
+          QCheck_alcotest.to_alcotest prop_occupancy_bounded;
+          QCheck_alcotest.to_alcotest prop_occupancy_monotone_regs;
+          QCheck_alcotest.to_alcotest prop_occupancy_monotone_smem;
+        ] );
+      ( "imix",
+        [
+          Alcotest.test_case "static counts" `Quick test_imix_static_counts;
+          Alcotest.test_case "classes sum" `Quick test_imix_classes_sum;
+          Alcotest.test_case "fractions" `Quick test_imix_fractions_sum_to_one;
+          Alcotest.test_case "scale/add" `Quick test_imix_scale_add;
+          Alcotest.test_case "estimate grows" `Quick test_imix_estimate_grows_with_n;
+          Alcotest.test_case "intensity ordering" `Quick test_imix_intensity_ordering;
+          Alcotest.test_case "zero mix" `Quick test_imix_zero;
+        ] );
+      ( "predict",
+        [
+          Alcotest.test_case "cost positive" `Quick test_predict_cost_positive;
+          Alcotest.test_case "cost additive" `Quick test_predict_cost_additive;
+          Alcotest.test_case "rank order" `Quick test_predict_rank_order;
+          Alcotest.test_case "zero error identical" `Quick test_predict_normalized_error_zero_for_identical;
+          Alcotest.test_case "error bounds" `Quick test_predict_normalized_error_bounds;
+          Alcotest.test_case "category vs class cost" `Quick test_predict_category_cost_close_to_class_cost;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "fractions" `Quick test_pipeline_fractions;
+          Alcotest.test_case "bottleneck" `Quick test_pipeline_bottleneck;
+          Alcotest.test_case "empty mix" `Quick test_pipeline_empty_mix;
+        ] );
+      ( "suggest",
+        [
+          Alcotest.test_case "candidates" `Quick test_suggest_candidates;
+          Alcotest.test_case "paper thread lists" `Quick test_suggest_paper_thread_lists;
+          Alcotest.test_case "headroom preserves occ" `Quick test_suggest_headroom_preserves_occupancy;
+          Alcotest.test_case "headroom maximal" `Quick test_suggest_headroom_is_maximal;
+          Alcotest.test_case "row string" `Quick test_suggest_row_string;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "threshold" `Quick test_rules_threshold;
+          Alcotest.test_case "apply" `Quick test_rules_apply;
+        ] );
+      ( "curves",
+        [
+          Alcotest.test_case "threads" `Quick test_curves_threads;
+          Alcotest.test_case "registers" `Quick test_curves_registers;
+          Alcotest.test_case "smem" `Quick test_curves_smem;
+          Alcotest.test_case "render marker" `Quick test_curves_render_marker;
+        ] );
+    ]

@@ -1,0 +1,397 @@
+(* Tests for gat_emu: the functional ISA emulator validates the entire
+   compiler (lowering, scheduling, register allocation, spilling)
+   against the IR reference interpreter, and its dynamic counts
+   cross-check the compile-time execution profiles. *)
+
+open Gat_ir
+open Gat_compiler
+module Emu = Gat_emu.Emulator
+
+let gpu = Gat_arch.Gpu.k20
+
+let small_params ?(unroll = 1) ?(fast_math = false) () =
+  Params.make ~threads_per_block:64 ~block_count:4 ~unroll ~fast_math ()
+
+let cross_validate ?(tolerance = 1e-9) kernel params n =
+  let c = Driver.compile_exn kernel gpu params in
+  let reference = Eval.run_fresh kernel ~n ~seed:7 in
+  let arrays, _ = Emu.run_fresh c ~n ~seed:7 in
+  let diff = Eval.max_abs_diff reference arrays in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s %s diff=%g" kernel.Kernel.name (Params.to_string params) diff)
+    true (diff <= tolerance)
+
+let test_emulator_matches_interpreter () =
+  List.iter
+    (fun kernel ->
+      let n = if kernel.Kernel.name = "ex14fj" then 6 else 10 in
+      List.iter
+        (fun (unroll, fast_math) ->
+          cross_validate ~tolerance:1e-12 kernel (small_params ~unroll ~fast_math ()) n)
+        [ (1, false); (2, false); (3, false); (5, false); (2, true); (4, true) ])
+    Gat_workloads.Workloads.all
+
+let prop_emulator_random_configs =
+  QCheck.Test.make ~count:20 ~name:"emulator matches interpreter on random configs"
+    QCheck.(
+      triple (oneofl [ 32; 64; 96; 160 ]) (int_range 1 6) (int_range 4 12))
+    (fun (tc, unroll, n) ->
+      let kernel = Gat_workloads.Workloads.atax in
+      let params = Params.make ~threads_per_block:tc ~block_count:3 ~unroll () in
+      let c = Driver.compile_exn kernel gpu params in
+      let reference = Eval.run_fresh kernel ~n ~seed:11 in
+      let arrays, _ = Emu.run_fresh c ~n ~seed:11 in
+      Eval.max_abs_diff reference arrays <= 1e-12)
+
+(* Spill correctness: force spills on Fermi and still match. *)
+let pressure_kernel n_accs =
+  let open Expr in
+  let accs = List.init n_accs (fun i -> Printf.sprintf "a%d" i) in
+  Kernel.make ~name:"pressure" ~description:"register pressure"
+    ~arrays:[ Kernel.array_decl "x" 1; Kernel.array_decl "y" 1 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "i" (int 0) Size
+        (List.mapi
+           (fun k a -> Stmt.Assign (a, read "x" [ var "i" ] + float (float_of_int k)))
+           accs
+        @ [
+            Stmt.Store
+              ("y", [ var "i" ], List.fold_left (fun e a -> e + var a) (float 0.0) accs);
+          ]);
+    ]
+
+let test_emulator_validates_spill_code () =
+  let kernel = pressure_kernel 80 in
+  let params = Params.make ~threads_per_block:32 ~block_count:2 () in
+  let c = Driver.compile_exn kernel Gat_arch.Gpu.m2050 params in
+  Alcotest.(check bool) "does spill" true
+    (c.Driver.alloc_stats.Regalloc.spilled_values > 0);
+  let n = 16 in
+  let reference = Eval.run_fresh kernel ~n ~seed:3 in
+  let arrays, stats = Emu.run_fresh c ~n ~seed:3 in
+  Alcotest.(check (float 1e-12)) "spilled code still correct" 0.0
+    (Eval.max_abs_diff reference arrays);
+  Alcotest.(check bool) "local memory used" true (stats.Emu.max_local_bytes > 0)
+
+let test_emulator_counts_match_profile () =
+  (* The profile counts warp-level issue slots (execs * 32 * lanes);
+     the emulator counts active-thread executions.  On guard blocks,
+     masked lanes occupy slots without executing, so slots bound the
+     active count from above, within one masked head pass per thread. *)
+  let kernel = Gat_workloads.Workloads.atax in
+  let params = small_params () in
+  let c = Driver.compile_exn kernel gpu params in
+  let n = 10 in
+  let _, stats = Emu.run_fresh c ~n ~seed:1 in
+  let threads = float_of_int (Params.total_threads params) in
+  List.iter
+    (fun (label, emu_count) ->
+      let agg = Profile.find_counts c.Driver.profile ~n label in
+      let predicted = agg.Profile.execs *. 32.0 *. agg.Profile.lanes in
+      let emu = float_of_int emu_count in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: profile %.1f bounds emulated %d" label predicted
+           emu_count)
+        true
+        (emu <= predicted +. 1e-6 && predicted <= emu +. threads +. 32.0))
+    stats.Emu.per_block
+
+let test_emulator_counts_match_profile_divergent () =
+  (* ex14fj's If blocks come from Monte-Carlo probabilities; allow 10%
+     relative error on those, exactness elsewhere. *)
+  let kernel = Gat_workloads.Workloads.ex14fj in
+  let params = small_params () in
+  let c = Driver.compile_exn kernel gpu params in
+  let n = 8 in
+  let _, stats = Emu.run_fresh c ~n ~seed:1 in
+  let threads = float_of_int (Params.total_threads params) in
+  List.iter
+    (fun (label, emu_count) ->
+      let agg = Profile.find_counts c.Driver.profile ~n label in
+      let predicted = agg.Profile.execs *. 32.0 *. agg.Profile.lanes in
+      let emu = float_of_int emu_count in
+      let slack = (0.12 *. Float.max predicted emu) +. threads +. 32.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.1f vs %.0f" label predicted emu)
+        true
+        (Float.abs (predicted -. emu) <= slack))
+    stats.Emu.per_block
+
+let test_emulator_instruction_totals () =
+  let c = Driver.compile_exn Gat_workloads.Workloads.matvec2d gpu (small_params ()) in
+  let _, stats = Emu.run_fresh c ~n:8 ~seed:1 in
+  let sum =
+    List.fold_left (fun acc (_, x) -> acc +. x) 0.0 stats.Emu.per_category
+  in
+  Alcotest.(check (float 1e-6)) "category counts sum to total"
+    stats.Emu.instructions sum;
+  Alcotest.(check int) "threads" 256 stats.Emu.threads;
+  Alcotest.(check bool) "memory ops executed" true
+    (Emu.category_count stats Gat_arch.Throughput.Mem > 0.0)
+
+let test_emulator_deterministic () =
+  let c = Driver.compile_exn Gat_workloads.Workloads.bicg gpu (small_params ()) in
+  let _, a = Emu.run_fresh c ~n:8 ~seed:5 in
+  let _, b = Emu.run_fresh c ~n:8 ~seed:5 in
+  Alcotest.(check (float 0.0)) "same instruction count" a.Emu.instructions
+    b.Emu.instructions
+
+let test_emulator_step_limit () =
+  let c = Driver.compile_exn Gat_workloads.Workloads.atax gpu (small_params ()) in
+  Alcotest.(check bool) "step limit fires" true
+    (try
+       ignore (Emu.run_fresh ~step_limit:10 c ~n:64 ~seed:1);
+       false
+     with Emu.Fault _ -> true)
+
+let test_emulator_missing_array () =
+  let c = Driver.compile_exn Gat_workloads.Workloads.atax gpu (small_params ()) in
+  let arrays = Hashtbl.create 4 in
+  Alcotest.(check bool) "missing arrays fault" true
+    (try
+       ignore (Emu.run c ~n:8 arrays);
+       false
+     with Emu.Fault _ -> true)
+
+let test_emulator_unrolled_remainder_coverage () =
+  (* N not divisible by the unroll factor exercises the remainder loop;
+     the result must still match. *)
+  List.iter
+    (fun n -> cross_validate Gat_workloads.Workloads.atax (small_params ~unroll:4 ()) n)
+    [ 5; 6; 7; 9; 11; 13 ]
+
+let test_emulator_staging_variant () =
+  (* SC > 1 adds shared-memory priming; results are unaffected. *)
+  let params =
+    Params.make ~threads_per_block:64 ~block_count:4 ~staging:3 ()
+  in
+  cross_validate Gat_workloads.Workloads.matvec2d params 8
+
+(* ---- SIMT engine ---- *)
+
+(* A race-free dense row-based matvec: each thread owns its output. *)
+let rowwise_matvec =
+  let open Expr in
+  Kernel.make ~name:"rowmv" ~description:"race-free matvec"
+    ~arrays:[ Kernel.array_decl "A" 2; Kernel.array_decl "x" 1; Kernel.array_decl "y" 1 ]
+    [
+      Stmt.for_ ~kind:Stmt.Parallel "i" (int 0) Size
+        [
+          Stmt.Assign ("acc", float 0.0);
+          Stmt.for_ "j" (int 0) Size
+            [
+              Stmt.Assign
+                ("acc", var "acc" + (read "A" [ var "i"; var "j" ] * read "x" [ var "j" ]));
+            ];
+          Stmt.Store ("y", [ var "i" ], var "acc");
+        ];
+    ]
+
+let test_simt_matches_interpreter () =
+  (* Race-free kernels only: the paper's atax/bicg/matvec2d accumulate
+     into shared outputs across threads, a genuine data race that
+     lock-step SIMT execution exposes (see Simt's documentation). *)
+  List.iter
+    (fun (kernel, n) ->
+      List.iter
+        (fun unroll ->
+          let params = small_params ~unroll () in
+          let c = Driver.compile_exn kernel gpu params in
+          let reference = Eval.run_fresh kernel ~n ~seed:7 in
+          let arrays, _ = Gat_emu.Simt.run_fresh c ~n ~seed:7 in
+          Alcotest.(check bool)
+            (Printf.sprintf "SIMT %s u=%d" kernel.Kernel.name unroll)
+            true
+            (Eval.max_abs_diff reference arrays <= 1e-12))
+        [ 1; 3 ])
+    [ (Gat_workloads.Workloads.ex14fj, 6); (rowwise_matvec, 10) ]
+
+let test_simt_issue_counts_match_profile () =
+  (* The SIMT engine measures exactly what the profile predicts:
+     warp-level block executions.  For loop-structured blocks the match
+     is exact; Monte-Carlo branch blocks get a tolerance. *)
+  List.iter
+    (fun (kernel, n) ->
+      let params = small_params () in
+      let c = Driver.compile_exn kernel gpu params in
+      let _, stats = Gat_emu.Simt.run_fresh c ~n ~seed:2 in
+      let divergent_ifs =
+        kernel.Kernel.name = "ex14fj" (* MC-estimated branch blocks *)
+      in
+      List.iter
+        (fun (label, issues) ->
+          let agg = Profile.find_counts c.Driver.profile ~n label in
+          let predicted = agg.Profile.execs in
+          let emu = float_of_int issues in
+          let tolerance =
+            if divergent_ifs then (0.15 *. Float.max predicted emu) +. 1.0
+            else 1e-6
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s: profile %.2f vs SIMT %d"
+               kernel.Kernel.name label predicted issues)
+            true
+            (Float.abs (predicted -. emu) <= tolerance))
+        stats.Gat_emu.Simt.warp_issues)
+    [ (Gat_workloads.Workloads.atax, 10); (Gat_workloads.Workloads.matvec2d, 12);
+      (Gat_workloads.Workloads.bicg, 7); (Gat_workloads.Workloads.ex14fj, 6) ]
+
+let test_simt_lane_fractions_match_profile () =
+  let kernel = Gat_workloads.Workloads.matvec2d in
+  let params = small_params () in
+  let c = Driver.compile_exn kernel gpu params in
+  let n = 12 in
+  let _, stats = Gat_emu.Simt.run_fresh c ~n ~seed:2 in
+  List.iter
+    (fun (label, _) ->
+      let agg = Profile.find_counts c.Driver.profile ~n label in
+      let emu = Gat_emu.Simt.avg_lanes stats label in
+      (* Guard blocks keep masked lanes in their slots; the profile's
+         body-block lane fractions must match the SIMT measurement. *)
+      if agg.Profile.lanes < 1.0 then
+        Alcotest.(check (float 0.02))
+          (Printf.sprintf "%s lanes" label)
+          agg.Profile.lanes emu)
+    stats.Gat_emu.Simt.warp_issues
+
+let test_simt_divergence_issues_both_sides () =
+  (* ex14fj's boundary branch: divergent warps execute both paths, so
+     then+else SIMT issues exceed the warp count through the branch. *)
+  let kernel = Gat_workloads.Workloads.ex14fj in
+  let params = small_params () in
+  let c = Driver.compile_exn kernel gpu params in
+  let _, stats = Gat_emu.Simt.run_fresh c ~n:6 ~seed:2 in
+  Alcotest.(check bool) "reconvergence stack used" true
+    (stats.Gat_emu.Simt.max_stack_depth >= 2)
+
+let test_simt_spill_code () =
+  let kernel = pressure_kernel 80 in
+  let params = Params.make ~threads_per_block:32 ~block_count:2 () in
+  let c = Driver.compile_exn kernel Gat_arch.Gpu.m2050 params in
+  let n = 16 in
+  let reference = Eval.run_fresh kernel ~n ~seed:3 in
+  let arrays, _ = Gat_emu.Simt.run_fresh c ~n ~seed:3 in
+  Alcotest.(check (float 1e-12)) "SIMT spill correctness" 0.0
+    (Eval.max_abs_diff reference arrays)
+
+let test_simt_agrees_with_per_thread_engine () =
+  let kernel = rowwise_matvec in
+  let c = Driver.compile_exn kernel gpu (small_params ~unroll:2 ()) in
+  let a, _ = Emu.run_fresh c ~n:9 ~seed:4 in
+  let b, _ = Gat_emu.Simt.run_fresh c ~n:9 ~seed:4 in
+  Alcotest.(check (float 1e-12)) "engines agree" 0.0 (Eval.max_abs_diff a b)
+
+let test_simt_exposes_accumulation_race () =
+  (* atax's y[j] += across threads: lock-step lanes overwrite each
+     other, so SIMT results deviate — the hardware-faithful behavior. *)
+  let kernel = Gat_workloads.Workloads.atax in
+  let c = Driver.compile_exn kernel gpu (small_params ()) in
+  let reference = Eval.run_fresh kernel ~n:10 ~seed:7 in
+  let arrays, _ = Gat_emu.Simt.run_fresh c ~n:10 ~seed:7 in
+  Alcotest.(check bool) "race visible under SIMT" true
+    (Eval.max_abs_diff reference arrays > 1e-6)
+
+(* ---- Dynamic analysis (BF / MD) ---- *)
+
+let test_branch_frequency_exact () =
+  (* ex14fj at N=8: the interior test passes for (8-2)^3 of 8^3 points. *)
+  let params = Params.make ~threads_per_block:64 ~block_count:8 () in
+  let c = Driver.compile_exn Gat_workloads.Workloads.ex14fj gpu params in
+  let t = Gat_emu.Dynamic_analysis.analyze c ~n:8 ~seed:1 in
+  let interior =
+    List.find
+      (fun (b : Gat_emu.Dynamic_analysis.branch_stat) ->
+        b.Gat_emu.Dynamic_analysis.executions = 512)
+      t.Gat_emu.Dynamic_analysis.branches
+  in
+  Alcotest.(check int) "interior taken count" 216
+    interior.Gat_emu.Dynamic_analysis.taken
+
+let test_reuse_histogram_consistency () =
+  let params = Params.make ~threads_per_block:64 ~block_count:4 () in
+  let c = Driver.compile_exn Gat_workloads.Workloads.atax gpu params in
+  let t = Gat_emu.Dynamic_analysis.analyze c ~n:16 ~seed:1 in
+  let reuse = t.Gat_emu.Dynamic_analysis.reuse in
+  let total =
+    reuse.Gat_emu.Dynamic_analysis.cold
+    + Array.fold_left
+        (fun acc (_, c) -> acc + c)
+        0 reuse.Gat_emu.Dynamic_analysis.buckets
+  in
+  Alcotest.(check int) "cold + buckets sum to accesses"
+    reuse.Gat_emu.Dynamic_analysis.accesses total;
+  Alcotest.(check int) "colds = distinct lines"
+    reuse.Gat_emu.Dynamic_analysis.lines reuse.Gat_emu.Dynamic_analysis.cold;
+  Alcotest.(check bool) "touched lines positive" true
+    (reuse.Gat_emu.Dynamic_analysis.lines > 0);
+  (* A cache big enough for every line hits everything except colds. *)
+  let full = Gat_emu.Dynamic_analysis.hit_ratio reuse ~capacity_lines:max_int in
+  let expected =
+    float_of_int (reuse.Gat_emu.Dynamic_analysis.accesses - reuse.Gat_emu.Dynamic_analysis.lines)
+    /. float_of_int reuse.Gat_emu.Dynamic_analysis.accesses
+  in
+  Alcotest.(check (float 1e-9)) "full-capacity hit ratio" expected full
+
+let test_hit_ratio_monotone_in_capacity () =
+  let params = Params.make ~threads_per_block:64 ~block_count:4 () in
+  let c = Driver.compile_exn Gat_workloads.Workloads.matvec2d gpu params in
+  let t = Gat_emu.Dynamic_analysis.analyze c ~n:32 ~seed:1 in
+  let reuse = t.Gat_emu.Dynamic_analysis.reuse in
+  let prev = ref 0.0 in
+  List.iter
+    (fun cap ->
+      let h = Gat_emu.Dynamic_analysis.hit_ratio reuse ~capacity_lines:cap in
+      Alcotest.(check bool) "monotone" true (h >= !prev -. 1e-9);
+      Alcotest.(check bool) "bounded" true (h >= 0.0 && h <= 1.0);
+      prev := h)
+    [ 1; 4; 16; 64; 256; 1024 ]
+
+let test_dynamic_analysis_render () =
+  let params = Params.make ~threads_per_block:32 ~block_count:2 () in
+  let c = Driver.compile_exn Gat_workloads.Workloads.bicg gpu params in
+  let t = Gat_emu.Dynamic_analysis.analyze c ~n:8 ~seed:1 in
+  let s = Gat_emu.Dynamic_analysis.render t in
+  Alcotest.(check bool) "mentions BF" true (String.length s > 40)
+
+let () =
+  Alcotest.run "gat_emu"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "matches interpreter" `Quick test_emulator_matches_interpreter;
+          QCheck_alcotest.to_alcotest prop_emulator_random_configs;
+          Alcotest.test_case "spill code" `Quick test_emulator_validates_spill_code;
+          Alcotest.test_case "remainder coverage" `Quick test_emulator_unrolled_remainder_coverage;
+          Alcotest.test_case "staging variant" `Quick test_emulator_staging_variant;
+        ] );
+      ( "counting",
+        [
+          Alcotest.test_case "profile agreement" `Quick test_emulator_counts_match_profile;
+          Alcotest.test_case "profile agreement (divergent)" `Quick
+            test_emulator_counts_match_profile_divergent;
+          Alcotest.test_case "instruction totals" `Quick test_emulator_instruction_totals;
+          Alcotest.test_case "deterministic" `Quick test_emulator_deterministic;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "step limit" `Quick test_emulator_step_limit;
+          Alcotest.test_case "missing array" `Quick test_emulator_missing_array;
+        ] );
+      ( "simt",
+        [
+          Alcotest.test_case "matches interpreter" `Quick test_simt_matches_interpreter;
+          Alcotest.test_case "issue counts = profile" `Quick test_simt_issue_counts_match_profile;
+          Alcotest.test_case "lane fractions = profile" `Quick test_simt_lane_fractions_match_profile;
+          Alcotest.test_case "divergence both sides" `Quick test_simt_divergence_issues_both_sides;
+          Alcotest.test_case "spill code" `Quick test_simt_spill_code;
+          Alcotest.test_case "agrees with per-thread" `Quick test_simt_agrees_with_per_thread_engine;
+          Alcotest.test_case "exposes accumulation race" `Quick test_simt_exposes_accumulation_race;
+        ] );
+      ( "dynamic analysis",
+        [
+          Alcotest.test_case "branch frequency exact" `Quick test_branch_frequency_exact;
+          Alcotest.test_case "reuse histogram" `Quick test_reuse_histogram_consistency;
+          Alcotest.test_case "hit ratio monotone" `Quick test_hit_ratio_monotone_in_capacity;
+          Alcotest.test_case "render" `Quick test_dynamic_analysis_render;
+        ] );
+    ]

@@ -1,0 +1,472 @@
+(* Tests for gat_tuner: spaces, the measurement protocol, ranking, and
+   every search strategy — including the paper's static and rule-based
+   pruned searches.
+
+   Search-algorithm tests use a synthetic objective (a deterministic
+   function of the parameters) so they are fast and their optimum is
+   known exactly. *)
+
+module Params = Gat_compiler.Params
+module Space = Gat_tuner.Space
+module Search = Gat_tuner.Search
+module Strategies = Gat_tuner.Strategies
+
+(* A small space with 96 points. *)
+let small_space =
+  {
+    Space.tc = [ 64; 128; 256; 512 ];
+    bc = [ 24; 96 ];
+    uif = [ 1; 2; 3 ];
+    pl = [ 16; 48 ];
+    sc = [ 1 ];
+    cflags = [ false; true ];
+  }
+
+(* Synthetic objective with a unique optimum at TC=256, BC=96, UIF=2,
+   PL=16, fast-math on. *)
+let synthetic params =
+  let p = float_of_int in
+  Some
+    (Float.abs (p params.Params.threads_per_block -. 256.0)
+    +. Float.abs (p params.Params.block_count -. 96.0)
+    +. (10.0 *. Float.abs (p params.Params.unroll -. 2.0))
+    +. (if params.Params.l1_pref_kb = 16 then 0.0 else 5.0)
+    +. if params.Params.fast_math then 0.0 else 3.0)
+
+let synthetic_best = 0.0
+
+(* ---- Space ---- *)
+
+let test_space_paper_cardinality () =
+  Alcotest.(check int) "5120 variants" 5120 (Space.cardinality Space.paper)
+
+let test_space_paper_axes () =
+  Alcotest.(check int) "32 thread counts" 32 (List.length Space.paper.Space.tc);
+  Alcotest.(check int) "8 block counts" 8 (List.length Space.paper.Space.bc);
+  Alcotest.(check (list int)) "SC pinned" [ 1 ] Space.paper.Space.sc
+
+let test_space_points_count () =
+  Alcotest.(check int) "points = cardinality" (Space.cardinality small_space)
+    (List.length (Space.points small_space))
+
+let test_space_points_unique () =
+  let points = Space.points small_space in
+  let unique = List.sort_uniq Params.compare points in
+  Alcotest.(check int) "no duplicates" (List.length points) (List.length unique)
+
+let test_space_restrict_tc () =
+  let restricted = Space.restrict_tc small_space ~keep:(fun tc -> tc >= 256) in
+  Alcotest.(check (list int)) "kept" [ 256; 512 ] restricted.Space.tc;
+  let replaced = Space.with_tc small_space [ 32 ] in
+  Alcotest.(check (list int)) "replaced" [ 32 ] replaced.Space.tc
+
+let test_space_of_spec_defaults () =
+  let spec = Gat_ir.Tuning_spec.parse_exn "param TC[] = [64,128];" in
+  let s = Space.of_spec spec in
+  Alcotest.(check (list int)) "tc" [ 64; 128 ] s.Space.tc;
+  Alcotest.(check (list int)) "default uif" [ 1 ] s.Space.uif;
+  Alcotest.(check (list bool)) "default cflags" [ false ] s.Space.cflags
+
+(* ---- Search scaffolding ---- *)
+
+let test_counting_objective () =
+  let obj, count = Search.counting_objective synthetic in
+  ignore (obj (Params.make ()));
+  ignore (obj (Params.make ()));
+  Alcotest.(check int) "two calls" 2 (count ())
+
+let test_memoized_objective () =
+  let calls = ref 0 in
+  let obj =
+    Search.memoized_objective (fun p ->
+        incr calls;
+        synthetic p)
+  in
+  let p = Params.make () in
+  ignore (obj p);
+  ignore (obj p);
+  Alcotest.(check int) "underlying called once" 1 !calls
+
+let test_params_of_point_clamps () =
+  let axes = Search.axes_of_space small_space in
+  let p = Search.params_of_point axes [| 99; -1; 0; 0; 0; 0 |] in
+  Alcotest.(check int) "tc clamped to last" 512 p.Params.threads_per_block;
+  Alcotest.(check int) "bc clamped to first" 24 p.Params.block_count
+
+let test_fold_points_visits_all () =
+  let axes = Search.axes_of_space small_space in
+  let count = Search.fold_points axes ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "all points" (Space.cardinality small_space) count
+
+(* ---- Strategies on the synthetic objective ---- *)
+
+let check_outcome name (o : Search.outcome) ~max_best ~max_evals =
+  (match o.Search.best_params with
+  | Some _ -> ()
+  | None -> Alcotest.failf "%s found nothing" name);
+  Alcotest.(check bool)
+    (name ^ " best good enough")
+    true
+    (o.Search.best_time <= max_best);
+  Alcotest.(check bool)
+    (name ^ " within evaluation budget")
+    true
+    (o.Search.evaluations <= max_evals)
+
+let test_exhaustive_finds_optimum () =
+  let o = Strategies.exhaustive synthetic small_space in
+  check_outcome "exhaustive" o ~max_best:synthetic_best ~max_evals:96;
+  Alcotest.(check int) "evaluates everything" 96 o.Search.evaluations;
+  match o.Search.best_params with
+  | Some p ->
+      Alcotest.(check int) "tc" 256 p.Params.threads_per_block;
+      Alcotest.(check int) "uif" 2 p.Params.unroll;
+      Alcotest.(check bool) "fm" true p.Params.fast_math
+  | None -> Alcotest.fail "no best"
+
+let test_random_search () =
+  let rng = Gat_util.Rng.create 3 in
+  let o = Strategies.random ~budget:60 rng synthetic small_space in
+  check_outcome "random" o ~max_best:200.0 ~max_evals:60
+
+let test_annealing () =
+  let rng = Gat_util.Rng.create 4 in
+  let o = Strategies.annealing ~iterations:200 rng synthetic small_space in
+  (* Annealing's single-axis moves home in on the synthetic optimum. *)
+  check_outcome "annealing" o ~max_best:50.0 ~max_evals:250
+
+let test_genetic () =
+  let rng = Gat_util.Rng.create 5 in
+  let o = Strategies.genetic ~generations:10 ~population:16 rng synthetic small_space in
+  check_outcome "genetic" o ~max_best:50.0 ~max_evals:(16 * 11)
+
+let test_nelder_mead () =
+  let rng = Gat_util.Rng.create 6 in
+  let o = Strategies.nelder_mead ~restarts:3 rng synthetic small_space in
+  check_outcome "nelder-mead" o ~max_best:100.0 ~max_evals:2000
+
+let test_exhaustive_all_invalid () =
+  let o = Strategies.exhaustive (fun _ -> None) small_space in
+  Alcotest.(check bool) "no params" true (o.Search.best_params = None);
+  Alcotest.(check bool) "infinite best" true (o.Search.best_time = infinity)
+
+(* ---- Static pruning (the paper's search) ---- *)
+
+let test_static_prune_reductions () =
+  (* Kepler suggests 4 of 32 thread counts: 87.5% static, 93.75% with
+     the rule — the numbers the paper reports. *)
+  match
+    Gat_tuner.Static_search.prune Gat_workloads.Workloads.atax Gat_arch.Gpu.k20
+      Space.paper
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check (float 1e-6)) "static 87.5%" 0.875
+        (Gat_tuner.Static_search.reduction ~original:Space.paper
+           ~pruned:p.Gat_tuner.Static_search.static_space);
+      Alcotest.(check (float 1e-6)) "rules 93.75%" 0.9375
+        (Gat_tuner.Static_search.reduction ~original:Space.paper
+           ~pruned:p.Gat_tuner.Static_search.rule_space)
+
+let test_static_prune_subset () =
+  match
+    Gat_tuner.Static_search.prune Gat_workloads.Workloads.bicg Gat_arch.Gpu.m2050
+      Space.paper
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      List.iter
+        (fun tc ->
+          Alcotest.(check bool) "pruned tc in original" true
+            (List.mem tc Space.paper.Space.tc))
+        p.Gat_tuner.Static_search.static_space.Space.tc;
+      List.iter
+        (fun tc ->
+          Alcotest.(check bool) "rule tc in static" true
+            (List.mem tc p.Gat_tuner.Static_search.static_space.Space.tc))
+        p.Gat_tuner.Static_search.rule_space.Space.tc
+
+let test_static_prune_fermi_t_star () =
+  match
+    Gat_tuner.Static_search.prune Gat_workloads.Workloads.atax Gat_arch.Gpu.m2050
+      Space.paper
+  with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check (list int)) "Fermi suggestion" [ 192; 256; 384; 512; 768 ]
+        p.Gat_tuner.Static_search.static_space.Space.tc
+
+let test_static_search_runs () =
+  let o =
+    Gat_tuner.Static_search.run Gat_workloads.Workloads.atax Gat_arch.Gpu.k20
+      ~rule_based:true synthetic Space.paper
+  in
+  Alcotest.(check bool) "found something" true (o.Search.best_params <> None);
+  Alcotest.(check bool) "far fewer evaluations" true (o.Search.evaluations <= 640)
+
+(* ---- Measurement protocol and ranking ---- *)
+
+let test_measure_protocol_constants () =
+  Alcotest.(check int) "10 repetitions" 10 Gat_tuner.Measure.repetitions;
+  Alcotest.(check int) "5th trial" 5 Gat_tuner.Measure.selected_trial
+
+let test_measure_evaluate () =
+  let rng = Gat_util.Rng.create 9 in
+  match
+    Gat_tuner.Measure.evaluate Gat_workloads.Workloads.atax Gat_arch.Gpu.k20
+      ~n:64 ~rng (Params.make ())
+  with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check bool) "positive time" true (v.Gat_tuner.Variant.time_ms > 0.0);
+      Alcotest.(check bool) "occ in (0,1]" true
+        (v.Gat_tuner.Variant.occupancy > 0.0 && v.Gat_tuner.Variant.occupancy <= 1.0);
+      Alcotest.(check bool) "regs positive" true (v.Gat_tuner.Variant.registers > 0)
+
+let test_measure_invalid_params () =
+  let rng = Gat_util.Rng.create 9 in
+  match
+    Gat_tuner.Measure.evaluate Gat_workloads.Workloads.atax Gat_arch.Gpu.k20
+      ~n:64 ~rng
+      (Params.make ~threads_per_block:2048 ())
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected invalid"
+
+let tiny_space =
+  {
+    Space.tc = [ 64; 256 ];
+    bc = [ 96 ];
+    uif = [ 1 ];
+    pl = [ 16 ];
+    sc = [ 1 ];
+    cflags = [ false ];
+  }
+
+let test_sweep_and_ranking () =
+  Gat_tuner.Tuner.clear_cache ();
+  let variants =
+    Gat_tuner.Tuner.sweep ~space:tiny_space Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  Alcotest.(check int) "two variants" 2 (List.length variants);
+  let ranking = Gat_tuner.Ranking.split variants in
+  Alcotest.(check int) "rank1 size" 1 (List.length ranking.Gat_tuner.Ranking.rank1);
+  Alcotest.(check int) "rank2 size" 1 (List.length ranking.Gat_tuner.Ranking.rank2);
+  let best = Gat_tuner.Ranking.best ranking in
+  List.iter
+    (fun (v : Gat_tuner.Variant.t) ->
+      Alcotest.(check bool) "best is fastest" true
+        (best.Gat_tuner.Variant.time_ms <= v.Gat_tuner.Variant.time_ms))
+    variants
+
+let test_sweep_cached () =
+  Gat_tuner.Tuner.clear_cache ();
+  let a =
+    Gat_tuner.Tuner.sweep ~space:tiny_space Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  let b =
+    Gat_tuner.Tuner.sweep ~space:tiny_space Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  Alcotest.(check bool) "physically cached" true (a == b)
+
+let test_sweep_deterministic_across_cache () =
+  Gat_tuner.Tuner.clear_cache ();
+  let a =
+    Gat_tuner.Tuner.sweep ~space:tiny_space Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  Gat_tuner.Tuner.clear_cache ();
+  let b =
+    Gat_tuner.Tuner.sweep ~space:tiny_space Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  List.iter2
+    (fun (x : Gat_tuner.Variant.t) (y : Gat_tuner.Variant.t) ->
+      Alcotest.(check (float 0.0)) "same measurement" x.Gat_tuner.Variant.time_ms
+        y.Gat_tuner.Variant.time_ms)
+    a b
+
+let test_ranking_split_sorted () =
+  Gat_tuner.Tuner.clear_cache ();
+  let variants =
+    Gat_tuner.Tuner.sweep
+      ~space:{ tiny_space with Space.tc = [ 32; 64; 128; 256; 512 ] }
+      Gat_workloads.Workloads.atax Gat_arch.Gpu.k20 ~n:128 ~seed:1
+  in
+  let r = Gat_tuner.Ranking.split variants in
+  let max1 =
+    List.fold_left
+      (fun acc (v : Gat_tuner.Variant.t) -> Float.max acc v.Gat_tuner.Variant.time_ms)
+      0.0 r.Gat_tuner.Ranking.rank1
+  in
+  let min2 =
+    List.fold_left
+      (fun acc (v : Gat_tuner.Variant.t) -> Float.min acc v.Gat_tuner.Variant.time_ms)
+      infinity r.Gat_tuner.Ranking.rank2
+  in
+  Alcotest.(check bool) "rank1 all faster than rank2" true (max1 <= min2)
+
+let test_autotune_strategies_agree_on_tiny_space () =
+  Gat_tuner.Tuner.clear_cache ();
+  let o =
+    Gat_tuner.Tuner.autotune ~space:tiny_space
+      ~strategy:Gat_tuner.Tuner.Exhaustive Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  Alcotest.(check int) "two evaluations" 2 o.Search.evaluations;
+  Alcotest.(check bool) "found" true (o.Search.best_params <> None)
+
+let test_strategy_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "non-empty name" true
+        (String.length (Gat_tuner.Tuner.strategy_name s) > 0))
+    [
+      Gat_tuner.Tuner.Exhaustive;
+      Gat_tuner.Tuner.Random 1;
+      Gat_tuner.Tuner.Annealing 1;
+      Gat_tuner.Tuner.Genetic (1, 2);
+      Gat_tuner.Tuner.Nelder_mead 1;
+      Gat_tuner.Tuner.Static;
+      Gat_tuner.Tuner.Static_rules;
+    ]
+
+(* ---- Journal ---- *)
+
+let make_journal () =
+  Gat_tuner.Journal.create ~kernel:"atax" ~gpu:"K20" ~n:64 ~seed:3
+    ~strategy:"exhaustive"
+
+let test_journal_records () =
+  let j = make_journal () in
+  let obj = Gat_tuner.Journal.recording j synthetic in
+  ignore (obj (Params.make ~threads_per_block:64 ()));
+  ignore (obj (Params.make ~threads_per_block:128 ()));
+  Alcotest.(check int) "two entries" 2 (Gat_tuner.Journal.length j);
+  let entries = Gat_tuner.Journal.entries j in
+  Alcotest.(check int) "ordered" 1 (List.hd entries).Gat_tuner.Journal.index
+
+let test_journal_roundtrip () =
+  let j = make_journal () in
+  let obj = Gat_tuner.Journal.recording j synthetic in
+  List.iter
+    (fun tc -> ignore (obj (Params.make ~threads_per_block:tc ~fast_math:(tc > 128) ())))
+    [ 32; 64; 128; 256; 512 ];
+  (* Record one invalid decision too. *)
+  let j_obj = Gat_tuner.Journal.recording j (fun _ -> None) in
+  ignore (j_obj (Params.make ~threads_per_block:96 ()));
+  match Gat_tuner.Journal.of_string (Gat_tuner.Journal.to_string j) with
+  | Error e -> Alcotest.fail e
+  | Ok j' ->
+      Alcotest.(check string) "kernel" "atax" j'.Gat_tuner.Journal.kernel;
+      Alcotest.(check int) "n" 64 j'.Gat_tuner.Journal.n;
+      Alcotest.(check int) "entries" 6 (Gat_tuner.Journal.length j');
+      List.iter2
+        (fun (a : Gat_tuner.Journal.entry) (b : Gat_tuner.Journal.entry) ->
+          Alcotest.(check int) "params equal" 0
+            (Params.compare a.Gat_tuner.Journal.params b.Gat_tuner.Journal.params);
+          Alcotest.(check bool) "time equal" true
+            (a.Gat_tuner.Journal.time_ms = b.Gat_tuner.Journal.time_ms))
+        (Gat_tuner.Journal.entries j)
+        (Gat_tuner.Journal.entries j')
+
+let test_journal_replay_exact () =
+  let j = make_journal () in
+  let obj = Gat_tuner.Journal.recording j synthetic in
+  List.iter
+    (fun tc -> ignore (obj (Params.make ~threads_per_block:tc ())))
+    [ 32; 64; 128 ];
+  let report = Gat_tuner.Journal.replay j synthetic in
+  Alcotest.(check int) "total" 3 report.Gat_tuner.Journal.total;
+  Alcotest.(check int) "validity" 3 report.Gat_tuner.Journal.validity_matches;
+  Alcotest.(check (float 1e-12)) "deterministic objective deviates 0" 0.0
+    report.Gat_tuner.Journal.max_relative_deviation
+
+let test_journal_replay_detects_change () =
+  let j = make_journal () in
+  let obj = Gat_tuner.Journal.recording j synthetic in
+  ignore (obj (Params.make ~threads_per_block:64 ()));
+  let skewed p = Option.map (fun t -> (t +. 1.0) *. 2.0) (synthetic p) in
+  let report = Gat_tuner.Journal.replay j skewed in
+  Alcotest.(check bool) "deviation detected" true
+    (report.Gat_tuner.Journal.max_relative_deviation > 0.5)
+
+let test_journal_parse_errors () =
+  (match Gat_tuner.Journal.of_string "garbage,row\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ());
+  match Gat_tuner.Journal.of_string "#kernel=atax\n" with
+  | Ok _ -> Alcotest.fail "expected error (missing metadata)"
+  | Error _ -> ()
+
+let test_autotune_with_journal () =
+  Gat_tuner.Tuner.clear_cache ();
+  let j = make_journal () in
+  let o =
+    Gat_tuner.Tuner.autotune ~space:tiny_space ~journal:j
+      ~strategy:Gat_tuner.Tuner.Exhaustive Gat_workloads.Workloads.matvec2d
+      Gat_arch.Gpu.k20 ~n:64 ~seed:1
+  in
+  Alcotest.(check int) "journal captured all evaluations"
+    o.Search.evaluations (Gat_tuner.Journal.length j)
+
+let () =
+  Alcotest.run "gat_tuner"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "paper cardinality" `Quick test_space_paper_cardinality;
+          Alcotest.test_case "paper axes" `Quick test_space_paper_axes;
+          Alcotest.test_case "points count" `Quick test_space_points_count;
+          Alcotest.test_case "points unique" `Quick test_space_points_unique;
+          Alcotest.test_case "restrict tc" `Quick test_space_restrict_tc;
+          Alcotest.test_case "of_spec defaults" `Quick test_space_of_spec_defaults;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "counting" `Quick test_counting_objective;
+          Alcotest.test_case "memoized" `Quick test_memoized_objective;
+          Alcotest.test_case "clamping" `Quick test_params_of_point_clamps;
+          Alcotest.test_case "fold visits all" `Quick test_fold_points_visits_all;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "exhaustive optimum" `Quick test_exhaustive_finds_optimum;
+          Alcotest.test_case "random" `Quick test_random_search;
+          Alcotest.test_case "annealing" `Quick test_annealing;
+          Alcotest.test_case "genetic" `Quick test_genetic;
+          Alcotest.test_case "nelder-mead" `Quick test_nelder_mead;
+          Alcotest.test_case "all invalid" `Quick test_exhaustive_all_invalid;
+        ] );
+      ( "static_search",
+        [
+          Alcotest.test_case "prune reductions" `Quick test_static_prune_reductions;
+          Alcotest.test_case "prune subset" `Quick test_static_prune_subset;
+          Alcotest.test_case "fermi T*" `Quick test_static_prune_fermi_t_star;
+          Alcotest.test_case "runs" `Quick test_static_search_runs;
+        ] );
+      ( "measure/ranking",
+        [
+          Alcotest.test_case "protocol" `Quick test_measure_protocol_constants;
+          Alcotest.test_case "evaluate" `Quick test_measure_evaluate;
+          Alcotest.test_case "invalid params" `Quick test_measure_invalid_params;
+          Alcotest.test_case "sweep + ranking" `Quick test_sweep_and_ranking;
+          Alcotest.test_case "sweep cached" `Quick test_sweep_cached;
+          Alcotest.test_case "sweep deterministic" `Quick test_sweep_deterministic_across_cache;
+          Alcotest.test_case "ranking sorted" `Quick test_ranking_split_sorted;
+          Alcotest.test_case "autotune tiny" `Quick test_autotune_strategies_agree_on_tiny_space;
+          Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "records" `Quick test_journal_records;
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "replay exact" `Quick test_journal_replay_exact;
+          Alcotest.test_case "replay detects change" `Quick test_journal_replay_detects_change;
+          Alcotest.test_case "parse errors" `Quick test_journal_parse_errors;
+          Alcotest.test_case "autotune integration" `Quick test_autotune_with_journal;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Tests for gat_workloads: the Table IV kernels are well-formed, their
+   reference semantics match independent hand-written implementations,
+   and the paper's input sizes are exposed. *)
+
+open Gat_ir
+module W = Gat_workloads.Workloads
+
+let idx n i j = (i * n) + j
+let idx3 n i j k = (((i * n) + j) * n) + k
+
+let test_registry () =
+  Alcotest.(check int) "four kernels" 4 (List.length W.all);
+  Alcotest.(check bool) "find atax" true (W.find "ATAX" <> None);
+  Alcotest.(check bool) "find missing" true (W.find "gemm" = None)
+
+let test_input_sizes () =
+  Alcotest.(check (list int)) "standard" [ 32; 64; 128; 256; 512 ]
+    (W.input_sizes W.atax);
+  Alcotest.(check (list int)) "ex14fj" [ 8; 16; 32; 64; 128 ]
+    (W.input_sizes W.ex14fj);
+  Alcotest.(check int) "default atax" 128 (W.default_size W.atax);
+  Alcotest.(check int) "default ex14fj" 32 (W.default_size W.ex14fj)
+
+let test_all_typecheck () =
+  List.iter
+    (fun k ->
+      match Typecheck.kernel k with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" k.Kernel.name e)
+    W.all
+
+let test_all_have_single_parallel_loop () =
+  List.iter
+    (fun k ->
+      Alcotest.(check int) (k.Kernel.name ^ " parallel loops") 1
+        (Stmt.count_parallel_loops k.Kernel.body))
+    W.all
+
+(* ---- semantic references ---- *)
+
+let test_matvec2d_semantics () =
+  let n = 5 in
+  let arrays = Eval.init_arrays W.matvec2d ~n ~seed:21 in
+  let a = Hashtbl.find arrays "A" and x = Hashtbl.find arrays "x" in
+  let y0 = Array.copy (Hashtbl.find arrays "y") in
+  let expected =
+    Array.init n (fun i ->
+        let acc = ref y0.(i) in
+        for j = 0 to n - 1 do
+          acc := !acc +. (a.(idx n i j) *. x.(j))
+        done;
+        !acc)
+  in
+  Eval.run W.matvec2d ~n arrays;
+  let y = Hashtbl.find arrays "y" in
+  Array.iteri
+    (fun i e -> Alcotest.(check (float 1e-9)) (Printf.sprintf "y[%d]" i) e y.(i))
+    expected
+
+let test_atax_semantics () =
+  let n = 4 in
+  let arrays = Eval.init_arrays W.atax ~n ~seed:8 in
+  let a = Hashtbl.find arrays "A" and x = Hashtbl.find arrays "x" in
+  let y0 = Array.copy (Hashtbl.find arrays "y") in
+  (* y += A^T (A x), accumulated row by row as the kernel does. *)
+  let expected = Array.copy y0 in
+  for i = 0 to n - 1 do
+    let tmp = ref 0.0 in
+    for j = 0 to n - 1 do
+      tmp := !tmp +. (a.(idx n i j) *. x.(j))
+    done;
+    for j = 0 to n - 1 do
+      expected.(j) <- expected.(j) +. (a.(idx n i j) *. !tmp)
+    done
+  done;
+  Eval.run W.atax ~n arrays;
+  let y = Hashtbl.find arrays "y" in
+  Array.iteri
+    (fun j e -> Alcotest.(check (float 1e-9)) (Printf.sprintf "y[%d]" j) e y.(j))
+    expected
+
+let test_bicg_semantics () =
+  let n = 4 in
+  let arrays = Eval.init_arrays W.bicg ~n ~seed:13 in
+  let a = Hashtbl.find arrays "A" in
+  let p = Hashtbl.find arrays "p" and r = Hashtbl.find arrays "r" in
+  let s0 = Array.copy (Hashtbl.find arrays "s") in
+  let q_expected =
+    Array.init n (fun i ->
+        let acc = ref 0.0 in
+        for j = 0 to n - 1 do
+          acc := !acc +. (a.(idx n i j) *. p.(j))
+        done;
+        !acc)
+  in
+  let s_expected = Array.copy s0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      s_expected.(j) <- s_expected.(j) +. (a.(idx n i j) *. r.(i))
+    done
+  done;
+  Eval.run W.bicg ~n arrays;
+  let q = Hashtbl.find arrays "q" and s = Hashtbl.find arrays "s" in
+  Array.iteri
+    (fun i e -> Alcotest.(check (float 1e-9)) (Printf.sprintf "q[%d]" i) e q.(i))
+    q_expected;
+  Array.iteri
+    (fun j e -> Alcotest.(check (float 1e-9)) (Printf.sprintf "s[%d]" j) e s.(j))
+    s_expected
+
+let test_ex14fj_semantics () =
+  let n = 5 in
+  let lambda = 6.0 in
+  let arrays = Eval.init_arrays W.ex14fj ~n ~seed:30 in
+  let u = Hashtbl.find arrays "u" in
+  let expected =
+    Array.init (n * n * n) (fun pidx ->
+        let k = pidx / (n * n) in
+        let rem = pidx - (k * n * n) in
+        let j = rem / n in
+        let i = rem - (j * n) in
+        let interior =
+          k >= 1 && k < n - 1 && j >= 1 && j < n - 1 && i >= 1 && i < n - 1
+        in
+        if interior then begin
+          let c = u.(idx3 n k j i) in
+          let lap =
+            (6.0 *. c)
+            -. u.(idx3 n k j (i - 1))
+            -. u.(idx3 n k j (i + 1))
+            -. u.(idx3 n k (j - 1) i)
+            -. u.(idx3 n k (j + 1) i)
+            -. u.(idx3 n (k - 1) j i)
+            -. u.(idx3 n (k + 1) j i)
+          in
+          lap -. (exp c *. lambda)
+        end
+        else u.(idx3 n k j i))
+  in
+  Eval.run W.ex14fj ~n arrays;
+  let f = Hashtbl.find arrays "f" in
+  Array.iteri
+    (fun p e ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "f[%d]" p) e f.(p))
+    expected
+
+let test_ex14fj_boundary_fraction () =
+  (* The interior fraction drives the kernel's divergence: (n-2)^3/n^3. *)
+  let n = 8 in
+  let interior = float_of_int ((n - 2) * (n - 2) * (n - 2)) in
+  let total = float_of_int (n * n * n) in
+  Alcotest.(check bool) "sanity" true (interior /. total < 0.5)
+
+let test_all_compile_and_simulate () =
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun gpu ->
+          let c =
+            Gat_compiler.Driver.compile_exn kernel gpu Gat_compiler.Params.default
+          in
+          let r = Gat_sim.Engine.run c ~n:(List.hd (W.input_sizes kernel)) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" kernel.Kernel.name gpu.Gat_arch.Gpu.name)
+            true
+            (r.Gat_sim.Engine.time_ms > 0.0))
+        Gat_arch.Gpu.all)
+    W.all
+
+let () =
+  Alcotest.run "gat_workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "input sizes" `Quick test_input_sizes;
+          Alcotest.test_case "typecheck" `Quick test_all_typecheck;
+          Alcotest.test_case "single parallel loop" `Quick test_all_have_single_parallel_loop;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "matvec2d" `Quick test_matvec2d_semantics;
+          Alcotest.test_case "atax" `Quick test_atax_semantics;
+          Alcotest.test_case "bicg" `Quick test_bicg_semantics;
+          Alcotest.test_case "ex14fj" `Quick test_ex14fj_semantics;
+          Alcotest.test_case "ex14fj boundary" `Quick test_ex14fj_boundary_fraction;
+          Alcotest.test_case "compile and simulate" `Quick test_all_compile_and_simulate;
+        ] );
+    ]
