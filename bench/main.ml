@@ -143,25 +143,153 @@ let run_microbenches () =
 let heavy_ids = [ "fig4"; "table5"; "fig5"; "fig6"; "ablation" ]
 
 let run_experiments () =
-  List.iter
+  List.filter_map
     (fun (e : Gat_report.Experiments.t) ->
-      if fast_mode && List.mem e.Gat_report.Experiments.id heavy_ids then
+      if fast_mode && List.mem e.Gat_report.Experiments.id heavy_ids then begin
         Printf.printf "==== %s: %s ==== (skipped: GAT_BENCH_FAST)\n\n"
-          e.Gat_report.Experiments.id e.Gat_report.Experiments.title
+          e.Gat_report.Experiments.id e.Gat_report.Experiments.title;
+        None
+      end
       else begin
         let t0 = Unix.gettimeofday () in
         let body = e.Gat_report.Experiments.render () in
+        let dt = Unix.gettimeofday () -. t0 in
         Printf.printf "==== %s: %s ====\n%s[%.1f s]\n\n"
-          e.Gat_report.Experiments.id e.Gat_report.Experiments.title body
-          (Unix.gettimeofday () -. t0)
+          e.Gat_report.Experiments.id e.Gat_report.Experiments.title body dt;
+        Some (e.Gat_report.Experiments.id, dt)
       end)
     Gat_report.Experiments.all
+
+(* ---- sweep-engine calibration and BENCH_sweep.json ---- *)
+
+(* Calibrate the parallel, compile-sharing sweep engine on one heavy
+   unit of the evaluation: a full paper-space sweep of one kernel on
+   one device at all five input sizes (5,120 variants x 5 sizes).
+   Three timings:
+
+   - legacy: the seed behavior — sequential, one compile+simulate per
+     variant *per size* (no compile sharing);
+   - seq:    the new engine with jobs=1 (compile sharing only);
+   - par:    the new engine with GAT_JOBS workers.  *)
+
+type calibration = {
+  cal_kernel : string;
+  cal_gpu : string;
+  cal_sizes : int;
+  cal_variants : int;
+  legacy_s : float;
+  seq_s : float;
+  par_s : float;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let calibrate_sweep () =
+  if fast_mode then None
+  else begin
+    let kernel = atax in
+    let ns = Gat_workloads.Workloads.input_sizes kernel in
+    let seed = Gat_report.Context.seed in
+    let space = Gat_tuner.Space.paper in
+    Gat_tuner.Tuner.clear_cache ();
+    let legacy_s =
+      timed (fun () ->
+          List.iter
+            (fun n ->
+              List.iter
+                (fun params ->
+                  let rng =
+                    Gat_util.Rng.create
+                      (Gat_tuner.Tuner.point_seed kernel gpu ~seed params)
+                  in
+                  ignore (Gat_tuner.Measure.evaluate kernel gpu ~n ~rng params))
+                (Gat_tuner.Space.points space))
+            ns)
+    in
+    Gat_tuner.Tuner.clear_cache ();
+    let seq_s =
+      timed (fun () ->
+          ignore (Gat_tuner.Tuner.sweep_multi ~space ~jobs:1 kernel gpu ~ns ~seed))
+    in
+    Gat_tuner.Tuner.clear_cache ();
+    let par_s =
+      timed (fun () ->
+          ignore
+            (Gat_tuner.Tuner.sweep_multi ~space ~jobs:(Gat_util.Pool.jobs ())
+               kernel gpu ~ns ~seed))
+    in
+    (* Leave the caches cold so the per-experiment timings below are
+       honest end-to-end numbers. *)
+    Gat_tuner.Tuner.clear_cache ();
+    Some
+      {
+        cal_kernel = kernel.Gat_ir.Kernel.name;
+        cal_gpu = gpu.Gat_arch.Gpu.name;
+        cal_sizes = List.length ns;
+        cal_variants = Gat_tuner.Space.cardinality space;
+        legacy_s;
+        seq_s;
+        par_s;
+      }
+  end
+
+let write_bench_json ~calibration ~timings ~total_s =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"gat-bench-sweep/1\",\n";
+  add "  \"jobs\": %d,\n" (Gat_util.Pool.jobs ());
+  add "  \"fast_mode\": %b,\n" fast_mode;
+  (match calibration with
+  | None -> add "  \"sweep_calibration\": null,\n"
+  | Some c ->
+      add "  \"sweep_calibration\": {\n";
+      add "    \"kernel\": \"%s\",\n" c.cal_kernel;
+      add "    \"gpu\": \"%s\",\n" c.cal_gpu;
+      add "    \"input_sizes\": %d,\n" c.cal_sizes;
+      add "    \"variants\": %d,\n" c.cal_variants;
+      add "    \"legacy_seconds\": %.3f,\n" c.legacy_s;
+      add "    \"seq_seconds\": %.3f,\n" c.seq_s;
+      add "    \"par_seconds\": %.3f,\n" c.par_s;
+      add "    \"speedup_vs_jobs1\": %.2f,\n" (c.seq_s /. c.par_s);
+      add "    \"speedup_vs_seed\": %.2f\n" (c.legacy_s /. c.par_s);
+      add "  },\n");
+  add "  \"experiments\": [\n";
+  List.iteri
+    (fun i (id, dt) ->
+      add "    {\"id\": \"%s\", \"seconds\": %.3f}%s\n" id dt
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  add "  ],\n";
+  add "  \"total_seconds\": %.3f\n" total_s;
+  add "}\n";
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc
 
 let () =
   print_endline
     "Reproduction harness: Lim, Norris & Malony, \"Autotuning GPU Kernels\n\
      via Static and Predictive Analysis\" (ICPP 2017).  All devices are\n\
      simulated; see DESIGN.md for the substitution map.\n";
-  run_experiments ();
-  print_endline "";
+  let t0 = Unix.gettimeofday () in
+  let calibration = calibrate_sweep () in
+  (match calibration with
+  | Some c ->
+      Printf.printf
+        "Sweep calibration (%s on %s, %d variants x %d sizes):\n\
+        \  legacy (per-size compiles, 1 job): %.2f s\n\
+        \  compile-shared, 1 job:             %.2f s\n\
+        \  compile-shared, %d job(s):          %.2f s  (%.2fx vs legacy)\n\n"
+        c.cal_kernel c.cal_gpu c.cal_variants c.cal_sizes c.legacy_s c.seq_s
+        (Gat_util.Pool.jobs ()) c.par_s (c.legacy_s /. c.par_s)
+  | None -> ());
+  let timings = run_experiments () in
+  let total_s = Unix.gettimeofday () -. t0 in
+  write_bench_json ~calibration ~timings ~total_s;
+  Printf.printf "wrote BENCH_sweep.json (jobs=%d, %.1f s total)\n\n"
+    (Gat_util.Pool.jobs ()) total_s;
   run_microbenches ()

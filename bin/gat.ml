@@ -500,7 +500,24 @@ let replay_cmd =
 
 (* ---- experiment ---- *)
 
-let experiment id =
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the exhaustive sweeps (default: \
+           $(b,GAT_JOBS) or the machine's core count).  Results are \
+           identical for any job count.")
+
+let experiment jobs id =
+  Option.iter
+    (fun j ->
+      if j < 1 then (
+        Printf.eprintf "gat: --jobs must be >= 1 (got %d)\n" j;
+        exit 1);
+      Gat_util.Pool.set_default_jobs (Some j))
+    jobs;
   if String.lowercase_ascii id = "all" then
     print_string (Gat_report.Experiments.render_all ())
   else
@@ -519,7 +536,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a paper table or figure (or 'all').")
-    Term.(const experiment $ id)
+    Term.(const experiment $ jobs_arg $ id)
 
 (* ---- list ---- *)
 

@@ -1,6 +1,12 @@
 (** Shared experiment configuration: which devices, kernels, sizes and
     seed every report uses, so the whole evaluation is reproducible from
-    one number. *)
+    one number.
+
+    All sweep-derived values are memoized per (kernel, device): the
+    multi-size sweeps run through the compile-sharing
+    {!Gat_tuner.Tuner.sweep_multi} engine (each variant is compiled
+    once, then simulated at every input size), and rankings are
+    computed once however many figures and tables ask for them. *)
 
 val seed : int
 (** 42. *)
@@ -20,13 +26,14 @@ val sweep : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Variant.t list
     at {!eval_size} (process-cached). *)
 
 val ranking : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Ranking.t
-(** The sweep split at the 50th percentile. *)
+(** The sweep split at the 50th percentile (memoized). *)
 
 val sweeps :
   Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> (int * Gat_tuner.Variant.t list) list
-(** One exhaustive sweep per paper input size (process-cached). *)
+(** One exhaustive sweep per paper input size, sharing one compile
+    phase across all sizes (memoized). *)
 
 val pooled_ranking : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Ranking.t
 (** Rank variants within each input size, then pool the rank-1 and
     rank-2 halves across sizes — the population behind the paper's
-    Fig. 4 histograms and Table V statistics. *)
+    Fig. 4 histograms and Table V statistics (memoized). *)

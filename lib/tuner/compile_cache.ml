@@ -1,0 +1,75 @@
+type entry = (Gat_compiler.Driver.compiled, string) result
+
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 4096
+let order : string Queue.t = Queue.create ()
+let max_entries = ref 256
+let compiles = ref 0
+let hits = ref 0
+let evictions = ref 0
+
+type stats = { compiles : int; hits : int; evictions : int; entries : int }
+
+let key kernel gpu params =
+  String.concat "\x00"
+    [
+      kernel.Gat_ir.Kernel.name;
+      gpu.Gat_arch.Gpu.name;
+      Gat_compiler.Params.to_string params;
+    ]
+
+let capacity () = Gat_util.Pool.with_lock lock (fun () -> !max_entries)
+
+let set_capacity c =
+  if c < 1 then invalid_arg "Compile_cache.set_capacity: capacity must be >= 1";
+  Gat_util.Pool.with_lock lock (fun () -> max_entries := c)
+
+let clear () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      Hashtbl.reset table;
+      Queue.clear order)
+
+let stats () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      {
+        compiles = !compiles;
+        hits = !hits;
+        evictions = !evictions;
+        entries = Hashtbl.length table;
+      })
+
+let reset_stats () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      compiles := 0;
+      hits := 0;
+      evictions := 0)
+
+let get kernel gpu params =
+  let k = key kernel gpu params in
+  let cached =
+    Gat_util.Pool.with_lock lock (fun () ->
+        match Hashtbl.find_opt table k with
+        | Some e ->
+            incr hits;
+            Some e
+        | None -> None)
+  in
+  match cached with
+  | Some e -> e
+  | None ->
+      (* Compile outside the lock so pool workers build distinct
+         variants concurrently. *)
+      let e = Gat_compiler.Driver.compile kernel gpu params in
+      Gat_util.Pool.with_lock lock (fun () ->
+          incr compiles;
+          match Hashtbl.find_opt table k with
+          | Some existing -> existing (* lost a benign race; share theirs *)
+          | None ->
+              Hashtbl.replace table k e;
+              Queue.push k order;
+              while Hashtbl.length table > !max_entries do
+                let victim = Queue.pop order in
+                Hashtbl.remove table victim;
+                incr evictions
+              done;
+              e)

@@ -1,0 +1,43 @@
+(** Bounded process-wide cache of compiled variants.
+
+    Compilation is independent of the problem size [n], so compiled
+    variants (and compile errors, which are equally size-independent)
+    are keyed by [(kernel, gpu, params)].  Within one multi-size sweep
+    the exactly-once compile guarantee comes from {!Tuner}'s block
+    structure; this cache adds sharing {e across} calls — e.g. search
+    strategies re-evaluating points a sweep or another strategy already
+    compiled — and counts every real compile for instrumentation.
+
+    All operations are mutex-protected and safe to call from
+    {!Gat_util.Pool} workers; compilation itself runs outside the lock
+    so distinct variants compile in parallel.  Eviction is FIFO once
+    {!capacity} is exceeded; the default (256 entries) keeps the
+    resident set of compiled programs to a small fraction of a full
+    5,120-point paper space. *)
+
+type entry = (Gat_compiler.Driver.compiled, string) result
+
+val get :
+  Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_compiler.Params.t -> entry
+(** [get kernel gpu params] returns the cached compilation of the
+    triple, compiling (and caching) on a miss.  Argument order follows
+    {!Gat_compiler.Driver.compile}. *)
+
+val capacity : unit -> int
+
+val set_capacity : int -> unit
+(** Oversized contents are evicted on the next insertion.
+    @raise Invalid_argument on a capacity < 1. *)
+
+val clear : unit -> unit
+(** Drop every entry (counters are kept; see {!reset_stats}). *)
+
+type stats = {
+  compiles : int;  (** Actual {!Gat_compiler.Driver.compile} calls. *)
+  hits : int;
+  evictions : int;
+  entries : int;  (** Current size. *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit

@@ -1,35 +1,36 @@
 let repetitions = 10
 let selected_trial = 5
 
+(* Only the selected trial's value is ever used, and the noise stream
+   is consumed in trial order — so draw exactly [selected_trial]
+   samples instead of all [repetitions].  The recorded time is
+   bit-identical to the draw-everything protocol. *)
+let selected_time base ~rng =
+  let t = ref base in
+  for _ = 1 to selected_trial do
+    t := base *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02
+  done;
+  !t
+
 let time_of compiled ~n ~rng =
   (* The simulated kernel time is deterministic; each trial differs
      only by measurement noise, as on real hardware. *)
   let base = (Gat_sim.Engine.run compiled ~n).Gat_sim.Engine.time_ms in
-  let trials =
-    List.init repetitions (fun _ ->
-        base *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02)
-  in
-  List.nth trials (selected_trial - 1)
+  selected_time base ~rng
+
+let evaluate_compiled compiled ~n ~rng =
+  let sim = Gat_sim.Engine.run compiled ~n in
+  {
+    Variant.params = compiled.Gat_compiler.Driver.params;
+    time_ms = selected_time sim.Gat_sim.Engine.time_ms ~rng;
+    occupancy = sim.Gat_sim.Engine.occupancy;
+    registers = compiled.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers;
+    dynamic_mix = sim.Gat_sim.Engine.dynamic_mix;
+    est_mix =
+      Gat_core.Imix.estimate_dynamic compiled.Gat_compiler.Driver.program ~n;
+  }
 
 let evaluate kernel gpu ~n ~rng params =
   match Gat_compiler.Driver.compile kernel gpu params with
   | Error e -> Error e
-  | Ok compiled ->
-      let sim = Gat_sim.Engine.run compiled ~n in
-      let trials =
-        List.init repetitions (fun _ ->
-            sim.Gat_sim.Engine.time_ms
-            *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02)
-      in
-      let time_ms = List.nth trials (selected_trial - 1) in
-      Ok
-        {
-          Variant.params;
-          time_ms;
-          occupancy = sim.Gat_sim.Engine.occupancy;
-          registers = compiled.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers;
-          dynamic_mix = sim.Gat_sim.Engine.dynamic_mix;
-          est_mix =
-            Gat_core.Imix.estimate_dynamic
-              compiled.Gat_compiler.Driver.program ~n;
-        }
+  | Ok compiled -> Ok (evaluate_compiled compiled ~n ~rng)

@@ -83,11 +83,23 @@ module PMap = Map.Make (struct
 end)
 
 let memoized_objective objective =
+  (* Mutex-protected so a memoized objective can be shared by
+     Gat_util.Pool workers; the underlying objective runs outside the
+     lock (concurrent first evaluations of the same point are possible
+     but benign — the objective is deterministic per point). *)
+  let lock = Mutex.create () in
   let cache = ref PMap.empty in
   fun params ->
-    match PMap.find_opt params !cache with
+    let cached =
+      Gat_util.Pool.with_lock lock (fun () -> PMap.find_opt params !cache)
+    in
+    match cached with
     | Some r -> r
     | None ->
         let r = objective params in
-        cache := PMap.add params r !cache;
-        r
+        Gat_util.Pool.with_lock lock (fun () ->
+            match PMap.find_opt params !cache with
+            | Some r' -> r'
+            | None ->
+                cache := PMap.add params r !cache;
+                r)

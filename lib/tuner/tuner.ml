@@ -1,49 +1,119 @@
-let objective kernel gpu ~n ~seed =
+let point_seed kernel gpu ~seed params =
   (* Each parameter point gets its own trial stream derived from the
-     master seed, so measurement order cannot change results. *)
-  Search.memoized_objective (fun params ->
-      let point_seed =
-        Hashtbl.hash
-          ( seed,
-            kernel.Gat_ir.Kernel.name,
-            gpu.Gat_arch.Gpu.name,
-            Gat_compiler.Params.to_string params )
-      in
-      let rng = Gat_util.Rng.create point_seed in
-      match Measure.evaluate kernel gpu ~n ~rng params with
-      | Ok v -> Some v.Variant.time_ms
-      | Error _ -> None)
+     master seed, so evaluation order — sequential, parallel, or
+     memoized — cannot change results. *)
+  Hashtbl.hash
+    ( seed,
+      kernel.Gat_ir.Kernel.name,
+      gpu.Gat_arch.Gpu.name,
+      Gat_compiler.Params.to_string params )
 
+let eval_point kernel gpu ~n ~seed params =
+  let rng = Gat_util.Rng.create (point_seed kernel gpu ~seed params) in
+  match Compile_cache.get kernel gpu params with
+  | Error _ -> None
+  | Ok compiled -> Some (Measure.evaluate_compiled compiled ~n ~rng)
+
+let objective kernel gpu ~n ~seed =
+  Search.memoized_objective (fun params ->
+      Option.map
+        (fun v -> v.Variant.time_ms)
+        (eval_point kernel gpu ~n ~seed params))
+
+let sweep_lock = Mutex.create ()
 let sweep_cache : (string, Variant.t list) Hashtbl.t = Hashtbl.create 16
 
-let clear_cache () = Hashtbl.reset sweep_cache
+let clear_cache () =
+  Gat_util.Pool.with_lock sweep_lock (fun () -> Hashtbl.reset sweep_cache);
+  Compile_cache.clear ()
 
-let sweep ?(space = Space.paper) kernel gpu ~n ~seed =
-  let key =
-    Printf.sprintf "%s/%s/%d/%d/%s" kernel.Gat_ir.Kernel.name
-      gpu.Gat_arch.Gpu.name n seed (Space.to_string space)
+let sweep_key space kernel gpu ~n ~seed =
+  Printf.sprintf "%s/%s/%d/%d/%s" kernel.Gat_ir.Kernel.name
+    gpu.Gat_arch.Gpu.name n seed (Space.to_string space)
+
+let find_sweep key =
+  Gat_util.Pool.with_lock sweep_lock (fun () ->
+      Hashtbl.find_opt sweep_cache key)
+
+let store_sweep key variants =
+  Gat_util.Pool.with_lock sweep_lock (fun () ->
+      match Hashtbl.find_opt sweep_cache key with
+      | Some existing -> existing
+      | None ->
+          Hashtbl.replace sweep_cache key variants;
+          variants)
+
+(* The sweep core walks the space in fixed-size blocks: each block is
+   compiled once (compile phase, one compile per parameter point) and
+   then simulated at every requested size (simulate phase) before the
+   block's compiled variants are dropped.  Blocking keeps the resident
+   set to one block of compiled programs regardless of space or size
+   count; exactly-once compilation per (kernel, gpu, params) is by
+   construction, not a cache property. *)
+let block_size = 256
+
+let run_sweeps ?jobs kernel gpu ~space ~ns ~seed =
+  let points = Array.of_list (Space.points space) in
+  let total = Array.length points in
+  let acc = List.map (fun n -> (n, ref [])) ns in
+  let start = ref 0 in
+  while !start < total do
+    let block = Array.sub points !start (min block_size (total - !start)) in
+    (* Compile phase, parallel over the block's parameter points. *)
+    let compiled =
+      Gat_util.Pool.map ?jobs
+        (fun params ->
+          ( Gat_util.Rng.create (point_seed kernel gpu ~seed params),
+            Compile_cache.get kernel gpu params ))
+        block
+    in
+    (* Simulate phase: every size reuses the block's compiles.  Each
+       size re-copies the per-point RNG, so trial streams are the same
+       at every size, exactly as a from-scratch evaluation draws them. *)
+    List.iter
+      (fun (n, rev_variants) ->
+        let evaluated =
+          Gat_util.Pool.map ?jobs
+            (fun (rng, entry) ->
+              match entry with
+              | Error _ -> None
+              | Ok c ->
+                  Some
+                    (Measure.evaluate_compiled c ~n
+                       ~rng:(Gat_util.Rng.copy rng)))
+            compiled
+        in
+        Array.iter
+          (function Some v -> rev_variants := v :: !rev_variants | None -> ())
+          evaluated)
+      acc;
+    start := !start + Array.length block
+  done;
+  List.map (fun (n, rev_variants) -> (n, List.rev !rev_variants)) acc
+
+let sweep ?(space = Space.paper) ?jobs kernel gpu ~n ~seed =
+  let key = sweep_key space kernel gpu ~n ~seed in
+  match find_sweep key with
+  | Some variants -> variants
+  | None -> (
+      match run_sweeps ?jobs kernel gpu ~space ~ns:[ n ] ~seed with
+      | [ (_, variants) ] -> store_sweep key variants
+      | _ -> assert false)
+
+let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
+  let missing =
+    List.filter
+      (fun n -> Option.is_none (find_sweep (sweep_key space kernel gpu ~n ~seed)))
+      ns
   in
-  match Hashtbl.find_opt sweep_cache key with
-  | Some vs -> vs
-  | None ->
-      let variants =
-        List.filter_map
-          (fun params ->
-            let point_seed =
-              Hashtbl.hash
-                ( seed,
-                  kernel.Gat_ir.Kernel.name,
-                  gpu.Gat_arch.Gpu.name,
-                  Gat_compiler.Params.to_string params )
-            in
-            let rng = Gat_util.Rng.create point_seed in
-            match Measure.evaluate kernel gpu ~n ~rng params with
-            | Ok v -> Some v
-            | Error _ -> None)
-          (Space.points space)
-      in
-      Hashtbl.replace sweep_cache key variants;
-      variants
+  (match missing with
+  | [] -> ()
+  | _ ->
+      List.iter
+        (fun (n, variants) ->
+          ignore (store_sweep (sweep_key space kernel gpu ~n ~seed) variants))
+        (run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed));
+  List.map (fun n -> (n, sweep ~space ?jobs kernel gpu ~n ~seed)) ns
 
 type strategy =
   | Exhaustive

@@ -1,26 +1,67 @@
 (** Autotuning orchestration: the Orio driver loop.
 
     Evaluating the full paper space (5,120 variants) per kernel and
-    device is the expensive exhaustive baseline; sweeps are cached per
-    (kernel, device, size, seed) within the process so reports that
-    need the same sweep (Fig. 4, Table V, Fig. 5, Table VI, Fig. 6)
-    share one evaluation. *)
+    device is the expensive exhaustive baseline.  The sweep engine
+    walks the space in blocks, splitting each block into a {e compile
+    phase} — size-independent, done exactly once per parameter point
+    and shared by every requested input size (with {!Compile_cache}
+    adding reuse across calls) — and a {e simulate phase} per problem
+    size, and runs both over a {!Gat_util.Pool} of worker domains
+    ([GAT_JOBS] or [?jobs]).
+
+    Determinism is by construction: every parameter point derives its
+    own RNG stream from [(seed, kernel, gpu, params)], so a parallel
+    sweep returns variant lists identical to a sequential one.
+
+    Sweeps are cached per (kernel, device, size, seed) within the
+    process so reports that need the same sweep (Fig. 4, Table V,
+    Fig. 5, Table VI, Fig. 6) share one evaluation; the cache is
+    mutex-protected and safe to populate from concurrent sweeps. *)
+
+val point_seed :
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  seed:int ->
+  Gat_compiler.Params.t ->
+  int
+(** The per-point measurement seed: a hash of
+    [(seed, kernel, gpu, params)].  Exposed so external harnesses can
+    reproduce single-point evaluations exactly. *)
 
 val objective :
   Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> n:int -> seed:int -> Search.objective
-(** A memoized objective implementing the measurement protocol. *)
+(** A memoized objective implementing the measurement protocol,
+    compiling through {!Compile_cache}. *)
 
 val sweep :
   ?space:Space.t ->
+  ?jobs:int ->
   Gat_ir.Kernel.t ->
   Gat_arch.Gpu.t ->
   n:int ->
   seed:int ->
   Variant.t list
 (** Evaluate every point of the space (default {!Space.paper}); invalid
-    variants are dropped.  Cached. *)
+    variants are dropped.  Cached.  [?jobs] overrides the worker count
+    (default {!Gat_util.Pool.jobs}); the result does not depend on
+    it. *)
+
+val sweep_multi :
+  ?space:Space.t ->
+  ?jobs:int ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  ns:int list ->
+  seed:int ->
+  (int * Variant.t list) list
+(** [sweep_multi kernel gpu ~ns ~seed] sweeps the space at every size
+    in [ns], compiling each parameter point exactly once (compile
+    phase) and simulating it once per size (simulate phase).  Each
+    per-size result is identical to — and cached exactly like — the
+    corresponding {!sweep}. *)
 
 val clear_cache : unit -> unit
+(** Drop the sweep cache and the compiled-variant cache. *)
 
 type strategy =
   | Exhaustive

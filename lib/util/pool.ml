@@ -1,0 +1,73 @@
+let override = Atomic.make None
+
+let set_default_jobs j =
+  (match j with
+  | Some j when j < 1 -> invalid_arg "Pool.set_default_jobs: jobs must be >= 1"
+  | _ -> ());
+  Atomic.set override j
+
+let env_jobs () =
+  match Sys.getenv_opt "GAT_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+
+let jobs () =
+  match Atomic.get override with
+  | Some j -> j
+  | None -> (
+      match env_jobs () with
+      | Some j -> j
+      | None -> Domain.recommended_domain_count ())
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.unlock m;
+      Printexc.raise_with_backtrace e bt
+
+let map ?jobs:requested ?chunk f input =
+  let n = Array.length input in
+  let j = match requested with Some j -> max 1 j | None -> jobs () in
+  let j = min j n in
+  if j <= 1 then Array.map f input
+  else begin
+    let chunk =
+      match chunk with Some c -> max 1 c | None -> max 1 (n / (j * 8))
+    in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      try
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n || Atomic.get failure <> None then continue := false
+          else
+            for i = start to min n (start + chunk) - 1 do
+              results.(i) <- Some (f input.(i))
+            done
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    let domains = List.init (j - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?jobs ?chunk f l =
+  Array.to_list (map ?jobs ?chunk f (Array.of_list l))

@@ -1,0 +1,36 @@
+(** Domain-based worker pool for data-parallel map over arrays.
+
+    OCaml 5 domains, no external dependencies.  The pool exists for the
+    exhaustive autotuning sweeps (thousands of independent
+    compile+simulate evaluations), but is generic: [map] preserves
+    index order, so a parallel map is observably identical to the
+    sequential one whenever [f] is pure per element.
+
+    Worker count resolution, in priority order: the [?jobs] argument,
+    the process-wide {!set_default_jobs} override, the [GAT_JOBS]
+    environment variable, and finally the machine's recommended domain
+    count.  [jobs = 1] falls back to a plain sequential map — no
+    domains are spawned. *)
+
+val jobs : unit -> int
+(** The worker count that {!map} would use right now (>= 1). *)
+
+val set_default_jobs : int option -> unit
+(** Process-wide override for {!jobs}; [None] restores the
+    [GAT_JOBS] / domain-count default.
+    @raise Invalid_argument if the override is < 1. *)
+
+val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f arr] is [Array.map f arr], evaluated by [jobs] domains that
+    steal [chunk]-sized index ranges from a shared counter (default:
+    about eight chunks per worker).  Result order matches input order.
+    If any application of [f] raises, the first exception observed is
+    re-raised in the caller after all workers have stopped. *)
+
+val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}; [map_list ~jobs:1 f l] is [List.map f l]. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f] holding [m], releasing it on return or
+    exception.  The helper shared by every cache that must stay
+    consistent under {!map}. *)

@@ -1,0 +1,116 @@
+(* Tests for Gat_util.Pool: the Domain-based worker pool behind the
+   parallel sweep engine.  Everything here must hold for any job count
+   — order preservation is what makes the parallel sweeps
+   deterministic. *)
+
+open Gat_util
+
+let job_counts = [ 1; 2; 3; 4; 8 ]
+
+let test_map_empty () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        "empty in, empty out" [||]
+        (Pool.map ~jobs (fun x -> x * 2) [||]))
+    job_counts
+
+let test_map_single () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        "singleton" [| 14 |]
+        (Pool.map ~jobs (fun x -> x * 2) [| 7 |]))
+    job_counts
+
+let test_map_matches_sequential () =
+  let input = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expected = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        expected
+        (Pool.map ~jobs f input))
+    job_counts
+
+let test_chunk_sizes () =
+  let input = Array.init 97 (fun i -> i) in
+  let expected = Array.map string_of_int input in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (array string))
+        (Printf.sprintf "chunk=%d" chunk)
+        expected
+        (Pool.map ~jobs:4 ~chunk string_of_int input))
+    [ 1; 2; 3; 7; 64; 1000 ]
+
+let test_jobs_exceed_length () =
+  Alcotest.(check (array int))
+    "more workers than elements" [| 2; 4; 6 |]
+    (Pool.map ~jobs:64 (fun x -> x * 2) [| 1; 2; 3 |])
+
+let test_jobs_one_equals_list_map () =
+  let l = List.init 50 (fun i -> i - 25) in
+  let f x = (3 * x) + 1 in
+  Alcotest.(check (list int))
+    "jobs=1 is List.map" (List.map f l)
+    (Pool.map_list ~jobs:1 f l)
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "worker failure surfaces (jobs=%d)" jobs)
+        (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.map ~jobs
+               (fun i -> if i = 17 then failwith "boom" else i)
+               (Array.init 100 (fun i -> i)))))
+    [ 1; 4 ]
+
+let test_env_and_override () =
+  Unix.putenv "GAT_JOBS" "3";
+  Alcotest.(check int) "GAT_JOBS read" 3 (Pool.jobs ());
+  Unix.putenv "GAT_JOBS" "bogus";
+  Alcotest.(check bool) "garbage falls back to >= 1" true (Pool.jobs () >= 1);
+  Unix.putenv "GAT_JOBS" "7";
+  Pool.set_default_jobs (Some 2);
+  Alcotest.(check int) "override beats env" 2 (Pool.jobs ());
+  Pool.set_default_jobs None;
+  Alcotest.(check int) "back to env" 7 (Pool.jobs ());
+  Unix.putenv "GAT_JOBS" "";
+  Alcotest.(check bool) "empty env falls back" true (Pool.jobs () >= 1);
+  Alcotest.check_raises "override must be >= 1"
+    (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
+      Pool.set_default_jobs (Some 0))
+
+let test_with_lock () =
+  let m = Mutex.create () in
+  Alcotest.(check int) "returns the value" 5 (Pool.with_lock m (fun () -> 5));
+  (try Pool.with_lock m (fun () -> failwith "inside") with Failure _ -> ());
+  (* The mutex must have been released by the raising call. *)
+  Alcotest.(check int) "unlocked after exception" 6
+    (Pool.with_lock m (fun () -> 6))
+
+let () =
+  Alcotest.run "gat_pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "empty" `Quick test_map_empty;
+          Alcotest.test_case "single element" `Quick test_map_single;
+          Alcotest.test_case "matches sequential" `Quick test_map_matches_sequential;
+          Alcotest.test_case "chunk sizes" `Quick test_chunk_sizes;
+          Alcotest.test_case "jobs > length" `Quick test_jobs_exceed_length;
+          Alcotest.test_case "jobs=1 is List.map" `Quick test_jobs_one_equals_list_map;
+          Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "GAT_JOBS and override" `Quick test_env_and_override;
+          Alcotest.test_case "with_lock" `Quick test_with_lock;
+        ] );
+    ]

@@ -124,6 +124,33 @@ let test_context_defaults () =
   Alcotest.(check int) "eval size of atax" 128
     (Gat_report.Context.eval_size Gat_workloads.Workloads.atax)
 
+let test_context_memoized_and_compile_shared () =
+  (* One real kernel/device pair end to end: the multi-size sweep
+     behind Fig. 4 / Table V must compile each of the 5,120 parameter
+     points exactly once (the seed compiled them once per input size),
+     and the derived rankings must be computed once and shared. *)
+  let kernel = Gat_workloads.Workloads.atax and gpu = Gat_arch.Gpu.k20 in
+  Gat_tuner.Tuner.clear_cache ();
+  Gat_tuner.Compile_cache.reset_stats ();
+  let sweeps = Gat_report.Context.sweeps kernel gpu in
+  Alcotest.(check int) "five input sizes" 5 (List.length sweeps);
+  let compiles =
+    (Gat_tuner.Compile_cache.stats ()).Gat_tuner.Compile_cache.compiles
+  in
+  Alcotest.(check int) "each triple compiled exactly once" 5120 compiles;
+  (* The single-size sweep and both rankings ride on the same caches:
+     no further compilation, and memoized values are physically shared. *)
+  ignore (Gat_report.Context.sweep kernel gpu);
+  let r1 = Gat_report.Context.pooled_ranking kernel gpu in
+  let r2 = Gat_report.Context.pooled_ranking kernel gpu in
+  Alcotest.(check bool) "pooled_ranking memoized" true (r1 == r2);
+  Alcotest.(check bool) "ranking memoized" true
+    (Gat_report.Context.ranking kernel gpu == Gat_report.Context.ranking kernel gpu);
+  Alcotest.(check bool) "sweeps memoized" true
+    (Gat_report.Context.sweeps kernel gpu == sweeps);
+  Alcotest.(check int) "no recompilation for derived reports" 5120
+    (Gat_tuner.Compile_cache.stats ()).Gat_tuner.Compile_cache.compiles
+
 let () =
   Alcotest.run "gat_report"
     [
@@ -148,5 +175,7 @@ let () =
         [
           Alcotest.test_case "experiments" `Quick test_experiments_registry;
           Alcotest.test_case "context" `Quick test_context_defaults;
+          Alcotest.test_case "context memoized + compile-shared" `Slow
+            test_context_memoized_and_compile_shared;
         ] );
     ]

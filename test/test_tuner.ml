@@ -334,6 +334,120 @@ let test_strategy_names () =
       Gat_tuner.Tuner.Static_rules;
     ]
 
+(* ---- Parallel sweep engine and compile sharing ---- *)
+
+let test_sweep_parallel_deterministic () =
+  (* The acceptance bar for the parallel engine: sweeps under 4 worker
+     domains are byte-identical (params, times, mixes) to sequential
+     ones. *)
+  let kernel = Gat_workloads.Workloads.matvec2d and gpu = Gat_arch.Gpu.k20 in
+  Gat_tuner.Tuner.clear_cache ();
+  let seq = Gat_tuner.Tuner.sweep ~space:small_space ~jobs:1 kernel gpu ~n:64 ~seed:1 in
+  Gat_tuner.Tuner.clear_cache ();
+  let par = Gat_tuner.Tuner.sweep ~space:small_space ~jobs:4 kernel gpu ~n:64 ~seed:1 in
+  Alcotest.(check int) "same variant count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (a : Gat_tuner.Variant.t) (b : Gat_tuner.Variant.t) ->
+      Alcotest.(check bool) "byte-identical variant" true (a = b))
+    seq par
+
+let test_sweep_multi_parallel_deterministic () =
+  let kernel = Gat_workloads.Workloads.atax and gpu = Gat_arch.Gpu.m2050 in
+  let ns = [ 32; 64; 128 ] in
+  Gat_tuner.Tuner.clear_cache ();
+  let seq = Gat_tuner.Tuner.sweep_multi ~space:small_space ~jobs:1 kernel gpu ~ns ~seed:7 in
+  Gat_tuner.Tuner.clear_cache ();
+  let par = Gat_tuner.Tuner.sweep_multi ~space:small_space ~jobs:4 kernel gpu ~ns ~seed:7 in
+  Alcotest.(check bool) "byte-identical multi-size sweep" true (seq = par)
+
+let test_compile_shared_across_sizes () =
+  (* Each (kernel, gpu, params) triple must be compiled exactly once
+     across a multi-size sweep — the seed recompiled per size. *)
+  let kernel = Gat_workloads.Workloads.matvec2d and gpu = Gat_arch.Gpu.k20 in
+  Gat_tuner.Tuner.clear_cache ();
+  Gat_tuner.Compile_cache.reset_stats ();
+  let results =
+    Gat_tuner.Tuner.sweep_multi ~space:small_space kernel gpu
+      ~ns:[ 32; 64; 128 ] ~seed:1
+  in
+  Alcotest.(check int) "three sizes" 3 (List.length results);
+  let points = Space.cardinality small_space in
+  Alcotest.(check int) "one compile per point"
+    points
+    (Gat_tuner.Compile_cache.stats ()).Gat_tuner.Compile_cache.compiles;
+  (* A later single-size sweep at a new size reuses the same compiles. *)
+  ignore (Gat_tuner.Tuner.sweep ~space:small_space kernel gpu ~n:256 ~seed:1);
+  Alcotest.(check int) "still one compile per point" points
+    (Gat_tuner.Compile_cache.stats ()).Gat_tuner.Compile_cache.compiles
+
+let test_sweep_multi_matches_single_sweeps () =
+  let kernel = Gat_workloads.Workloads.matvec2d and gpu = Gat_arch.Gpu.k20 in
+  Gat_tuner.Tuner.clear_cache ();
+  let multi =
+    Gat_tuner.Tuner.sweep_multi ~space:tiny_space kernel gpu ~ns:[ 64; 128 ]
+      ~seed:1
+  in
+  Gat_tuner.Tuner.clear_cache ();
+  let single64 = Gat_tuner.Tuner.sweep ~space:tiny_space kernel gpu ~n:64 ~seed:1 in
+  let single128 = Gat_tuner.Tuner.sweep ~space:tiny_space kernel gpu ~n:128 ~seed:1 in
+  Alcotest.(check bool) "n=64 identical" true (List.assoc 64 multi = single64);
+  Alcotest.(check bool) "n=128 identical" true (List.assoc 128 multi = single128)
+
+let test_compile_cache_bounded () =
+  let kernel = Gat_workloads.Workloads.matvec2d and gpu = Gat_arch.Gpu.k20 in
+  let old = Gat_tuner.Compile_cache.capacity () in
+  Gat_tuner.Tuner.clear_cache ();
+  Gat_tuner.Compile_cache.set_capacity 4;
+  ignore (Gat_tuner.Tuner.sweep ~space:small_space kernel gpu ~n:64 ~seed:1);
+  let s = Gat_tuner.Compile_cache.stats () in
+  Alcotest.(check bool) "bounded" true (s.Gat_tuner.Compile_cache.entries <= 4);
+  Alcotest.(check bool) "evicted" true (s.Gat_tuner.Compile_cache.evictions > 0);
+  Gat_tuner.Compile_cache.set_capacity old;
+  Gat_tuner.Tuner.clear_cache ()
+
+(* ---- Measurement protocol: trial-draw regression ---- *)
+
+let test_measure_draws_match_full_protocol () =
+  (* Measure now draws only [selected_trial] noise samples; the
+     recorded time must be bit-identical to the original protocol that
+     drew all [repetitions] and kept the fifth. *)
+  let kernel = Gat_workloads.Workloads.atax and gpu = Gat_arch.Gpu.k20 in
+  let compiled = Gat_compiler.Driver.compile_exn kernel gpu (Params.make ()) in
+  let base = (Gat_sim.Engine.run compiled ~n:64).Gat_sim.Engine.time_ms in
+  List.iter
+    (fun seed ->
+      let reference =
+        let rng = Gat_util.Rng.create seed in
+        let trials =
+          List.init Gat_tuner.Measure.repetitions (fun _ ->
+              base *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02)
+        in
+        List.nth trials (Gat_tuner.Measure.selected_trial - 1)
+      in
+      let actual =
+        Gat_tuner.Measure.time_of compiled ~n:64 ~rng:(Gat_util.Rng.create seed)
+      in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "exact 5th-trial time (seed %d)" seed)
+        reference actual)
+    [ 1; 9; 42; 1234 ]
+
+let test_evaluate_compiled_matches_evaluate () =
+  let kernel = Gat_workloads.Workloads.atax and gpu = Gat_arch.Gpu.k20 in
+  let params = Params.make ~threads_per_block:256 ~fast_math:true () in
+  match
+    Gat_tuner.Measure.evaluate kernel gpu ~n:64 ~rng:(Gat_util.Rng.create 9)
+      params
+  with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      let compiled = Gat_compiler.Driver.compile_exn kernel gpu params in
+      let v' =
+        Gat_tuner.Measure.evaluate_compiled compiled ~n:64
+          ~rng:(Gat_util.Rng.create 9)
+      in
+      Alcotest.(check bool) "pre-compiled path identical" true (v = v')
+
 (* ---- Journal ---- *)
 
 let make_journal () =
@@ -459,6 +573,23 @@ let () =
           Alcotest.test_case "ranking sorted" `Quick test_ranking_split_sorted;
           Alcotest.test_case "autotune tiny" `Quick test_autotune_strategies_agree_on_tiny_space;
           Alcotest.test_case "strategy names" `Quick test_strategy_names;
+        ] );
+      ( "sweep_engine",
+        [
+          Alcotest.test_case "parallel sweep deterministic" `Quick
+            test_sweep_parallel_deterministic;
+          Alcotest.test_case "parallel multi-size deterministic" `Quick
+            test_sweep_multi_parallel_deterministic;
+          Alcotest.test_case "compile shared across sizes" `Quick
+            test_compile_shared_across_sizes;
+          Alcotest.test_case "multi matches single sweeps" `Quick
+            test_sweep_multi_matches_single_sweeps;
+          Alcotest.test_case "compile cache bounded" `Quick
+            test_compile_cache_bounded;
+          Alcotest.test_case "trial draws match full protocol" `Quick
+            test_measure_draws_match_full_protocol;
+          Alcotest.test_case "evaluate_compiled matches evaluate" `Quick
+            test_evaluate_compiled_matches_evaluate;
         ] );
       ( "journal",
         [
