@@ -49,7 +49,8 @@ let gpu_arg =
   Arg.(
     value
     & opt gpu_conv Gat_arch.Gpu.k20
-    & info [ "a"; "arch" ] ~docv:"GPU" ~doc:"Target device (name or family).")
+    & info [ "a"; "arch"; "gpu" ] ~docv:"GPU"
+        ~doc:"Target device (name or family).")
 
 let n_arg =
   Arg.(
@@ -99,6 +100,29 @@ let analyze kernel gpu params n =
   Format.printf "@.Static instruction mix:@.%a@." Gat_core.Imix.pp static_mix;
   Printf.printf "\nComputational intensity (static): %.2f\n"
     (Gat_core.Imix.intensity static_mix);
+  let accesses = List.concat_map snd c.Gat_compiler.Driver.mem_summary in
+  let mem_factor =
+    match accesses with
+    | [] -> 1.0
+    | _ ->
+        Float.max 1.0
+          (List.fold_left
+             (fun acc (a : Gat_analysis.Coalescing.access) ->
+               acc +. a.Gat_analysis.Coalescing.transactions)
+             0.0 accesses
+          /. float_of_int (List.length accesses))
+  in
+  Printf.printf
+    "Effective intensity (transaction-weighted, %.2fx mem): %.2f\n"
+    mem_factor
+    (Gat_core.Rules.effective_intensity static_mix
+       ~mem_transaction_factor:mem_factor);
+  let cfg = Gat_cfg.Cfg.of_program program in
+  let div = Gat_cfg.Divergence.compute cfg in
+  Printf.printf "Divergent branches: %d/%d (fraction %.2f)\n"
+    (List.length (Gat_cfg.Divergence.divergent_branches div))
+    (Gat_cfg.Divergence.branch_count div)
+    (Gat_cfg.Divergence.divergent_fraction div);
   Printf.printf "Eq. 6 cost at N=%d: %.1f\n" n (Gat_core.Predict.cost gpu dyn_est);
   print_string "\nPipeline utilization:\n";
   print_string (Gat_core.Pipeline_util.render (Gat_core.Pipeline_util.of_mix gpu dyn_est));
@@ -149,6 +173,28 @@ let cfg_cmd =
   Cmd.v
     (Cmd.info "cfg" ~doc:"Emit the variant's control-flow graph as Graphviz DOT.")
     Term.(const cfg $ kernel_arg $ gpu_arg $ params_term)
+
+(* ---- lint ---- *)
+
+let lint kernel gpu params =
+  let c = compile_or_die kernel gpu params in
+  let log = c.Gat_compiler.Driver.log in
+  print_string
+    (Gat_analysis.Lint.render ~gpu
+       ~threads_per_block:params.Gat_compiler.Params.threads_per_block
+       ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
+       ~spill_loads:log.Gat_compiler.Ptxas_info.spill_loads
+       ~spill_stores:log.Gat_compiler.Ptxas_info.spill_stores
+       ~stack_frame:log.Gat_compiler.Ptxas_info.stack_frame
+       c.Gat_compiler.Driver.program)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static diagnostics: uncoalesced accesses, bank conflicts, \
+          divergence, spills, occupancy limiter.")
+    Term.(const lint $ kernel_arg $ gpu_arg $ params_term)
 
 (* ---- occupancy ---- *)
 
@@ -574,7 +620,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyze_cmd; disasm_cmd; cfg_cmd; occupancy_cmd; suggest_cmd;
+            analyze_cmd; disasm_cmd; cfg_cmd; lint_cmd; occupancy_cmd;
+            suggest_cmd;
             simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
             replay_cmd;
             experiment_cmd;

@@ -1,0 +1,273 @@
+open Gat_isa
+
+type coeff = Known of { k : int; e : int } | Unknown
+
+(* Exponent clamps keep the abstract domain finite-height (loop bodies
+   that keep multiplying by a uniform would otherwise ascend forever). *)
+let e_min = -8
+let e_max = 8
+let clamp lo hi x = if x < lo then lo else if x > hi then hi else x
+
+let known k e =
+  if k = 0 then Known { k = 0; e = 0 } else Known { k; e = clamp e_min e_max e }
+
+let zero_coeff = known 0 0
+
+let cadd a b =
+  match (a, b) with
+  | Known { k = 0; _ }, c | c, Known { k = 0; _ } -> c
+  | Known x, Known y when x.e = y.e -> known (x.k + y.k) x.e
+  (* Mixed degrees: the higher-degree term dominates the stride as n
+     grows; keeping it is what lets floor-free division algebra cancel
+     when decomposed indices are re-flattened. *)
+  | Known x, Known y -> if x.e > y.e then Known x else Known y
+  | Unknown, _ | _, Unknown -> Unknown
+
+let cscale s c =
+  match c with
+  | Known { k; e } -> known (s * k) e
+  | Unknown -> if s = 0 then zero_coeff else Unknown
+
+let cshift d c =
+  match c with
+  | Known { k = 0; _ } -> zero_coeff
+  | Known { k; e } -> known k (e + d)
+  | Unknown -> Unknown
+
+let cjoin a b = if a = b then a else Unknown
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* A loop-carried constant delta widens into an iteration stride; gcd
+   keeps successive widenings on a strictly descending (terminating)
+   chain. *)
+let widen_iter it d =
+  if d = 0 then it
+  else
+    match it with
+    | Known { k = 0; _ } -> known (abs d) 0
+    | Known { k; e = 0 } -> known (gcd (abs k) (abs d)) 0
+    | Known _ | Unknown -> Unknown
+
+type value = { base : int option; mag : int; tid : coeff; iter : coeff }
+
+let top = { base = None; mag = 1; tid = Unknown; iter = Unknown }
+let const c = { base = Some c; mag = 0; tid = zero_coeff; iter = zero_coeff }
+
+let uniform ~mag =
+  { base = None; mag = clamp e_min e_max mag; tid = zero_coeff; iter = zero_coeff }
+
+let is_uniform v = v.tid = zero_coeff && v.iter = zero_coeff
+let is_const v = is_uniform v && v.base <> None
+
+(* Magnitude exponent of a value's unknown part; known constants are
+   O(1) regardless of their numeric size. *)
+let umag v = if v.base = None then v.mag else 0
+
+let add a b =
+  let base =
+    match (a.base, b.base) with Some x, Some y -> Some (x + y) | _ -> None
+  in
+  let mag =
+    match (a.base, b.base) with
+    | None, None -> max a.mag b.mag
+    | None, Some _ -> a.mag
+    | Some _, None -> b.mag
+    | Some _, Some _ -> 0
+  in
+  { base; mag; tid = cadd a.tid b.tid; iter = cadd a.iter b.iter }
+
+let scale k v =
+  if k = 0 then const 0
+  else
+    {
+      base = Option.map (fun c -> k * c) v.base;
+      mag = v.mag;
+      tid = cscale k v.tid;
+      iter = cscale k v.iter;
+    }
+
+let mul a b =
+  if is_const a then scale (Option.get a.base) b
+  else if is_const b then scale (Option.get b.base) a
+  else if is_uniform a then
+    (* uniform × affine: every stride scales by the uniform's magnitude. *)
+    {
+      base = None;
+      mag = clamp e_min e_max (a.mag + umag b);
+      tid = cshift a.mag b.tid;
+      iter = cshift a.mag b.iter;
+    }
+  else if is_uniform b then
+    {
+      base = None;
+      mag = clamp e_min e_max (b.mag + umag a);
+      tid = cshift b.mag a.tid;
+      iter = cshift b.mag a.iter;
+    }
+  else
+    {
+      base = None;
+      mag = clamp e_min e_max (umag a + umag b);
+      tid = Unknown;
+      iter = Unknown;
+    }
+
+let recip a =
+  if is_uniform a then
+    match a.base with
+    | Some 1 -> const 1
+    | Some (-1) -> const (-1)
+    | Some _ -> uniform ~mag:0
+    | None -> uniform ~mag:(-a.mag)
+  else top
+
+let join_value a b =
+  if a = b then a
+  else
+    let tid = cjoin a.tid b.tid in
+    let iter0 = cjoin a.iter b.iter in
+    let base, mag, iter =
+      match (a.base, b.base) with
+      | Some x, Some y when x = y -> (Some x, 0, iter0)
+      | Some x, Some y -> (None, 0, widen_iter iter0 (y - x))
+      | None, None -> (None, max a.mag b.mag, iter0)
+      | None, Some _ -> (None, a.mag, iter0)
+      | Some _, None -> (None, b.mag, iter0)
+    in
+    { base; mag; tid; iter }
+
+let coeff_to_string c =
+  match c with
+  | Known { k = 0; _ } -> "0"
+  | Known { k; e = 0 } -> string_of_int k
+  | Known { k; e } when e > 0 ->
+      let base = if k = 1 then "n" else if k = -1 then "-n" else Printf.sprintf "%dn" k in
+      if e = 1 then base else Printf.sprintf "%s^%d" base e
+  | Known { k; e } ->
+      if e = -1 then Printf.sprintf "%d/n" k else Printf.sprintf "%d/n^%d" k (-e)
+  | Unknown -> "?"
+
+type env = value Register.Map.t
+
+let lookup env r =
+  match Register.Map.find_opt r env with Some v -> v | None -> top
+
+let eval_operand env operand =
+  match operand with
+  | Operand.Reg r -> lookup env r
+  | Operand.Imm i -> const i
+  | Operand.FImm f -> const (int_of_float f)
+  | Operand.Special (Operand.Tid_x | Operand.Laneid) ->
+      { base = Some 0; mag = 0; tid = known 1 0; iter = zero_coeff }
+  | Operand.Special (Operand.Ntid_x | Operand.Ctaid_x | Operand.Nctaid_x) ->
+      uniform ~mag:1
+  | Operand.Addr { base; offset; _ } -> add (lookup env base) (const offset)
+
+let eval_instruction env (ins : Instruction.t) =
+  let src i =
+    match List.nth_opt ins.Instruction.srcs i with
+    | Some o -> eval_operand env o
+    | None -> top
+  in
+  let generic () =
+    (* Anything built purely from uniforms stays uniform (sqrt, setp,
+       min/max, logic ops, ...); otherwise we know nothing. *)
+    let vs = List.map (eval_operand env) ins.Instruction.srcs in
+    if vs <> [] && List.for_all is_uniform vs then
+      uniform ~mag:(List.fold_left (fun m v -> max m (umag v)) 0 vs)
+    else top
+  in
+  match ins.Instruction.op with
+  | Opcode.MOV -> src 0
+  | Opcode.IADD | Opcode.FADD | Opcode.DADD -> add (src 0) (src 1)
+  | Opcode.IMUL | Opcode.FMUL | Opcode.DMUL -> mul (src 0) (src 1)
+  | Opcode.IMAD | Opcode.FFMA | Opcode.DFMA -> add (mul (src 0) (src 1)) (src 2)
+  | Opcode.I2F | Opcode.F2I | Opcode.F2F | Opcode.I2D | Opcode.D2I
+  | Opcode.F2D | Opcode.D2F ->
+      src 0
+  | Opcode.MUFU_RCP -> recip (src 0)
+  | Opcode.SHL -> (
+      match List.nth_opt ins.Instruction.srcs 1 with
+      | Some (Operand.Imm k) when k >= 0 && k < 31 -> mul (src 0) (const (1 lsl k))
+      | _ -> generic ())
+  | Opcode.LDC -> uniform ~mag:1
+  | Opcode.LDG | Opcode.LDS | Opcode.LDL | Opcode.TEX -> top
+  | Opcode.SEL -> join_value (src 0) (src 1)
+  | _ -> generic ()
+
+let transfer env (ins : Instruction.t) =
+  match ins.Instruction.dst with
+  | None -> env
+  | Some d ->
+      let v = eval_instruction env ins in
+      let v =
+        match ins.Instruction.pred with
+        | None -> v
+        | Some _ -> (
+            (* A predicated write may not happen: keep the old value in
+               the mix. *)
+            match Register.Map.find_opt d env with
+            | Some old -> join_value old v
+            | None -> v)
+      in
+      Register.Map.add d v env
+
+module Env_lattice = struct
+  type t = env
+
+  let bottom = Register.Map.empty
+  let equal = Register.Map.equal ( = )
+
+  let join a b =
+    Register.Map.union (fun _ x y -> Some (join_value x y)) a b
+end
+
+module Solver = Gat_cfg.Dataflow.Make (Env_lattice)
+
+type t = Solver.result
+
+let analyze cfg =
+  Solver.solve cfg ~transfer:(fun _ block env ->
+      List.fold_left transfer env (Gat_cfg.Dataflow.block_instructions block))
+
+let block_entry (t : t) i = t.Solver.before.(i)
+
+type access_site = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;
+  op : Gat_isa.Opcode.t;
+  space : Gat_isa.Operand.space;
+  address : value;
+}
+
+let memory_sites cfg (t : t) =
+  let sites = ref [] in
+  for i = 0 to Gat_cfg.Cfg.n_blocks cfg - 1 do
+    let block = Gat_cfg.Cfg.block cfg i in
+    let env = ref (block_entry t i) in
+    List.iteri
+      (fun idx (ins : Instruction.t) ->
+        (if Opcode.is_memory ins.Instruction.op then
+           match
+             List.find_map
+               (function Operand.Addr a -> Some a | _ -> None)
+               ins.Instruction.srcs
+           with
+           | Some a ->
+               sites :=
+                 {
+                   block_index = i;
+                   block_label = block.Gat_isa.Basic_block.label;
+                   instr_index = idx;
+                   op = ins.Instruction.op;
+                   space = a.Operand.space;
+                   address = eval_operand !env (Operand.Addr a);
+                 }
+                 :: !sites
+           | None -> ());
+        env := transfer !env ins)
+      block.Gat_isa.Basic_block.body
+  done;
+  List.rev !sites

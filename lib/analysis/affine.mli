@@ -1,0 +1,83 @@
+(** Affine address analysis: constant/affine propagation over registers.
+
+    Approximates every integer register value as
+
+    {v  value  ≈  base  +  tid_coeff · tid.x  +  iter_coeff · i  v}
+
+    where [base] is either a known constant or an unknown
+    block-uniform quantity, [tid_coeff] is the per-lane stride (the
+    coefficient of [%tid.x]) and [iter_coeff] the per-iteration stride
+    of the innermost sequential loop the value is updated in.
+    Coefficients are symbolic in the problem size [n]: a coefficient is
+    either [Known {k; e}], meaning [k·n{^e}], or [Unknown].  Negative
+    exponents arise from the reciprocal-based integer-division sequence
+    the lowering emits ([I2F]/[MUFU.RCP]/[FMUL]/[F2I]); the algebra
+    tracks the division exactly modulo flooring, which cancels when a
+    row/column decomposition is re-flattened into a byte address (the
+    common case for the paper's kernels).
+
+    This is a forward data-flow problem on {!Gat_cfg.Dataflow}: values
+    join pointwise, loop-carried updates widen a changing constant base
+    into an iteration stride (gcd of the observed deltas).  The result
+    feeds {!Coalescing} and {!Bank_conflicts}. *)
+
+type coeff =
+  | Known of { k : int; e : int }
+      (** [k·n{^e}] — [k = 0] means the coefficient is exactly zero
+          (then [e = 0] by normalization). *)
+  | Unknown
+
+type value = {
+  base : int option;  (** [Some c]: known constant; [None]: uniform unknown. *)
+  mag : int;
+      (** Magnitude exponent of the unknown uniform part ([≈ n{^mag}]);
+          only meaningful when [base = None].  Lets [p / (n·n)] shift
+          strides by the full [n{^2}]. *)
+  tid : coeff;  (** Per-lane (coefficient of [%tid.x]) stride. *)
+  iter : coeff;  (** Per-loop-iteration stride (widened loop deltas). *)
+}
+
+val top : value
+(** Nothing known: lane- and iteration-varying in unknown ways. *)
+
+val const : int -> value
+val uniform : mag:int -> value
+
+val zero_coeff : coeff
+val is_uniform : value -> bool
+(** Both strides exactly zero (constant across the warp). *)
+
+val is_const : value -> bool
+val join_value : value -> value -> value
+val add : value -> value -> value
+val mul : value -> value -> value
+val recip : value -> value
+
+val coeff_to_string : coeff -> string
+(** Rendered in bytes-with-[n] notation, e.g. ["4n"], ["2/n"], ["0"],
+    ["?"] — stable output used by the lint report. *)
+
+type env = value Gat_isa.Register.Map.t
+
+val eval_operand : env -> Gat_isa.Operand.t -> value
+val transfer : env -> Gat_isa.Instruction.t -> env
+
+type t
+
+val analyze : Gat_cfg.Cfg.t -> t
+
+val block_entry : t -> int -> env
+(** Environment on entry to a block (bottom = empty for unreachable). *)
+
+type access_site = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;  (** Position within the block body. *)
+  op : Gat_isa.Opcode.t;
+  space : Gat_isa.Operand.space;
+  address : value;  (** Abstract byte address of the access. *)
+}
+
+val memory_sites : Gat_cfg.Cfg.t -> t -> access_site list
+(** Every memory instruction that addresses through an [Addr] operand,
+    in block/program order, with the abstract value of its address. *)

@@ -1,0 +1,108 @@
+type granularity = Line128 | Sector32
+
+let granularity_of_cc cc =
+  match cc with
+  | Gat_arch.Compute_capability.Sm20 -> Line128
+  | Gat_arch.Compute_capability.Sm35 | Gat_arch.Compute_capability.Sm52
+  | Gat_arch.Compute_capability.Sm60 ->
+      Sector32
+
+let segment_bytes = function Line128 -> 128 | Sector32 -> 32
+
+type pattern =
+  | Broadcast
+  | Stride of int
+  | Large of Affine.coeff
+  | Unknown
+
+let pattern_of_address (v : Affine.value) =
+  match v.Affine.tid with
+  | Affine.Known { k = 0; _ } -> Broadcast
+  | Affine.Known { k; e = 0 } -> Stride k
+  | Affine.Known { e; _ } when e < 0 ->
+      (* Sub-unit stride: adjacent lanes mostly share an element. *)
+      Broadcast
+  | Affine.Known _ as c -> Large c
+  | Affine.Unknown -> Unknown
+
+let pattern_to_string = function
+  | Broadcast -> "broadcast"
+  | Stride s -> Printf.sprintf "stride %dB" s
+  | Large c -> Printf.sprintf "stride %sB" (Affine.coeff_to_string c)
+  | Unknown -> "unknown"
+
+let warp_size = 32
+let access_bytes = 4
+
+let segments_per_warp g pattern =
+  let seg = segment_bytes g in
+  match pattern with
+  | Broadcast -> 1
+  | Stride 0 -> 1
+  | Stride s ->
+      (* Count distinct segments covered by [k·s, k·s + 4) over a warp;
+         the base is assumed segment-aligned. *)
+      let touched = Hashtbl.create 64 in
+      for k = 0 to warp_size - 1 do
+        let lo = k * s in
+        let hi = lo + access_bytes - 1 in
+        let div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b) in
+        for segment = div lo seg to div hi seg do
+          Hashtbl.replace touched segment ()
+        done
+      done;
+      Hashtbl.length touched
+  | Large _ | Unknown -> warp_size
+
+let transactions_128 g segments =
+  float_of_int (segments * segment_bytes g) /. 128.0
+
+type access = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;
+  op : Gat_isa.Opcode.t;
+  kind : [ `Load | `Store ];
+  pattern : pattern;
+  tid_stride : Affine.coeff;
+  iter_stride : Affine.coeff;
+  segments : int;
+  transactions : float;
+}
+
+let uncoalesced a = a.transactions > 1.0
+
+let of_sites gpu sites =
+  let g = granularity_of_cc gpu.Gat_arch.Gpu.cc in
+  List.filter_map
+    (fun (s : Affine.access_site) ->
+      if not (Gat_isa.Opcode.is_global_memory s.Affine.op) then None
+      else
+        let pattern = pattern_of_address s.Affine.address in
+        let segments = segments_per_warp g pattern in
+        Some
+          {
+            block_index = s.Affine.block_index;
+            block_label = s.Affine.block_label;
+            instr_index = s.Affine.instr_index;
+            op = s.Affine.op;
+            kind =
+              (if Gat_isa.Opcode.is_load s.Affine.op then `Load else `Store);
+            pattern;
+            tid_stride = s.Affine.address.Affine.tid;
+            iter_stride = s.Affine.address.Affine.iter;
+            segments;
+            transactions = transactions_128 g segments;
+          })
+    sites
+
+let analyze gpu cfg = of_sites gpu (Affine.memory_sites cfg (Affine.analyze cfg))
+
+let block_transactions gpu cfg =
+  let accesses = analyze gpu cfg in
+  let labels = cfg.Gat_cfg.Cfg.labels in
+  Array.to_list labels
+  |> List.filter_map (fun label ->
+         match List.filter (fun a -> a.block_label = label) accesses with
+         | [] -> None
+         | l -> Some (label, l))

@@ -1,0 +1,59 @@
+(** Static global-memory coalescing analysis.
+
+    From the affine form of each global access address ({!Affine}),
+    counts the memory transactions one warp (32 lanes) issues:
+
+    - Fermi (sm_20) coalesces through L1 in 128-byte cache lines;
+    - Kepler and later (sm_35/52/60) fetch 32-byte L2 sectors.
+
+    A per-lane byte stride [s] makes a warp touch the segments covered
+    by [[k·s, k·s + 4)] for [k = 0..31] (assuming a segment-aligned
+    base, the launch-time guarantee for the paper's kernels): stride 4
+    is one 128-byte line, stride [4n] (a column of a row-major matrix)
+    is 32 distinct segments.  Transactions are also reported normalized
+    to 128-byte units so Fermi and Kepler numbers are comparable and so
+    the simulator can consume them uniformly. *)
+
+type granularity = Line128 | Sector32
+
+val granularity_of_cc : Gat_arch.Compute_capability.t -> granularity
+val segment_bytes : granularity -> int
+
+type pattern =
+  | Broadcast  (** All lanes read the same element (or a sub-unit stride). *)
+  | Stride of int  (** Constant per-lane stride in bytes. *)
+  | Large of Affine.coeff  (** Stride grows with n — every lane its own segment. *)
+  | Unknown  (** Data-dependent or unanalyzable; worst case assumed. *)
+
+val pattern_of_address : Affine.value -> pattern
+val pattern_to_string : pattern -> string
+
+val segments_per_warp : granularity -> pattern -> int
+(** Distinct segments one full warp touches; [Unknown] counts 32. *)
+
+type access = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;
+  op : Gat_isa.Opcode.t;
+  kind : [ `Load | `Store ];
+  pattern : pattern;
+  tid_stride : Affine.coeff;  (** Per-lane stride of the byte address. *)
+  iter_stride : Affine.coeff;  (** Per-loop-iteration stride, for locality hints. *)
+  segments : int;  (** Native segments per warp on this architecture. *)
+  transactions : float;  (** Normalized to 128-byte transaction units. *)
+}
+
+val uncoalesced : access -> bool
+(** More than one 128-byte transaction per warp. *)
+
+val analyze : Gat_arch.Gpu.t -> Gat_cfg.Cfg.t -> access list
+(** All [LDG]/[STG]/[TEX] accesses in block order. *)
+
+val of_sites : Gat_arch.Gpu.t -> Affine.access_site list -> access list
+(** Same, from precomputed {!Affine.memory_sites} (shared with
+    {!Bank_conflicts} to avoid re-running the affine pass). *)
+
+val block_transactions : Gat_arch.Gpu.t -> Gat_cfg.Cfg.t -> (string * access list) list
+(** Accesses grouped by block label, emission order preserved — the
+    shape the simulator consumes. *)

@@ -1,0 +1,107 @@
+open Gat_isa
+
+let kind_to_string = function `Load -> "load" | `Store -> "store"
+
+let render ~gpu ?(threads_per_block = 128) ?regs_per_thread ?(spill_loads = 0)
+    ?(spill_stores = 0) ?(stack_frame = 0) (program : Program.t) =
+  let regs_per_thread =
+    Option.value ~default:program.Program.regs_per_thread regs_per_thread
+  in
+  let cfg = Gat_cfg.Cfg.of_program program in
+  let affine = Affine.analyze cfg in
+  let sites = Affine.memory_sites cfg affine in
+  let globals = Coalescing.of_sites gpu sites in
+  let shared = Bank_conflicts.of_sites gpu sites in
+  let divergence = Gat_cfg.Divergence.compute cfg in
+  let reachable = Gat_cfg.Cfg.reachable cfg in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let header =
+    Printf.sprintf "lint: %s on %s (%s)" program.Program.name
+      gpu.Gat_arch.Gpu.name
+      (Gat_arch.Compute_capability.to_string gpu.Gat_arch.Gpu.cc)
+  in
+  line "%s" header;
+  line "%s" (String.make (String.length header) '=');
+  line "";
+  let g = Coalescing.granularity_of_cc gpu.Gat_arch.Gpu.cc in
+  line "global memory (%dB segments):" (Coalescing.segment_bytes g);
+  if globals = [] then line "  no global accesses"
+  else begin
+    let label_width =
+      List.fold_left
+        (fun w (a : Coalescing.access) -> max w (String.length a.Coalescing.block_label))
+        0 globals
+    in
+    List.iter
+      (fun (a : Coalescing.access) ->
+        line "  %-*s +%-2d %-4s %-5s  %-12s %2d seg/warp  %5.2fx128B  %s"
+          label_width a.Coalescing.block_label a.Coalescing.instr_index
+          (Opcode.mnemonic a.Coalescing.op)
+          (kind_to_string a.Coalescing.kind)
+          (Coalescing.pattern_to_string a.Coalescing.pattern)
+          a.Coalescing.segments a.Coalescing.transactions
+          (if Coalescing.uncoalesced a then "UNCOALESCED" else "ok"))
+      globals;
+    let bad = List.length (List.filter Coalescing.uncoalesced globals) in
+    line "  %d/%d accesses uncoalesced" bad (List.length globals)
+  end;
+  line "";
+  let mode = Bank_conflicts.mode_of_cc gpu.Gat_arch.Gpu.cc in
+  line "shared memory (%d banks x %dB):" Bank_conflicts.banks
+    (Bank_conflicts.bank_width_bytes mode);
+  if shared = [] then line "  no shared-memory accesses"
+  else begin
+    List.iter
+      (fun (c : Bank_conflicts.conflict) ->
+        line "  %s +%-2d %-4s %-5s  stride %sB  replay %dx  %s"
+          c.Bank_conflicts.block_label c.Bank_conflicts.instr_index
+          (Opcode.mnemonic c.Bank_conflicts.op)
+          (kind_to_string c.Bank_conflicts.kind)
+          (Affine.coeff_to_string c.Bank_conflicts.tid_stride)
+          c.Bank_conflicts.replay
+          (if Bank_conflicts.conflicted c then "CONFLICT" else "ok"))
+      shared;
+    let bad = List.length (List.filter Bank_conflicts.conflicted shared) in
+    line "  %d/%d accesses bank-conflicted" bad (List.length shared)
+  end;
+  line "";
+  line "divergence:";
+  let divergent = Gat_cfg.Divergence.divergent_branches divergence in
+  let total = Gat_cfg.Divergence.branch_count divergence in
+  if total = 0 then line "  no conditional branches"
+  else
+    line "  %d/%d conditional branches divergent (%.1f%%)%s"
+      (List.length divergent) total
+      (100.0 *. Gat_cfg.Divergence.divergent_fraction divergence)
+      (if divergent = [] then ""
+       else
+         ": "
+         ^ String.concat " "
+             (List.map (fun i -> cfg.Gat_cfg.Cfg.labels.(i)) divergent));
+  line "";
+  line "spills:";
+  if spill_loads = 0 && spill_stores = 0 && stack_frame = 0 then line "  none"
+  else
+    line "  %d spill loads, %d spill stores, %dB stack frame" spill_loads
+      spill_stores stack_frame;
+  line "";
+  line "occupancy:";
+  let occ =
+    Gat_core.Occupancy.calculate gpu
+      (Gat_core.Occupancy.input ~regs_per_thread
+         ~smem_per_block:(Program.smem_per_block program) ~threads_per_block ())
+  in
+  line "  %.1f%% (%d/%d warps), limited by %s"
+    (100.0 *. occ.Gat_core.Occupancy.occupancy)
+    occ.Gat_core.Occupancy.active_warps gpu.Gat_arch.Gpu.warps_per_mp
+    (Gat_core.Occupancy.limiter_name occ.Gat_core.Occupancy.limiter);
+  line "";
+  line "unreachable blocks:";
+  let dead = ref [] in
+  Array.iteri
+    (fun i r -> if not r then dead := cfg.Gat_cfg.Cfg.labels.(i) :: !dead)
+    reachable;
+  if !dead = [] then line "  none"
+  else line "  %s" (String.concat " " (List.rev !dead));
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Static diagnostics report ([gat lint]).
+
+    Aggregates every static analysis into one stable, plain-text report
+    suitable for golden tests: global-memory coalescing (per access:
+    pattern, per-lane stride, segments and 128-byte transactions per
+    warp), shared-memory bank conflicts (replay factors), divergent
+    branches, register-spill traffic, the occupancy limiter, and blocks
+    unreachable from the entry.
+
+    Spill counts come from the compile log and are passed in by the
+    caller, keeping this library independent of the compiler. *)
+
+val render :
+  gpu:Gat_arch.Gpu.t ->
+  ?threads_per_block:int ->
+  ?regs_per_thread:int ->
+  ?spill_loads:int ->
+  ?spill_stores:int ->
+  ?stack_frame:int ->
+  Gat_isa.Program.t ->
+  string
+(** [threads_per_block] defaults to 128; [regs_per_thread] defaults to
+    the program's own count; spill statistics default to 0. *)

@@ -1,0 +1,77 @@
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = { before : L.t array; after : L.t array }
+
+  let solve ?(direction = Forward) ?(init = L.bottom) cfg ~transfer =
+    let n = Cfg.n_blocks cfg in
+    let before = Array.make n L.bottom in
+    let after = Array.make n L.bottom in
+    let rpo = Cfg.reverse_postorder cfg in
+    (* Process nodes in an order that follows the flow direction so most
+       facts are available on the first sweep; the worklist then only
+       re-queues nodes whose inputs actually changed (back edges). *)
+    let order =
+      match direction with
+      | Forward -> rpo
+      | Backward ->
+          let m = Array.length rpo in
+          Array.init m (fun i -> rpo.(m - 1 - i))
+    in
+    let queue = Queue.create () in
+    let queued = Array.make n false in
+    let enqueue i =
+      if not queued.(i) then begin
+        queued.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    Array.iter enqueue order;
+    let flow_sources, flow_dests, is_boundary =
+      match direction with
+      | Forward ->
+          (cfg.Cfg.pred, cfg.Cfg.succ, fun i -> i = Cfg.entry cfg)
+      | Backward ->
+          ( cfg.Cfg.succ,
+            cfg.Cfg.pred,
+            fun i ->
+              match (Cfg.block cfg i).Gat_isa.Basic_block.term with
+              | Gat_isa.Basic_block.Exit -> true
+              | Gat_isa.Basic_block.Jump _
+              | Gat_isa.Basic_block.Cond_branch _ ->
+                  false )
+    in
+    let incoming, outgoing =
+      match direction with
+      | Forward -> (before, after)
+      | Backward -> (after, before)
+    in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      queued.(i) <- false;
+      let input =
+        List.fold_left
+          (fun acc p -> L.join acc outgoing.(p))
+          (if is_boundary i then init else L.bottom)
+          flow_sources.(i)
+      in
+      incoming.(i) <- input;
+      let output = transfer i (Cfg.block cfg i) input in
+      if not (L.equal output outgoing.(i)) then begin
+        outgoing.(i) <- output;
+        List.iter enqueue flow_dests.(i)
+      end
+    done;
+    { before; after }
+end
+
+let block_instructions (b : Gat_isa.Basic_block.t) =
+  b.Gat_isa.Basic_block.body @ [ Gat_isa.Basic_block.terminator_instruction b ]

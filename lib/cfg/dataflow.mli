@@ -1,0 +1,46 @@
+(** Generic iterative data-flow solver over a {!Cfg.t}.
+
+    Analyses are expressed as a join-semilattice plus a per-block
+    transfer function; the solver runs a reverse-postorder worklist to a
+    fixed point.  Both forward (reaching-style) and backward
+    (liveness-style) problems are supported.  Termination requires the
+    usual conditions: [join] is a least upper bound, the lattice has
+    finite height, and the transfer function is monotone. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]; the initial value of every program point. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t array;  (** Fact at each block's entry, by node index. *)
+    after : L.t array;  (** Fact at each block's exit, by node index. *)
+  }
+
+  val solve :
+    ?direction:direction ->
+    ?init:L.t ->
+    Cfg.t ->
+    transfer:(int -> Gat_isa.Basic_block.t -> L.t -> L.t) ->
+    result
+  (** [solve cfg ~transfer] iterates to a fixed point.  [transfer i b v]
+      maps the fact flowing into block [i] (its [before] fact when
+      forward, its [after] fact when backward) to the fact flowing out.
+      [init] (default {!LATTICE.bottom}) is the boundary fact: it is
+      joined into the entry block's [before] when forward, and into the
+      [after] of every exit-terminated block when backward.  Blocks
+      unreachable from the entry keep [bottom] on both sides. *)
+end
+
+val block_instructions : Gat_isa.Basic_block.t -> Gat_isa.Instruction.t list
+(** The block body followed by its synthesized terminator instruction —
+    the instruction stream most per-instruction transfer functions fold
+    over. *)

@@ -25,37 +25,44 @@ let instruction_taints tainted (ins : Instruction.t) =
     | Some { reg; _ } -> Register.Set.mem reg tainted
     | None -> false
   in
-  (* Loads from lane-varying addresses produce lane-varying data. *)
+  (* Loads from lane-varying addresses produce lane-varying data.  Taint
+     is never killed: a register that may hold a lane-varying value on
+     some path stays suspect (may-analysis). *)
   if src_tainted then
     match ins.Instruction.dst with
     | Some d -> Register.Set.add d tainted
     | None -> tainted
   else tainted
 
+module Taint = Dataflow.Make (struct
+  type t = Register.Set.t
+
+  let bottom = Register.Set.empty
+  let equal = Register.Set.equal
+  let join = Register.Set.union
+end)
+
 let compute cfg =
-  let program = cfg.Cfg.program in
-  (* Iterate to a fixed point: register taint can flow through loops. *)
-  let tainted = ref Register.Set.empty in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Program.iter_instructions program (fun _ ins ->
-        let next = instruction_taints !tainted ins in
-        if not (Register.Set.equal next !tainted) then begin
-          tainted := next;
-          changed := true
-        end)
-  done;
+  let solution =
+    Taint.solve cfg ~transfer:(fun _ block facts ->
+        List.fold_left instruction_taints facts
+          (Dataflow.block_instructions block))
+  in
+  let tainted =
+    Array.fold_left Register.Set.union Register.Set.empty
+      solution.Taint.after
+  in
   let divergent = ref [] and branches = ref 0 in
   List.iteri
     (fun i (b : Basic_block.t) ->
       match b.Basic_block.term with
       | Basic_block.Cond_branch { pred = { reg; _ }; _ } ->
           incr branches;
-          if Register.Set.mem reg !tainted then divergent := i :: !divergent
+          if Register.Set.mem reg solution.Taint.after.(i) then
+            divergent := i :: !divergent
       | Basic_block.Jump _ | Basic_block.Exit -> ())
-    program.Program.blocks;
-  { tainted = !tainted; divergent = List.rev !divergent; branches = !branches }
+    cfg.Cfg.program.Program.blocks;
+  { tainted; divergent = List.rev !divergent; branches = !branches }
 
 let thread_dependent_registers t = t.tainted
 let divergent_branches t = t.divergent

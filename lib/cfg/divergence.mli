@@ -4,9 +4,11 @@
     [%laneid] — the registers that differ between lanes of a warp.  A
     conditional branch guarded by a thread-dependent predicate can make
     lanes of one warp take different paths, serializing execution (the
-    paper's Fig. 1 problem).  The analysis is a forward data-flow fixed
-    point over the CFG, flow-insensitive per register within a block
-    iteration, which soundly over-approximates dependence. *)
+    paper's Fig. 1 problem).  The analysis is a forward may-taint
+    problem on the generic {!Dataflow} worklist solver: per-block taint
+    sets joined by union, with no kill (a register that may be
+    lane-varying on some path stays suspect).  Blocks unreachable from
+    the entry contribute nothing. *)
 
 type t
 

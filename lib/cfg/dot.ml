@@ -5,31 +5,54 @@ let render ?(highlight_divergence = true) cfg =
   in
   let loop_info = Loops.compute cfg in
   let headers = List.map (fun (l : Loops.loop) -> l.Loops.header) (Loops.loops loop_info) in
+  let reachable = Cfg.reachable cfg in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "digraph cfg {\n";
   Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
   Array.iteri
     (fun i label ->
       let attrs = ref [] in
-      if List.mem i divergent then
+      if not reachable.(i) then
+        attrs := "style=filled" :: "fillcolor=\"#d9d9d9\"" :: "color=gray" :: !attrs
+      else if List.mem i divergent then
         attrs := "style=filled" :: "fillcolor=\"#f4cccc\"" :: !attrs;
       if List.mem i headers then attrs := "peripheries=2" :: !attrs;
       let n_instrs =
         Gat_isa.Basic_block.instruction_count (Cfg.block cfg i)
       in
       Buffer.add_string buf
-        (Printf.sprintf "  %s [label=\"%s\\n%d instrs\"%s];\n" label label
+        (Printf.sprintf "  %s [label=\"%s\\n%d instrs%s\"%s];\n" label label
            n_instrs
+           (if reachable.(i) then "" else "\\n(unreachable)")
            (if !attrs = [] then ""
             else ", " ^ String.concat ", " !attrs))
     )
     cfg.Cfg.labels;
   Array.iteri
     (fun i succs ->
-      List.iter
-        (fun j ->
+      (* A divergent conditional branch gets annotated taken/fall-through
+         edges so the rendering shows where warps can split. *)
+      let edge_attrs =
+        if List.mem i divergent then
+          let branch_labels =
+            match (Cfg.block cfg i).Gat_isa.Basic_block.term with
+            | Gat_isa.Basic_block.Cond_branch _ -> [ "t"; "f" ]
+            | Gat_isa.Basic_block.Jump _ | Gat_isa.Basic_block.Exit -> []
+          in
+          fun k ->
+            let lbl =
+              match List.nth_opt branch_labels k with
+              | Some l -> Printf.sprintf ", label=\"%s\"" l
+              | None -> ""
+            in
+            Printf.sprintf " [color=\"#cc0000\", style=bold%s]" lbl
+        else fun _ -> ""
+      in
+      List.iteri
+        (fun k j ->
           Buffer.add_string buf
-            (Printf.sprintf "  %s -> %s;\n" cfg.Cfg.labels.(i) cfg.Cfg.labels.(j)))
+            (Printf.sprintf "  %s -> %s%s;\n" cfg.Cfg.labels.(i)
+               cfg.Cfg.labels.(j) (edge_attrs k)))
         succs)
     cfg.Cfg.succ;
   Buffer.add_string buf "}\n";

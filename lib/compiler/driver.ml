@@ -7,6 +7,7 @@ type compiled = {
   log : Ptxas_info.t;
   alloc_stats : Regalloc.stats;
   profile : Profile.t;
+  mem_summary : (string * Gat_analysis.Coalescing.access list) list;
 }
 
 let compile kernel gpu params =
@@ -25,6 +26,14 @@ let compile kernel gpu params =
             let scheduled = Schedule.program virtual_program in
             let program, alloc_stats = Regalloc.run gpu scheduled in
             let log = Ptxas_info.of_program program alloc_stats in
+            (* Static coalescing analysis on the virtual-register form:
+               pre-spill code keeps the address arithmetic fully
+               trackable, and spilling never changes an access's
+               pattern, only adds local traffic (reported separately). *)
+            let mem_summary =
+              Gat_analysis.Coalescing.block_transactions gpu
+                (Gat_cfg.Cfg.of_program virtual_program)
+            in
             Ok
               {
                 kernel;
@@ -35,6 +44,7 @@ let compile kernel gpu params =
                 log;
                 alloc_stats;
                 profile;
+                mem_summary;
               }
           end)
 

@@ -17,6 +17,12 @@ type compiled = {
   log : Ptxas_info.t;
   alloc_stats : Regalloc.stats;
   profile : Profile.t;  (** Execution profile for the simulator. *)
+  mem_summary : (string * Gat_analysis.Coalescing.access list) list;
+      (** Static coalescing analysis of the variant's global accesses,
+          grouped by block label in emission order — computed once at
+          compile time on the virtual-register form (pre-spill, fully
+          trackable addresses) and consumed by the simulator's memory
+          model. *)
 }
 
 val compile :

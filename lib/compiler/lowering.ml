@@ -29,7 +29,6 @@ type ctx = {
   mutable work_items_fn : int -> int;
   mutable agg_fn : int -> Profile.agg;
   mutable count_rules : (string * (int -> Profile.agg)) list;  (* reversed *)
-  mutable mem_rules : (string * Profile.mem_access) list;  (* reversed *)
 }
 
 (* ---- builder primitives ---- *)
@@ -119,39 +118,9 @@ let var_reg ctx v ty =
       Hashtbl.replace ctx.var_types v ty;
       r
 
-(* ---- memory-coalescing analysis ---- *)
-
-(* Lane stride of a flattened index expression with respect to the
-   parallel variable, sampled numerically; other free variables get a
-   fixed sample value. *)
-let lane_transactions ctx ~elem_size flat_expr =
-  match ctx.parallel_var with
-  | None -> 1.0
-  | Some pvar ->
-      let inlined = inline_defs ctx flat_expr in
-      let sample_n = 64 in
-      let others =
-        List.filter_map
-          (fun v -> if v = pvar then None else Some (v, 3.0))
-          (Expr.free_vars inlined)
-      in
-      let at p =
-        Profile.eval_pure
-          ~bindings:((pvar, p) :: others)
-          ~n:sample_n inlined
-      in
-      (match (at 100.0, at 101.0) with
-      | Some a, Some b ->
-          let stride = Float.abs (b -. a) in
-          if stride = 0.0 then 1.0
-          else
-            Float.min 32.0
-              (Float.max 1.0 (stride *. float_of_int elem_size *. 32.0 /. 128.0))
-      | _ -> 16.0 (* data-dependent addressing: assume poor coalescing *))
-
-let record_mem ctx kind transactions =
-  ctx.mem_rules <-
-    (ctx.label, { Profile.kind; transactions }) :: ctx.mem_rules
+(* Memory coalescing is no longer estimated here by numeric sampling:
+   the static affine pass ([Gat_analysis.Coalescing]) derives per-access
+   transaction counts from the emitted code itself; see [Driver]. *)
 
 (* ---- expression code generation ---- *)
 
@@ -167,14 +136,6 @@ let as_reg ctx (operand : Operand.t) =
 let dst_or_fresh ctx dst = match dst with Some r -> r | None -> fresh_gpr ctx
 
 let elem_size ctx a = Dtype.size_bytes (Kernel.find_array ctx.kernel a).Kernel.elem
-
-(* Flattened row-major index as an IR expression, for stride analysis. *)
-let flat_index_expr idxs =
-  match idxs with
-  | [ i ] -> i
-  | [ i; j ] -> Expr.(Bin (Mul, i, Size) + j)
-  | [ i; j; k ] -> Expr.((Bin (Mul, i, Size) + j) * Size + k)
-  | _ -> invalid_arg "Lowering.flat_index_expr: bad rank"
 
 let rec gen_expr ?dst ctx (e : Expr.t) : Operand.t =
   match e with
@@ -196,9 +157,6 @@ let rec gen_expr ?dst ctx (e : Expr.t) : Operand.t =
       end)
   | Expr.Read (a, idxs) ->
       let addr = gen_address ctx a idxs in
-      record_mem ctx Profile.Load
-        (lane_transactions ctx ~elem_size:(elem_size ctx a)
-           (flat_index_expr idxs));
       let t = dst_or_fresh ctx dst in
       emit1 ctx Opcode.LDG t [ addr ];
       Operand.Reg t
@@ -488,9 +446,6 @@ and lower_stmt ctx (s : Stmt.t) =
   | Stmt.Store (a, idxs, e) ->
       let vo = gen_expr ctx e in
       let addr = gen_address ctx a idxs in
-      record_mem ctx Profile.Store
-        (lane_transactions ctx ~elem_size:(elem_size ctx a)
-           (flat_index_expr idxs));
       emit ctx (Instruction.make Opcode.STG [ addr; vo ])
   | Stmt.Sync -> emit ctx (Instruction.make Opcode.BAR [ Operand.Imm 0 ])
   | Stmt.If (c, t_branch, e_branch) -> lower_if ctx c t_branch e_branch
@@ -797,7 +752,6 @@ let lower kernel gpu params =
       work_items_fn = (fun _ -> 0);
       agg_fn = entry_agg;
       count_rules = [];
-      mem_rules = [];
     }
   in
   let entry_l = new_label ctx in
@@ -857,24 +811,12 @@ let lower kernel gpu params =
   let block_counts =
     memo1 (fun n -> List.map (fun (label, f) -> (label, f n)) rules)
   in
-  let mem_accesses =
-    let tbl = Hashtbl.create 16 in
-    List.iter
-      (fun (label, access) ->
-        let existing = Option.value ~default:[] (Hashtbl.find_opt tbl label) in
-        Hashtbl.replace tbl label (access :: existing))
-      ctx.mem_rules;
-    (* mem_rules is reversed, so the per-label lists come out in
-       emission order after the cons-reversal above. *)
-    Hashtbl.fold (fun label accesses acc -> (label, accesses) :: acc) tbl []
-  in
   let profile =
     {
       Profile.total_warps;
       warps_per_block;
       work_items = ctx.work_items_fn;
       block_counts;
-      mem_accesses;
     }
   in
   (program, profile)

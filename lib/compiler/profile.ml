@@ -1,13 +1,10 @@
 type agg = { execs : float; lanes : float }
-type mem_kind = Load | Store
-type mem_access = { kind : mem_kind; transactions : float }
 
 type t = {
   total_warps : int;
   warps_per_block : int;
   work_items : int -> int;
   block_counts : int -> (string * agg) list;
-  mem_accesses : (string * mem_access list) list;
 }
 
 let zero_agg = { execs = 0.0; lanes = 1.0 }

@@ -9,21 +9,13 @@
     analyzer never sees them (it only has the block weight polynomials,
     which are smooth approximations).
 
-    Memory accesses additionally carry a warp-transaction estimate from
-    a lane-stride analysis of their index expressions (coalesced
-    accesses cost one 128-byte transaction; a stride of [s] elements
-    costs up to 32). *)
+    Per-access memory-transaction counts live in
+    [Gat_analysis.Coalescing] (a static analysis of the emitted code)
+    and reach the simulator through [Driver.compiled.mem_summary]. *)
 
 type agg = {
   execs : float;  (** Warp-level issues of the block across the grid. *)
   lanes : float;  (** Average fraction of the 32 lanes active, (0,1]. *)
-}
-
-type mem_kind = Load | Store
-
-type mem_access = {
-  kind : mem_kind;
-  transactions : float;  (** 128-byte transactions per warp execution. *)
 }
 
 type t = {
@@ -35,8 +27,6 @@ type t = {
   block_counts : int -> (string * agg) list;
       (** Exact per-block execution aggregates at problem size [n]
           (memoized). *)
-  mem_accesses : (string * mem_access list) list;
-      (** Global-memory accesses per block label, in emission order. *)
 }
 
 val find_counts : t -> n:int -> string -> agg

@@ -7,6 +7,12 @@ let band_of_intensity intensity =
 
 let band_name = function Lower -> "lower" | Upper -> "upper"
 
+let effective_intensity mix ~mem_transaction_factor =
+  let m =
+    Imix.omem mix *. Float.max 1.0 mem_transaction_factor
+  in
+  if m <= 0.0 then Imix.ofl mix else Imix.ofl mix /. m
+
 let apply ~intensity threads =
   let n = List.length threads in
   if n <= 1 then threads

@@ -16,6 +16,13 @@ val band_of_intensity : float -> band
 
 val band_name : band -> string
 
+val effective_intensity : Imix.t -> mem_transaction_factor:float -> float
+(** Intensity against {e effective} memory operations: each global
+    access weighted by its transactions-per-warp from the static
+    coalescing analysis.  Uncoalesced kernels look more memory-bound
+    than their raw instruction mix suggests, which pushes them into the
+    [Lower] band.  Factors below 1 clamp to 1. *)
+
 val apply : intensity:float -> int list -> int list
 (** Keep the lower or upper half (by position, upper half includes the
     middle element of odd-length lists) of an ascending thread-count

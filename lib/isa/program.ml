@@ -10,19 +10,30 @@ type t = {
 
 let validate blocks =
   if blocks = [] then invalid_arg "Program.make: no blocks";
+  (* Map each label to the index of the block that first defined it, so
+     error messages can say where both offenders are. *)
   let labels = Hashtbl.create 16 in
-  List.iter
-    (fun (b : Basic_block.t) ->
-      if Hashtbl.mem labels b.Basic_block.label then
-        invalid_arg ("Program.make: duplicate label " ^ b.Basic_block.label);
-      Hashtbl.replace labels b.Basic_block.label ())
+  List.iteri
+    (fun i (b : Basic_block.t) ->
+      (match Hashtbl.find_opt labels b.Basic_block.label with
+      | Some first ->
+          invalid_arg
+            (Printf.sprintf
+               "Program.make: duplicate label %s (block %d redefines block %d)"
+               b.Basic_block.label i first)
+      | None -> ());
+      Hashtbl.replace labels b.Basic_block.label i)
     blocks;
-  List.iter
-    (fun b ->
+  List.iteri
+    (fun i b ->
       List.iter
         (fun target ->
           if not (Hashtbl.mem labels target) then
-            invalid_arg ("Program.make: undefined branch target " ^ target))
+            invalid_arg
+              (Printf.sprintf
+                 "Program.make: undefined branch target %s (referenced by \
+                  block %d, %s)"
+                 target i b.Basic_block.label))
         (Basic_block.successors b))
     blocks
 

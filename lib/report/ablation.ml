@@ -59,7 +59,7 @@ let pruning_row gpu kernel =
   let rules_only_space =
     Gat_tuner.Space.with_tc space
       (Gat_core.Rules.apply
-         ~intensity:pruning.Gat_tuner.Static_search.intensity
+         ~intensity:pruning.Gat_tuner.Static_search.effective_intensity
          space.Gat_tuner.Space.tc)
   in
   let exhaustive_best =

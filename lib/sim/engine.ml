@@ -109,19 +109,20 @@ let run (c : Driver.compiled) ~n =
           !barrier_issues +. (e *. float_of_int (barrier_count_of_block b));
         let accesses =
           Option.value ~default:[]
-            (List.assoc_opt label profile.Profile.mem_accesses)
+            (List.assoc_opt label c.Driver.mem_summary)
         in
         List.iter
-          (fun (a : Profile.mem_access) ->
-            transactions := !transactions +. (e *. a.Profile.transactions);
-            if a.Profile.kind = Profile.Load then
+          (fun (a : Gat_analysis.Coalescing.access) ->
+            transactions :=
+              !transactions
+              +. (e *. Memory_model.access_transactions a);
+            if a.Gat_analysis.Coalescing.kind = `Load then
               lat_weighted :=
                 !lat_weighted
                 +. e
-                   *. Memory_model.effective_latency gpu
+                   *. Memory_model.access_latency gpu
                         ~l1_pref_kb:params.Params.l1_pref_kb
-                        ~staging:params.Params.staging
-                        ~transactions:a.Profile.transactions)
+                        ~staging:params.Params.staging a)
           accesses;
         (* Dynamic instruction counts: warp-level issues per category. *)
         let instr_count = float_of_int (Basic_block.instruction_count b) in

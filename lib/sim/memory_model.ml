@@ -41,6 +41,13 @@ let effective_latency (gpu : Gpu.t) ~l1_pref_kb ~staging ~transactions =
   (* SC staging pipelines refills ahead of use. *)
   raw /. (1.0 +. (0.15 *. float_of_int (max 0 (staging - 1))))
 
+let access_transactions (a : Gat_analysis.Coalescing.access) =
+  a.Gat_analysis.Coalescing.transactions
+
+let access_latency gpu ~l1_pref_kb ~staging a =
+  effective_latency gpu ~l1_pref_kb ~staging
+    ~transactions:(access_transactions a)
+
 let smem_per_mp_effective (gpu : Gpu.t) ~l1_pref_kb =
   if has_configurable_split gpu then
     (* 64 KB array split between L1 and shared memory. *)

@@ -25,7 +25,18 @@ val effective_latency :
   float
 (** Average latency (cycles) of one global load: blend of L1-hit and
     DRAM latencies, divided by the software-prefetch pipelining factor
-    when SC staging is active. *)
+    when SC staging is active.  [transactions] normally comes from the
+    static coalescing analysis — see {!access_latency}; the raw
+    parameter form exists for tests and sensitivity studies. *)
+
+val access_transactions : Gat_analysis.Coalescing.access -> float
+(** Analysis-derived 128-byte transactions per warp for one access —
+    the canonical source of the [transactions] knob. *)
+
+val access_latency :
+  Gat_arch.Gpu.t -> l1_pref_kb:int -> staging:int ->
+  Gat_analysis.Coalescing.access -> float
+(** {!effective_latency} with [transactions] taken from the analysis. *)
 
 val smem_per_mp_effective : Gat_arch.Gpu.t -> l1_pref_kb:int -> int option
 (** Shared-memory capacity per SM under the L1 preference: on

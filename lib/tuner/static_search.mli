@@ -15,6 +15,12 @@
 type pruning = {
   suggestion : Gat_core.Suggest.t;  (** The Table VII row used. *)
   intensity : float;  (** Static computational intensity. *)
+  mem_transaction_factor : float;
+      (** Average transactions-per-warp over global accesses from the
+          static coalescing analysis (>= 1). *)
+  effective_intensity : float;
+      (** Intensity against transaction-weighted memory ops — what the
+          band rule actually consumes. *)
   static_space : Space.t;  (** TC restricted to suggested counts. *)
   rule_space : Space.t;  (** Further halved by the intensity rule. *)
 }

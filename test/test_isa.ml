@@ -165,6 +165,93 @@ let test_instruction_roundtrip_cases () =
       | None -> Alcotest.failf "failed to parse %S" s)
     cases
 
+(* Every opcode (with representative operands) x every cmp variant x
+   every guard-predicate shape survives print -> parse unchanged. *)
+let test_instruction_roundtrip_exhaustive () =
+  let srcs_of op =
+    match op with
+    | Opcode.LDG | Opcode.TEX ->
+        [ Operand.addr Operand.Global (Register.gpr 2) 16 ]
+    | Opcode.LDS -> [ Operand.addr Operand.Shared (Register.gpr 2) 4 ]
+    | Opcode.LDL -> [ Operand.addr Operand.Local (Register.gpr 2) 0 ]
+    | Opcode.LDC -> [ Operand.addr Operand.Param (Register.gpr 2) 0 ]
+    | Opcode.STG ->
+        [
+          Operand.addr Operand.Global (Register.gpr 2) 0;
+          Operand.reg (Register.gpr 3);
+        ]
+    | Opcode.STS ->
+        [
+          Operand.addr Operand.Shared (Register.gpr 2) 8;
+          Operand.reg (Register.gpr 3);
+        ]
+    | Opcode.STL ->
+        [
+          Operand.addr Operand.Local (Register.gpr 2) 0;
+          Operand.reg (Register.gpr 3);
+        ]
+    | Opcode.BRA | Opcode.EXIT | Opcode.SSY -> []
+    | Opcode.BAR -> [ Operand.imm 0 ]
+    | Opcode.IMAD | Opcode.FFMA | Opcode.DFMA ->
+        [
+          Operand.reg (Register.gpr 1);
+          Operand.imm 4;
+          Operand.reg (Register.gpr 2);
+        ]
+    | Opcode.PSETP ->
+        [ Operand.reg (Register.pred 3); Operand.reg (Register.pred 4) ]
+    | Opcode.MOV -> [ Operand.Special Operand.Tid_x ]
+    | _ -> [ Operand.reg (Register.gpr 1); Operand.reg (Register.gpr 2) ]
+  in
+  let dst_of op =
+    match op with
+    | Opcode.STG | Opcode.STS | Opcode.STL | Opcode.BRA | Opcode.EXIT
+    | Opcode.BAR | Opcode.SSY ->
+        None
+    | Opcode.ISETP | Opcode.FSETP | Opcode.PSETP -> Some (Register.pred 0)
+    | _ -> Some (Register.gpr 0)
+  in
+  let cmps_of op =
+    match op with
+    | Opcode.ISETP | Opcode.FSETP | Opcode.PSETP ->
+        List.map Option.some
+          [
+            Instruction.EQ; Instruction.NE; Instruction.LT; Instruction.LE;
+            Instruction.GT; Instruction.GE;
+          ]
+    | _ -> [ None ]
+  in
+  let preds =
+    [
+      None;
+      Some { Instruction.negated = false; reg = Register.pred 1 };
+      Some { Instruction.negated = true; reg = Register.pred 2 };
+    ]
+  in
+  let count = ref 0 in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun cmp ->
+          List.iter
+            (fun pred ->
+              let ins =
+                { Instruction.op; cmp; dst = dst_of op; srcs = srcs_of op; pred }
+              in
+              incr count;
+              let s = Instruction.to_string ins in
+              match Instruction.of_string s with
+              | None -> Alcotest.failf "unparsable: %s" s
+              | Some back ->
+                  if back <> ins then
+                    Alcotest.failf "roundtrip changed: %s -> %s" s
+                      (Instruction.to_string back))
+            preds)
+        (cmps_of op))
+    Opcode.all;
+  Alcotest.(check bool) "covers every opcode three ways" true
+    (!count >= 3 * List.length Opcode.all)
+
 let test_instruction_parse_garbage () =
   Alcotest.(check bool) "garbage" true (Instruction.of_string "FROB R1" = None);
   Alcotest.(check bool) "empty" true (Instruction.of_string "" = None)
@@ -249,14 +336,19 @@ let test_program_validation () =
          [ simple_block []; simple_block [] ])
   in
   Alcotest.check_raises "duplicate label"
-    (Invalid_argument "Program.make: duplicate label BB0") dup;
+    (Invalid_argument
+       "Program.make: duplicate label BB0 (block 1 redefines block 0)")
+    dup;
   let undef () =
     ignore
       (Program.make ~name:"k" ~target:Gat_arch.Compute_capability.Sm35
          [ simple_block ~term:(Basic_block.Jump "NOPE") [] ])
   in
   Alcotest.check_raises "undefined target"
-    (Invalid_argument "Program.make: undefined branch target NOPE") undef;
+    (Invalid_argument
+       "Program.make: undefined branch target NOPE (referenced by block 0, \
+        BB0)")
+    undef;
   Alcotest.check_raises "empty" (Invalid_argument "Program.make: no blocks")
     (fun () ->
       ignore (Program.make ~name:"k" ~target:Gat_arch.Compute_capability.Sm35 []))
@@ -410,6 +502,8 @@ let () =
           Alcotest.test_case "pred uses" `Quick test_instruction_pred_uses;
           Alcotest.test_case "to_string" `Quick test_instruction_to_string;
           Alcotest.test_case "roundtrip cases" `Quick test_instruction_roundtrip_cases;
+          Alcotest.test_case "roundtrip exhaustive" `Quick
+            test_instruction_roundtrip_exhaustive;
           Alcotest.test_case "garbage" `Quick test_instruction_parse_garbage;
           Alcotest.test_case "cmp names" `Quick test_cmp_names;
         ] );
