@@ -448,7 +448,16 @@ let strategy_conv =
   let print fmt s = Format.pp_print_string fmt (Gat_tuner.Tuner.strategy_name s) in
   Arg.conv (parse, print)
 
-let autotune kernel gpu n seed strategy journal_path =
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Skip the persistent sweep cache under $(b,GAT_CACHE_DIR): \
+           neither read nor write it.")
+
+let autotune kernel gpu n seed strategy journal_path no_cache =
+  if no_cache then Gat_tuner.Disk_cache.set_enabled false;
   let n = size_of kernel n in
   let journal =
     Option.map
@@ -496,7 +505,9 @@ let autotune_cmd =
   in
   Cmd.v
     (Cmd.info "autotune" ~doc:"Autotune a kernel over the paper's search space.")
-    Term.(const autotune $ kernel_arg $ gpu_arg $ n_arg $ seed $ strategy $ journal)
+    Term.(
+      const autotune $ kernel_arg $ gpu_arg $ n_arg $ seed $ strategy $ journal
+      $ no_cache_arg)
 
 (* ---- replay ---- *)
 
@@ -556,7 +567,8 @@ let jobs_arg =
            $(b,GAT_JOBS) or the machine's core count).  Results are \
            identical for any job count.")
 
-let experiment jobs id =
+let experiment jobs no_cache id =
+  if no_cache then Gat_tuner.Disk_cache.set_enabled false;
   Option.iter
     (fun j ->
       if j < 1 then (
@@ -582,7 +594,50 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a paper table or figure (or 'all').")
-    Term.(const experiment $ jobs_arg $ id)
+    Term.(const experiment $ jobs_arg $ no_cache_arg $ id)
+
+(* ---- cache ---- *)
+
+let human_bytes b =
+  if b >= 1024 * 1024 then Printf.sprintf "%.1f MiB" (float_of_int b /. 1048576.0)
+  else if b >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1024.0)
+  else Printf.sprintf "%d B" b
+
+let cache action =
+  match action with
+  | "stats" ->
+      let entries, bytes = Gat_tuner.Disk_cache.disk_usage () in
+      let s = Gat_tuner.Disk_cache.stats () in
+      Printf.printf
+        "directory: %s\nmodel:     %s\nentries:   %d (%s)\n\
+         session:   %d hits, %d misses, %d stores\n"
+        (Gat_tuner.Disk_cache.dir ())
+        Gat_tuner.Disk_cache.model_version entries (human_bytes bytes)
+        s.Gat_tuner.Disk_cache.hits s.Gat_tuner.Disk_cache.misses
+        s.Gat_tuner.Disk_cache.stores
+  | "clear" ->
+      let removed = Gat_tuner.Disk_cache.clear () in
+      Printf.printf "removed %d cache entr%s from %s\n" removed
+        (if removed = 1 then "y" else "ies")
+        (Gat_tuner.Disk_cache.dir ())
+  | _ ->
+      Printf.eprintf "unknown cache action %S; expected: stats, clear\n" action;
+      exit 1
+
+let cache_cmd =
+  let action =
+    Arg.(
+      value & pos 0 string "stats"
+      & info [] ~docv:"ACTION"
+          ~doc:"$(b,stats) prints entry count, size and session counters; \
+                $(b,clear) removes every entry.")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the persistent sweep cache (location: \
+          $(b,GAT_CACHE_DIR), default ~/.cache/gat).")
+    Term.(const cache $ action)
 
 (* ---- list ---- *)
 
@@ -625,5 +680,6 @@ let () =
             simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
             replay_cmd;
             experiment_cmd;
+            cache_cmd;
             list_cmd;
           ]))

@@ -153,27 +153,29 @@ type env = value Register.Map.t
 let lookup env r =
   match Register.Map.find_opt r env with Some v -> v | None -> top
 
-let eval_operand env operand =
+let eval_operand_with look operand =
   match operand with
-  | Operand.Reg r -> lookup env r
+  | Operand.Reg r -> look r
   | Operand.Imm i -> const i
   | Operand.FImm f -> const (int_of_float f)
   | Operand.Special (Operand.Tid_x | Operand.Laneid) ->
       { base = Some 0; mag = 0; tid = known 1 0; iter = zero_coeff }
   | Operand.Special (Operand.Ntid_x | Operand.Ctaid_x | Operand.Nctaid_x) ->
       uniform ~mag:1
-  | Operand.Addr { base; offset; _ } -> add (lookup env base) (const offset)
+  | Operand.Addr { base; offset; _ } -> add (look base) (const offset)
 
-let eval_instruction env (ins : Instruction.t) =
+let eval_operand env operand = eval_operand_with (lookup env) operand
+
+let eval_instruction_with look (ins : Instruction.t) =
   let src i =
     match List.nth_opt ins.Instruction.srcs i with
-    | Some o -> eval_operand env o
+    | Some o -> eval_operand_with look o
     | None -> top
   in
   let generic () =
     (* Anything built purely from uniforms stays uniform (sqrt, setp,
        min/max, logic ops, ...); otherwise we know nothing. *)
-    let vs = List.map (eval_operand env) ins.Instruction.srcs in
+    let vs = List.map (eval_operand_with look) ins.Instruction.srcs in
     if vs <> [] && List.for_all is_uniform vs then
       uniform ~mag:(List.fold_left (fun m v -> max m (umag v)) 0 vs)
     else top
@@ -200,7 +202,7 @@ let transfer env (ins : Instruction.t) =
   match ins.Instruction.dst with
   | None -> env
   | Some d ->
-      let v = eval_instruction env ins in
+      let v = eval_instruction_with (lookup env) ins in
       let v =
         match ins.Instruction.pred with
         | None -> v
@@ -213,25 +215,149 @@ let transfer env (ins : Instruction.t) =
       in
       Register.Map.add d v env
 
-module Env_lattice = struct
-  type t = env
+(* ---- fixpoint over a flat, register-slot-indexed environment ----
 
-  let bottom = Register.Map.empty
-  let equal = Register.Map.equal ( = )
+   The solver's hot loop joins, compares and transfers whole
+   environments once per block visit; balanced-tree maps make every
+   one of those O(bindings · log bindings) allocation-heavy.  The
+   fixpoint instead runs on [value array]s indexed by register slot
+   (only ever-written registers get slots; reads outside the universe
+   are [top], exactly like a missing map binding).  The physically
+   unique [absent] value marks never-bound slots so join can keep the
+   one-sided-binding semantics of [Map.union].  Results convert back
+   to maps only in {!block_entry} (cold path). *)
+
+let absent = { base = None; mag = min_int; tid = Unknown; iter = Unknown }
+
+let slot (r : Register.t) =
+  (2 * r.Register.id)
+  + match r.Register.cls with Register.Pred -> 1 | Register.Gpr -> 0
+
+module Arr_lattice = struct
+  type t = value array
+
+  let bottom = [||]
+
+  (* Slot-wise, physical-equality-first: unchanged slots keep their
+     pointer across [Array.copy], so the structural fallback only runs
+     for slots the visit actually rewrote. *)
+  let equal a b =
+    a == b
+    || Array.length a = Array.length b
+       && begin
+            let n = Array.length a in
+            let rec go i =
+              i >= n
+              || (let x = Array.unsafe_get a i and y = Array.unsafe_get b i in
+                  x == y || x = y)
+                 && go (i + 1)
+            in
+            go 0
+          end
 
   let join a b =
-    Register.Map.union (fun _ x y -> Some (join_value x y)) a b
+    if a == b || Array.length b = 0 then a
+    else if Array.length a = 0 then b
+    else begin
+      let n = Array.length a in
+      let r = Array.make n absent in
+      for i = 0 to n - 1 do
+        let x = a.(i) and y = b.(i) in
+        r.(i) <-
+          (if x == absent then y
+           else if y == absent then x
+           else join_value x y)
+      done;
+      r
+    end
 end
 
-module Solver = Gat_cfg.Dataflow.Make (Env_lattice)
+module Solver = Gat_cfg.Dataflow.Make (Arr_lattice)
 
-type t = Solver.result
+type t = {
+  n_slots : int;
+  slot_regs : Register.t option array;  (* slot -> register, for maps *)
+  before : value array array;  (* entry env per block; [||] = bottom *)
+}
+
+let lookup_arr env (r : Register.t) =
+  let s = slot r in
+  if s >= Array.length env then top
+  else
+    let v = Array.unsafe_get env s in
+    if v == absent then top else v
+
+(* In-place version of {!transfer} on an array env the caller owns;
+   [look] must be [lookup_arr env], passed in so walks allocate the
+   closure once per block rather than once per instruction. *)
+let transfer_arr look env (ins : Instruction.t) =
+  match ins.Instruction.dst with
+  | None -> ()
+  | Some d ->
+      let v = eval_instruction_with look ins in
+      let v =
+        match ins.Instruction.pred with
+        | None -> v
+        | Some _ ->
+            let old = env.(slot d) in
+            if old == absent then v else join_value old v
+      in
+      env.(slot d) <- v
+
+let universe cfg =
+  let max_slot = ref (-1) in
+  let note (ins : Instruction.t) =
+    match ins.Instruction.dst with
+    | Some d -> max_slot := max !max_slot (slot d)
+    | None -> ()
+  in
+  Array.iter
+    (fun (b : Gat_isa.Basic_block.t) ->
+      List.iter note b.Gat_isa.Basic_block.body;
+      note (Gat_isa.Basic_block.terminator_instruction b))
+    cfg.Gat_cfg.Cfg.blocks;
+  let n_slots = !max_slot + 1 in
+  let slot_regs = Array.make n_slots None in
+  Array.iter
+    (fun (b : Gat_isa.Basic_block.t) ->
+      let note (ins : Instruction.t) =
+        match ins.Instruction.dst with
+        | Some d -> slot_regs.(slot d) <- Some d
+        | None -> ()
+      in
+      List.iter note b.Gat_isa.Basic_block.body;
+      note (Gat_isa.Basic_block.terminator_instruction b))
+    cfg.Gat_cfg.Cfg.blocks;
+  (n_slots, slot_regs)
+
+let entry_env n_slots input =
+  if Array.length input = 0 then Array.make n_slots absent
+  else Array.copy input
 
 let analyze cfg =
-  Solver.solve cfg ~transfer:(fun _ block env ->
-      List.fold_left transfer env (Gat_cfg.Dataflow.block_instructions block))
+  let n_slots, slot_regs = universe cfg in
+  let result =
+    Solver.solve cfg ~transfer:(fun _ block input ->
+        let env = entry_env n_slots input in
+        let look = lookup_arr env in
+        List.iter (transfer_arr look env) block.Gat_isa.Basic_block.body;
+        transfer_arr look env
+          (Gat_isa.Basic_block.terminator_instruction block);
+        env)
+  in
+  { n_slots; slot_regs; before = result.Solver.before }
 
-let block_entry (t : t) i = t.Solver.before.(i)
+let block_entry (t : t) i =
+  let env = t.before.(i) in
+  let m = ref Register.Map.empty in
+  Array.iteri
+    (fun s v ->
+      if v != absent then
+        match t.slot_regs.(s) with
+        | Some r -> m := Register.Map.add r v !m
+        | None -> ())
+    env;
+  !m
 
 type access_site = {
   block_index : int;
@@ -246,7 +372,8 @@ let memory_sites cfg (t : t) =
   let sites = ref [] in
   for i = 0 to Gat_cfg.Cfg.n_blocks cfg - 1 do
     let block = Gat_cfg.Cfg.block cfg i in
-    let env = ref (block_entry t i) in
+    let env = entry_env t.n_slots t.before.(i) in
+    let look = lookup_arr env in
     List.iteri
       (fun idx (ins : Instruction.t) ->
         (if Opcode.is_memory ins.Instruction.op then
@@ -263,11 +390,11 @@ let memory_sites cfg (t : t) =
                    instr_index = idx;
                    op = ins.Instruction.op;
                    space = a.Operand.space;
-                   address = eval_operand !env (Operand.Addr a);
+                   address = eval_operand_with look (Operand.Addr a);
                  }
                  :: !sites
            | None -> ());
-        env := transfer !env ins)
+        transfer_arr look env ins)
       block.Gat_isa.Basic_block.body
   done;
   List.rev !sites

@@ -1,0 +1,55 @@
+open Gat_arch
+
+let peak_bandwidth_gbs (gpu : Gpu.t) =
+  match gpu.Gpu.cc with
+  | Compute_capability.Sm20 -> 148.0
+  | Compute_capability.Sm35 -> 208.0
+  | Compute_capability.Sm52 -> 288.0
+  | Compute_capability.Sm60 -> 732.0
+
+let bytes_per_cycle_per_sm (gpu : Gpu.t) =
+  peak_bandwidth_gbs gpu *. 1.0e9
+  /. (float_of_int gpu.Gpu.gpu_clock_mhz *. 1.0e6)
+  /. float_of_int gpu.Gpu.multiprocessors
+
+let has_configurable_split (gpu : Gpu.t) =
+  match gpu.Gpu.cc with
+  | Compute_capability.Sm20 | Compute_capability.Sm35 -> true
+  | Compute_capability.Sm52 | Compute_capability.Sm60 -> false
+
+let l1_hit_fraction (gpu : Gpu.t) ~l1_pref_kb ~transactions =
+  (* A warp touching few lines has high line reuse across iterations. *)
+  let locality = 1.0 /. Float.max 1.0 transactions in
+  let base =
+    match gpu.Gpu.cc with
+    | Compute_capability.Sm20 -> 0.55
+    | Compute_capability.Sm35 -> 0.60
+    | Compute_capability.Sm52 -> 0.70
+    | Compute_capability.Sm60 -> 0.75
+  in
+  let pref_bonus =
+    if has_configurable_split gpu && l1_pref_kb >= 48 then 0.15 else 0.0
+  in
+  Float.min 0.95 ((base +. pref_bonus) *. locality)
+
+let effective_latency (gpu : Gpu.t) ~l1_pref_kb ~staging ~transactions =
+  let hit = l1_hit_fraction gpu ~l1_pref_kb ~transactions in
+  let raw =
+    (hit *. gpu.Gpu.l2_latency_cycles)
+    +. ((1.0 -. hit) *. gpu.Gpu.mem_latency_cycles)
+  in
+  (* SC staging pipelines refills ahead of use. *)
+  raw /. (1.0 +. (0.15 *. float_of_int (max 0 (staging - 1))))
+
+let access_transactions (a : Coalescing.access) =
+  a.Coalescing.transactions
+
+let access_latency gpu ~l1_pref_kb ~staging a =
+  effective_latency gpu ~l1_pref_kb ~staging
+    ~transactions:(access_transactions a)
+
+let smem_per_mp_effective (gpu : Gpu.t) ~l1_pref_kb =
+  if has_configurable_split gpu then
+    (* 64 KB array split between L1 and shared memory. *)
+    Some ((64 - l1_pref_kb) * 1024)
+  else None

@@ -1,5 +1,6 @@
 type t = {
   program : Gat_isa.Program.t;
+  blocks : Gat_isa.Basic_block.t array;
   labels : string array;
   succ : int list array;
   pred : int list array;
@@ -22,7 +23,7 @@ let of_program (program : Gat_isa.Program.t) =
       List.iter (fun j -> pred.(j) <- i :: pred.(j)) targets)
     blocks;
   Array.iteri (fun j ps -> pred.(j) <- List.rev ps) pred;
-  { program; labels; succ; pred }
+  { program; blocks; labels; succ; pred }
 
 let n_blocks t = Array.length t.labels
 let entry _ = 0
@@ -36,7 +37,7 @@ let index_of t label =
   in
   go 0
 
-let block t i = List.nth t.program.Gat_isa.Program.blocks i
+let block t i = t.blocks.(i)
 
 let reachable t =
   let n = n_blocks t in

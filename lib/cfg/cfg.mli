@@ -5,6 +5,8 @@
 
 type t = {
   program : Gat_isa.Program.t;
+  blocks : Gat_isa.Basic_block.t array;
+      (** Basic blocks by node index (layout order). *)
   labels : string array;  (** Block labels by node index. *)
   succ : int list array;  (** Successor indices. *)
   pred : int list array;  (** Predecessor indices. *)

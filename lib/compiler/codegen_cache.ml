@@ -1,0 +1,100 @@
+open Gat_isa
+
+type outcome = {
+  program : Program.t;
+  alloc_stats : Regalloc.stats;
+  mem_summary : (string * Gat_analysis.Coalescing.access list) list;
+}
+
+type entry = {
+  in_blocks : Basic_block.t list;
+  out_blocks : Basic_block.t list;
+  out_stats : Regalloc.stats;
+  out_summary : (string * Gat_analysis.Coalescing.access list) list;
+}
+
+type stats = { classes : int; hits : int; misses : int }
+
+let table : (string * string * int * int * int * bool, entry) Hashtbl.t =
+  Hashtbl.create 64
+
+let lock = Mutex.create ()
+let hit_count = ref 0
+let miss_count = ref 0
+
+let stats () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      { classes = Hashtbl.length table; hits = !hit_count; misses = !miss_count })
+
+let clear () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      Hashtbl.reset table;
+      hit_count := 0;
+      miss_count := 0)
+
+(* Weight-free structural equality: labels, bodies and terminators, but
+   not the per-block execution weights, which are the only part of the
+   lowered code that depends on TC and BC. *)
+let same_code (a : Basic_block.t) (b : Basic_block.t) =
+  String.equal a.Basic_block.label b.Basic_block.label
+  && a.Basic_block.body = b.Basic_block.body
+  && a.Basic_block.term = b.Basic_block.term
+
+let same_program_code xs ys =
+  List.length xs = List.length ys && List.for_all2 same_code xs ys
+
+(* Re-attach the current variant's weights to the cached output blocks.
+   Labels and layout order are identical by [same_program_code], and the
+   backend passes preserve both, so a positional zip is exact. *)
+let reweight vp_blocks out_blocks =
+  List.map2
+    (fun (v : Basic_block.t) (o : Basic_block.t) ->
+      Basic_block.make ~weight:v.Basic_block.weight
+        ~active_frac:v.Basic_block.active_frac o.Basic_block.label
+        o.Basic_block.body o.Basic_block.term)
+    vp_blocks out_blocks
+
+let compute gpu vp =
+  let scheduled = Schedule.program vp in
+  let program, alloc_stats = Regalloc.run gpu scheduled in
+  let mem_summary =
+    Gat_analysis.Coalescing.block_transactions gpu
+      (Gat_cfg.Cfg.of_program vp)
+  in
+  { program; alloc_stats; mem_summary }
+
+let run ~(gpu : Gat_arch.Gpu.t) ~(params : Params.t) (vp : Program.t) =
+  let key =
+    ( vp.Program.name,
+      gpu.Gat_arch.Gpu.name,
+      params.Params.unroll,
+      params.Params.l1_pref_kb,
+      params.Params.staging,
+      params.Params.fast_math )
+  in
+  let cached =
+    Gat_util.Pool.with_lock lock (fun () -> Hashtbl.find_opt table key)
+  in
+  match cached with
+  | Some e when same_program_code e.in_blocks vp.Program.blocks ->
+      Gat_util.Pool.with_lock lock (fun () -> incr hit_count);
+      let blocks = reweight vp.Program.blocks e.out_blocks in
+      let program =
+        Program.make ~name:vp.Program.name ~target:vp.Program.target
+          ~regs_per_thread:e.out_stats.Regalloc.regs_used
+          ~smem_static:vp.Program.smem_static
+          ~smem_dynamic:vp.Program.smem_dynamic blocks
+      in
+      { program; alloc_stats = e.out_stats; mem_summary = e.out_summary }
+  | _ ->
+      let r = compute gpu vp in
+      Gat_util.Pool.with_lock lock (fun () ->
+          incr miss_count;
+          Hashtbl.replace table key
+            {
+              in_blocks = vp.Program.blocks;
+              out_blocks = r.program.Program.blocks;
+              out_stats = r.alloc_stats;
+              out_summary = r.mem_summary;
+            });
+      r

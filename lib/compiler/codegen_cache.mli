@@ -1,0 +1,35 @@
+(** Backend memoization across the launch-geometry axes.
+
+    Lowering bakes TC and BC only into the per-block execution weights;
+    the instruction streams of a lowered kernel are identical across
+    every (TC, BC) point of a sweep once the code-shaping parameters
+    (UIF, PL, SC, CFLAGS) are fixed.  Scheduling, register allocation
+    and the static coalescing analysis read only the instruction
+    streams, so their results can be shared across all of those points.
+
+    The cache is sound by construction, not by assumption: a stored
+    result is reused only after a weight-free structural comparison of
+    the incoming virtual blocks against the blocks that produced it.
+    Any kernel that did bake launch geometry into its code simply
+    misses and is recompiled — never answered incorrectly.  Reused
+    outputs get the current variant's weights re-attached, so the
+    result is bit-identical to a fresh compile.
+
+    Thread-safe; sweeps compile variants from parallel pool workers. *)
+
+type outcome = {
+  program : Gat_isa.Program.t;  (** Physical-register form. *)
+  alloc_stats : Regalloc.stats;
+  mem_summary : (string * Gat_analysis.Coalescing.access list) list;
+}
+
+val run :
+  gpu:Gat_arch.Gpu.t -> params:Params.t -> Gat_isa.Program.t -> outcome
+(** [run ~gpu ~params vp] schedules, register-allocates and
+    coalescing-analyzes the lowered program [vp], reusing a previous
+    result when the instruction streams match modulo block weights. *)
+
+type stats = { classes : int; hits : int; misses : int }
+
+val stats : unit -> stats
+val clear : unit -> unit

@@ -23,6 +23,11 @@ type compiled = {
           compile time on the virtual-register form (pre-spill, fully
           trackable addresses) and consumed by the simulator's memory
           model. *)
+  block_table : Block_table.t;
+      (** Flat per-block static summary (issue cycles, mixes,
+          pre-resolved memory factors, residency) — the simulator's hot
+          path reads only this, so every per-variant static property is
+          derived once per compile and shared across input sizes. *)
 }
 
 val compile :

@@ -68,7 +68,20 @@ let rec eval_pure ~bindings ~n (e : Gat_ir.Expr.t) =
           if cv <> 0.0 then eval_pure ~bindings ~n a else eval_pure ~bindings ~n b
       | None -> None)
 
-let monte_carlo_prob ~cond ~var ~lo ~hi ~n =
+(* [monte_carlo_prob] is a pure function of its arguments (the sampler
+   is seeded deterministically below), and a sweep calls it with the
+   same branch condition from every point of the TC x BC plane — so
+   results are shared process-wide, keyed by the arguments themselves.
+   Content keying makes the memo bit-exact by construction; the mutex
+   covers parallel pool workers. *)
+let mc_memo :
+    (Gat_ir.Expr.t * string * Gat_ir.Expr.t * Gat_ir.Expr.t * int, float)
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let mc_lock = Mutex.create ()
+
+let monte_carlo_prob_uncached ~cond ~var ~lo ~hi ~n =
   let samples = 512 in
   match
     (eval_pure ~bindings:[] ~n lo, eval_pure ~bindings:[] ~n hi)
@@ -86,3 +99,15 @@ let monte_carlo_prob ~cond ~var ~lo ~hi ~n =
       done;
       if !valid = 0 then 0.5 else float_of_int !hits /. float_of_int !valid
   | _ -> 0.5
+
+let monte_carlo_prob ~cond ~var ~lo ~hi ~n =
+  let key = (cond, var, lo, hi, n) in
+  match
+    Gat_util.Pool.with_lock mc_lock (fun () -> Hashtbl.find_opt mc_memo key)
+  with
+  | Some p -> p
+  | None ->
+      let p = monte_carlo_prob_uncached ~cond ~var ~lo ~hi ~n in
+      Gat_util.Pool.with_lock mc_lock (fun () ->
+          Hashtbl.replace mc_memo key p);
+      p

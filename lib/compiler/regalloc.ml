@@ -21,54 +21,92 @@ let gpr_ids regs =
 
 (* ---- liveness ---- *)
 
+(* Live sets are dense bitsets over virtual-register ids: the transfer
+   function and the fixpoint's change test become a few word ops per
+   block instead of balanced-tree unions. *)
+
+let bits_per_word = Sys.int_size
+
+let bitset_iter f set =
+  Array.iteri
+    (fun w word ->
+      if word <> 0 then
+        for i = 0 to bits_per_word - 1 do
+          if word land (1 lsl i) <> 0 then f ((w * bits_per_word) + i)
+        done)
+    set
+
 type block_info = {
   block : Basic_block.t;
-  use : IntSet.t;  (* upward-exposed uses *)
-  def : IntSet.t;
-  mutable live_in : IntSet.t;
-  mutable live_out : IntSet.t;
+  use : int array;  (* upward-exposed uses *)
+  def : int array;
+  live_in : int array;
+  live_out : int array;
 }
 
-let block_use_def (b : Basic_block.t) =
-  let instrs = b.Basic_block.body @ [ Basic_block.terminator_instruction b ] in
-  List.fold_left
-    (fun (use, def) ins ->
-      let uses = IntSet.of_list (gpr_ids (Instruction.uses ins)) in
-      let defs = IntSet.of_list (gpr_ids (Instruction.defs ins)) in
-      (IntSet.union use (IntSet.diff uses def), IntSet.union def defs))
-    (IntSet.empty, IntSet.empty) instrs
+let block_use_def ~nwords (b : Basic_block.t) =
+  let use = Array.make nwords 0 in
+  let def = Array.make nwords 0 in
+  let mem set v = set.(v / bits_per_word) land (1 lsl (v mod bits_per_word)) <> 0 in
+  let set_bit set v =
+    set.(v / bits_per_word) <- set.(v / bits_per_word) lor (1 lsl (v mod bits_per_word))
+  in
+  let step ins =
+    List.iter
+      (fun v -> if not (mem def v) then set_bit use v)
+      (gpr_ids (Instruction.uses ins));
+    List.iter (fun v -> set_bit def v) (gpr_ids (Instruction.defs ins))
+  in
+  List.iter step b.Basic_block.body;
+  step (Basic_block.terminator_instruction b);
+  (use, def)
 
 let liveness (p : Program.t) =
+  let nwords = (Program.max_virtual_register p + bits_per_word) / bits_per_word in
+  let nwords = max nwords 1 in
   let infos =
     List.map
       (fun b ->
-        let use, def = block_use_def b in
-        { block = b; use; def; live_in = IntSet.empty; live_out = IntSet.empty })
+        let use, def = block_use_def ~nwords b in
+        {
+          block = b;
+          use;
+          def;
+          live_in = Array.make nwords 0;
+          live_out = Array.make nwords 0;
+        })
       p.Program.blocks
   in
   let by_label = Hashtbl.create 16 in
   List.iter (fun info -> Hashtbl.replace by_label info.block.Basic_block.label info) infos;
+  let rev_infos = List.rev infos in
+  let out = Array.make nwords 0 in
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
       (fun info ->
-        let out =
-          List.fold_left
-            (fun acc succ ->
-              IntSet.union acc (Hashtbl.find by_label succ).live_in)
-            IntSet.empty
-            (Basic_block.successors info.block)
-        in
-        let inn = IntSet.union info.use (IntSet.diff out info.def) in
-        if
-          not (IntSet.equal out info.live_out && IntSet.equal inn info.live_in)
-        then begin
-          info.live_out <- out;
-          info.live_in <- inn;
-          changed := true
-        end)
-      (List.rev infos)
+        Array.fill out 0 nwords 0;
+        List.iter
+          (fun succ ->
+            let s = (Hashtbl.find by_label succ).live_in in
+            for w = 0 to nwords - 1 do
+              out.(w) <- out.(w) lor s.(w)
+            done)
+          (Basic_block.successors info.block);
+        for w = 0 to nwords - 1 do
+          let o = out.(w) in
+          if o <> info.live_out.(w) then begin
+            info.live_out.(w) <- o;
+            changed := true
+          end;
+          let inn = info.use.(w) lor (o land lnot info.def.(w)) in
+          if inn <> info.live_in.(w) then begin
+            info.live_in.(w) <- inn;
+            changed := true
+          end
+        done)
+      rev_infos
   done;
   infos
 
@@ -78,41 +116,41 @@ type interval = { vreg : int; start_pos : int; end_pos : int }
 
 let intervals (p : Program.t) =
   let infos = liveness p in
-  let touch = Hashtbl.create 64 in
+  (* Dense per-vreg lo/hi position arrays instead of a hashtable keyed
+     by vreg: one bounds check per touch, no boxing. *)
+  let n = Program.max_virtual_register p + 1 in
+  let lo = Array.make n max_int in
+  let hi = Array.make n (-1) in
   let note vreg pos =
-    match Hashtbl.find_opt touch vreg with
-    | None -> Hashtbl.replace touch vreg (pos, pos)
-    | Some (lo, hi) -> Hashtbl.replace touch vreg (min lo pos, max hi pos)
+    if pos < lo.(vreg) then lo.(vreg) <- pos;
+    if pos > hi.(vreg) then hi.(vreg) <- pos
   in
   let pos = ref 0 in
   List.iter
     (fun info ->
       let block_start = !pos in
-      IntSet.iter (fun v -> note v block_start) info.live_in;
-      let instrs =
-        info.block.Basic_block.body
-        @ [ Basic_block.terminator_instruction info.block ]
+      bitset_iter (fun v -> note v block_start) info.live_in;
+      let note_instr ins =
+        List.iter (fun v -> note v !pos) (gpr_ids (Instruction.uses ins));
+        List.iter (fun v -> note v !pos) (gpr_ids (Instruction.defs ins));
+        incr pos
       in
-      List.iter
-        (fun ins ->
-          List.iter (fun v -> note v !pos) (gpr_ids (Instruction.uses ins));
-          List.iter (fun v -> note v !pos) (gpr_ids (Instruction.defs ins));
-          incr pos)
-        instrs;
+      List.iter note_instr info.block.Basic_block.body;
+      note_instr (Basic_block.terminator_instruction info.block);
       let block_end = !pos - 1 in
-      IntSet.iter (fun v -> note v block_end) info.live_out)
+      bitset_iter (fun v -> note v block_end) info.live_out)
     infos;
-  let result =
-    Hashtbl.fold
-      (fun vreg (start_pos, end_pos) acc -> { vreg; start_pos; end_pos } :: acc)
-      touch []
-  in
+  let result = ref [] in
+  for vreg = n - 1 downto 0 do
+    if hi.(vreg) >= 0 then
+      result := { vreg; start_pos = lo.(vreg); end_pos = hi.(vreg) } :: !result
+  done;
   List.sort
     (fun a b ->
       match Int.compare a.start_pos b.start_pos with
       | 0 -> Int.compare a.vreg b.vreg
       | c -> c)
-    result
+    !result
 
 (* Peak number of simultaneously live intervals. *)
 let max_pressure ivals =
@@ -264,8 +302,42 @@ let run (gpu : Gat_arch.Gpu.t) (p : Program.t) =
     @ [ { ins with Instruction.srcs; pred; dst } ]
     @ List.rev !after
   in
+  (* When nothing spilled, every assignment is [Phys]: rewriting is a
+     pure register rename, with none of the scratch/use-map machinery
+     (which allocates a hashtable per instruction). *)
+  let rewrite_instruction_nospill ins =
+    let map_reg (r : Register.t) =
+      if r.Register.cls = Register.Pred then map_pred r
+      else
+        match assign_of r with
+        | Phys k ->
+            max_phys := max !max_phys k;
+            Register.gpr k
+        | Slot _ -> assert false
+    in
+    let map_operand (o : Operand.t) =
+      match o with
+      | Operand.Reg r -> Operand.Reg (map_reg r)
+      | Operand.Addr a ->
+          Operand.Addr { a with Operand.base = map_reg a.Operand.base }
+      | Operand.Imm _ | Operand.FImm _ | Operand.Special _ -> o
+    in
+    let srcs = List.map map_operand ins.Instruction.srcs in
+    let pred =
+      Option.map
+        (fun (pr : Instruction.predicate) ->
+          { pr with Instruction.reg = map_pred pr.Instruction.reg })
+        ins.Instruction.pred
+    in
+    let dst = Option.map map_reg ins.Instruction.dst in
+    { ins with Instruction.srcs; pred; dst }
+  in
   let rewrite_block (b : Basic_block.t) =
-    let body = List.concat_map rewrite_instruction b.Basic_block.body in
+    let body =
+      if n_slots = 0 then
+        List.map rewrite_instruction_nospill b.Basic_block.body
+      else List.concat_map rewrite_instruction b.Basic_block.body
+    in
     let term =
       match b.Basic_block.term with
       | Basic_block.Cond_branch { pred; if_true; if_false } ->

@@ -1,37 +1,48 @@
 open Gat_isa
 
-let reg_set regs = List.fold_left (fun s r -> Register.Set.add r s) Register.Set.empty regs
-
 let is_mem ins = Opcode.is_memory ins.Instruction.op
 let is_store ins = is_mem ins && not (Opcode.is_load ins.Instruction.op)
 let is_barrier ins = Opcode.is_barrier ins.Instruction.op
 
-(* Dependence edges between earlier instruction [i] and later [j]. *)
-let depends ~earlier ~later =
-  let defs_e = reg_set (Instruction.defs earlier) in
-  let uses_e = reg_set (Instruction.uses earlier) in
-  let defs_l = reg_set (Instruction.defs later) in
-  let uses_l = reg_set (Instruction.uses later) in
-  let raw = not (Register.Set.is_empty (Register.Set.inter defs_e uses_l)) in
-  let war = not (Register.Set.is_empty (Register.Set.inter uses_e defs_l)) in
-  let waw = not (Register.Set.is_empty (Register.Set.inter defs_e defs_l)) in
-  let mem =
-    (is_mem earlier && is_mem later && (is_store earlier || is_store later))
-    || is_barrier earlier || is_barrier later
-  in
-  raw || war || waw || mem
+(* Register lists are tiny (<= 1 def, <= 3 uses), so a direct product
+   membership check on int-encoded registers beats building balanced
+   sets for every pair. *)
+let reg_code (r : Register.t) =
+  (2 * r.Register.id)
+  + match r.Register.cls with Register.Pred -> 1 | Register.Gpr -> 0
+
+let overlap xs ys =
+  List.exists (fun (x : int) -> List.exists (fun y -> x = y) ys) xs
 
 let block (b : Basic_block.t) =
   let instrs = Array.of_list b.Basic_block.body in
   let n = Array.length instrs in
   if n <= 1 then b
   else begin
+    (* Hoist the per-instruction def/use lists out of the O(n^2)
+       dependence loop: the pair test itself allocates nothing. *)
+    let defs =
+      Array.map (fun i -> List.map reg_code (Instruction.defs i)) instrs
+    in
+    let uses =
+      Array.map (fun i -> List.map reg_code (Instruction.uses i)) instrs
+    in
+    let mem = Array.map is_mem instrs in
+    let store = Array.map is_store instrs in
+    let barrier = Array.map is_barrier instrs in
+    let depends i j =
+      (mem.(i) && mem.(j) && (store.(i) || store.(j)))
+      || barrier.(i) || barrier.(j)
+      || overlap defs.(i) uses.(j)
+      || overlap uses.(i) defs.(j)
+      || overlap defs.(i) defs.(j)
+    in
     (* preds.(j) = indices i < j that j depends on. *)
     let preds = Array.make n [] in
     let succs = Array.make n [] in
     for j = 1 to n - 1 do
       for i = 0 to j - 1 do
-        if depends ~earlier:instrs.(i) ~later:instrs.(j) then begin
+        if depends i j then begin
           preds.(j) <- i :: preds.(j);
           succs.(i) <- j :: succs.(i)
         end

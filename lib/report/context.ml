@@ -50,6 +50,12 @@ let ranking kernel gpu =
 
 let pooled_tbl : (string, Gat_tuner.Ranking.t) Hashtbl.t = Hashtbl.create 16
 
+let reset () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      Hashtbl.reset sweeps_tbl;
+      Hashtbl.reset ranking_tbl;
+      Hashtbl.reset pooled_tbl)
+
 let pooled_ranking kernel gpu =
   memo pooled_tbl (pair_key kernel gpu) (fun () ->
       let rankings =

@@ -37,3 +37,8 @@ val pooled_ranking : Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> Gat_tuner.Ranking.t
 (** Rank variants within each input size, then pool the rank-1 and
     rank-2 halves across sizes — the population behind the paper's
     Fig. 4 histograms and Table V statistics (memoized). *)
+
+val reset : unit -> unit
+(** Drop every memoized sweep and ranking, forcing recomputation on the
+    next request.  For harnesses (the benchmark's warm-cache pass) and
+    tests; reports never need it. *)

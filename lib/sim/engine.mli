@@ -45,7 +45,19 @@ type result = {
 
 val run : Gat_compiler.Driver.compiled -> n:int -> result
 (** Simulate one launch.  Deterministic: no noise — measurement noise
-    belongs to the tuner's trial protocol. *)
+    belongs to the tuner's trial protocol.
+
+    Reads the variant's precomputed {!Gat_compiler.Block_table} — flat
+    array loops, no list traversal or per-instruction allocation — and
+    is bit-identical to {!run_reference}. *)
+
+val run_reference : Gat_compiler.Driver.compiled -> n:int -> result
+(** The original list-based simulation path, retained verbatim as the
+    executable specification of {!run}: it recomputes every per-block
+    static property from the program on each call.  The equivalence
+    suite in [test_sim] asserts both paths agree bitwise on every
+    bundled kernel, device and input size.  Slow — not for use outside
+    tests. *)
 
 val measured_time_ms :
   Gat_compiler.Driver.compiled -> n:int -> rng:Gat_util.Rng.t -> float

@@ -1,45 +1,7 @@
-(** Memory-system model of the simulator substrate.
+(** Re-export of {!Gat_analysis.Memory_model}, the memory-system model
+    of the simulator substrate.  The implementation moved below the
+    compiler layer so {!Gat_compiler.Block_table} can bake per-access
+    transaction and latency factors into each compiled variant; the
+    simulator-facing name is preserved here. *)
 
-    Bandwidths and cache behaviour are not part of the paper's Table I;
-    they are drawn from the vendor datasheets of the same boards and
-    exist only to give the simulated "hardware" a realistic memory side
-    for the static analyzer to be compared against. *)
-
-val peak_bandwidth_gbs : Gat_arch.Gpu.t -> float
-(** Device global-memory bandwidth (GB/s): M2050 148, K20 208, M40 288,
-    P100 732. *)
-
-val bytes_per_cycle_per_sm : Gat_arch.Gpu.t -> float
-(** Peak bandwidth divided over SMs, in bytes per core-clock cycle. *)
-
-val l1_hit_fraction :
-  Gat_arch.Gpu.t -> l1_pref_kb:int -> transactions:float -> float
-(** Estimated L1/texture-cache hit fraction for an access whose warp
-    footprint is [transactions] 128-byte lines: broadcast/unit-stride
-    accesses cache well, scattered ones poorly; a 48 KB preference
-    improves hits on Fermi/Kepler (configurable split) and is neutral
-    on Maxwell/Pascal (dedicated L1). *)
-
-val effective_latency :
-  Gat_arch.Gpu.t -> l1_pref_kb:int -> staging:int -> transactions:float ->
-  float
-(** Average latency (cycles) of one global load: blend of L1-hit and
-    DRAM latencies, divided by the software-prefetch pipelining factor
-    when SC staging is active.  [transactions] normally comes from the
-    static coalescing analysis — see {!access_latency}; the raw
-    parameter form exists for tests and sensitivity studies. *)
-
-val access_transactions : Gat_analysis.Coalescing.access -> float
-(** Analysis-derived 128-byte transactions per warp for one access —
-    the canonical source of the [transactions] knob. *)
-
-val access_latency :
-  Gat_arch.Gpu.t -> l1_pref_kb:int -> staging:int ->
-  Gat_analysis.Coalescing.access -> float
-(** {!effective_latency} with [transactions] taken from the analysis. *)
-
-val smem_per_mp_effective : Gat_arch.Gpu.t -> l1_pref_kb:int -> int option
-(** Shared-memory capacity per SM under the L1 preference: on
-    Fermi/Kepler the 64 KB array is split (PL=48 leaves 16 KB of shared
-    memory), on Maxwell/Pascal the preference has no structural effect
-    ([None] = use the device default). *)
+include module type of Gat_analysis.Memory_model

@@ -1,0 +1,442 @@
+(* Persistent cross-run sweep cache.
+
+   One file per (kernel, device, space, size, seed) sweep, named by an
+   MD5 content hash so any change to the kernel source, parameter
+   space, device description or simulator model version produces a
+   different key and the stale entry is simply never read again.  The
+   payload is a line-oriented text format with hexadecimal float
+   literals ([%h]) so every stored Variant round-trips bit-exactly; a
+   corrupted or truncated file fails parsing and is reported as a miss,
+   never an error. *)
+
+let model_version = "gat-sim/3"
+let magic = "gat-sweep-cache 2"
+
+(* ---- location ---- *)
+
+let dir () =
+  match Sys.getenv_opt "GAT_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+      match Sys.getenv_opt "XDG_CACHE_HOME" with
+      | Some d when d <> "" -> Filename.concat d "gat"
+      | _ -> (
+          match Sys.getenv_opt "HOME" with
+          | Some h when h <> "" ->
+              Filename.concat (Filename.concat h ".cache") "gat"
+          | _ -> Filename.concat (Filename.get_temp_dir_name ()) "gat-cache"))
+
+let rec ensure_dir d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then ensure_dir parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* ---- switch and statistics ---- *)
+
+let lock = Mutex.create ()
+let enabled_flag = ref true
+let set_enabled b = Gat_util.Pool.with_lock lock (fun () -> enabled_flag := b)
+let enabled () = Gat_util.Pool.with_lock lock (fun () -> !enabled_flag)
+
+type stats = { hits : int; misses : int; stores : int }
+
+let zero_stats = { hits = 0; misses = 0; stores = 0 }
+let stats_ref = ref zero_stats
+let stats () = Gat_util.Pool.with_lock lock (fun () -> !stats_ref)
+let reset_stats () = Gat_util.Pool.with_lock lock (fun () -> stats_ref := zero_stats)
+
+let bump f = Gat_util.Pool.with_lock lock (fun () -> stats_ref := f !stats_ref)
+let hit () = bump (fun s -> { s with hits = s.hits + 1 })
+let miss () = bump (fun s -> { s with misses = s.misses + 1 })
+let stored () = bump (fun s -> { s with stores = s.stores + 1 })
+
+(* ---- keys ---- *)
+
+let gpu_identity (g : Gat_arch.Gpu.t) =
+  (* Every model-relevant hardware limit: editing a device description
+     invalidates its entries. *)
+  Printf.sprintf "%s/%s/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%h/%h"
+    g.Gat_arch.Gpu.name
+    (Gat_arch.Compute_capability.to_string g.Gat_arch.Gpu.cc)
+    g.Gat_arch.Gpu.multiprocessors g.Gat_arch.Gpu.cores_per_mp
+    g.Gat_arch.Gpu.gpu_clock_mhz g.Gat_arch.Gpu.mem_clock_mhz
+    g.Gat_arch.Gpu.l2_cache_kb g.Gat_arch.Gpu.smem_per_block
+    g.Gat_arch.Gpu.smem_per_mp g.Gat_arch.Gpu.reg_file_size
+    g.Gat_arch.Gpu.warp_size g.Gat_arch.Gpu.threads_per_mp
+    g.Gat_arch.Gpu.threads_per_block g.Gat_arch.Gpu.blocks_per_mp
+    g.Gat_arch.Gpu.warps_per_mp g.Gat_arch.Gpu.reg_alloc_unit
+    g.Gat_arch.Gpu.regs_per_thread g.Gat_arch.Gpu.threads_per_warp
+    g.Gat_arch.Gpu.mem_latency_cycles g.Gat_arch.Gpu.l2_latency_cycles
+
+let key space kernel gpu ~n ~seed =
+  let payload =
+    String.concat "\x00"
+      [
+        model_version;
+        Gat_ir.Kernel.to_string kernel;
+        gpu_identity gpu;
+        Space.to_string space;
+        string_of_int n;
+        string_of_int seed;
+      ]
+  in
+  Digest.to_hex (Digest.string payload)
+
+let file_of_key k = Filename.concat (dir ()) (k ^ ".sweep")
+
+(* ---- serialization ---- *)
+
+let emit_mix buf (m : Gat_core.Imix.t) =
+  Buffer.add_string buf (string_of_int (Array.length m.Gat_core.Imix.per_category));
+  Array.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf " %h" v))
+    m.Gat_core.Imix.per_category;
+  Buffer.add_string buf (Printf.sprintf " %h" m.Gat_core.Imix.reg_operands)
+
+(* The instruction mixes repeat heavily across a sweep — the estimated
+   mix is per compile class, not per (TC, BC) point — so each entry
+   carries a dictionary of distinct mixes and every variant line
+   references two indices into it.  Cuts stored bytes (and parse time)
+   roughly fivefold, and restored variants share mix structure, which
+   is invisible to callers: mixes are immutable and compared
+   structurally. *)
+let emit_variant buf (v : Variant.t) ~dyn_idx ~est_idx =
+  let p = v.Variant.params in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %d %d %h %h %d %d %d\n"
+       p.Gat_compiler.Params.threads_per_block p.Gat_compiler.Params.block_count
+       p.Gat_compiler.Params.unroll p.Gat_compiler.Params.l1_pref_kb
+       p.Gat_compiler.Params.staging
+       (if p.Gat_compiler.Params.fast_math then 1 else 0)
+       v.Variant.time_ms v.Variant.occupancy v.Variant.registers dyn_idx
+       est_idx)
+
+exception Bad_entry
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | _ -> -1
+
+(* Exact parse of the shape [%h] emits — [-]0xH[.H*]p[+-]D — without
+   the substring allocation and [strtod] call of [float_of_string].
+   The mantissa is kept integral (at most 53 bits, or we bail out) and
+   rescaled with [ldexp], both exact, so the result is bit-identical.
+   Returns [nan] on any shape mismatch; the caller falls back to
+   [float_of_string] then, which also covers the literal [nan] and
+   [infinity] spellings. *)
+let parse_hex_float s t0 n =
+  let stop = t0 + n in
+  let i = ref t0 in
+  let neg = !i < stop && String.unsafe_get s !i = '-' in
+  if neg then incr i;
+  if
+    !i + 1 >= stop
+    || String.unsafe_get s !i <> '0'
+    || String.unsafe_get s (!i + 1) <> 'x'
+  then Float.nan
+  else begin
+    i := !i + 2;
+    let mant = ref 0 in
+    let digits = ref 0 in
+    let frac = ref 0 in
+    let ok = ref true in
+    let in_frac = ref false in
+    let continue_ = ref true in
+    while !continue_ && !i < stop do
+      let c = String.unsafe_get s !i in
+      if c = 'p' then continue_ := false
+      else if c = '.' then
+        if !in_frac then begin
+          ok := false;
+          continue_ := false
+        end
+        else begin
+          in_frac := true;
+          incr i
+        end
+      else begin
+        let d = hex_digit c in
+        if d < 0 then begin
+          ok := false;
+          continue_ := false
+        end
+        else begin
+          mant := (!mant * 16) + d;
+          incr digits;
+          if !in_frac then incr frac;
+          incr i
+        end
+      end
+    done;
+    (* 13 hex digits past a leading 0/1 fill the 53-bit mantissa; more
+       would round in the integer accumulator, so defer to strtod. *)
+    if
+      (not !ok) || !digits = 0 || !digits > 14 || !mant >= 0x20000000000000
+      || !i >= stop
+      || String.unsafe_get s !i <> 'p'
+    then Float.nan
+    else begin
+      incr i;
+      let eneg =
+        match if !i < stop then String.unsafe_get s !i else ' ' with
+        | '-' ->
+            incr i;
+            true
+        | '+' ->
+            incr i;
+            false
+        | _ -> false
+      in
+      let e = ref 0 in
+      let edigits = ref 0 in
+      while !i < stop && !edigits <= 5 do
+        let c = String.unsafe_get s !i in
+        if c >= '0' && c <= '9' then begin
+          e := (!e * 10) + (Char.code c - Char.code '0');
+          incr edigits;
+          incr i
+        end
+        else begin
+          edigits := 99;
+          i := stop + 1
+        end
+      done;
+      if !i <> stop || !edigits = 0 || !edigits > 5 then Float.nan
+      else begin
+        let e = if eneg then - !e else !e in
+        let v = Float.ldexp (Float.of_int !mant) (e - (4 * !frac)) in
+        if neg then -.v else v
+      end
+    end
+  end
+
+(* The warm path parses hundreds of megabytes of entries, so the
+   reader scans the file as one string with an index cursor instead of
+   splitting every line into token lists, and floats take the exact
+   hex fast path above.  Strictness is unchanged: any malformed byte
+   raises [Bad_entry] and the entry reads as a miss. *)
+let read_file path =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length s in
+  let pos = ref 0 in
+  let line_end () =
+    match String.index_from_opt s !pos '\n' with
+    | Some nl -> nl
+    | None -> raise Bad_entry
+  in
+  let expect_line want =
+    let nl = line_end () in
+    if
+      nl - !pos <> String.length want
+      || not (String.equal (String.sub s !pos (nl - !pos)) want)
+    then raise Bad_entry;
+    pos := nl + 1
+  in
+  expect_line magic;
+  expect_line ("model " ^ model_version);
+  let counted prefix =
+    let nl = line_end () in
+    let plen = String.length prefix in
+    if nl - !pos <= plen || not (String.equal (String.sub s !pos plen) prefix)
+    then raise Bad_entry;
+    match int_of_string_opt (String.sub s (!pos + plen) (nl - !pos - plen)) with
+    | Some n when n >= 0 ->
+        pos := nl + 1;
+        n
+    | _ -> raise Bad_entry
+  in
+  let skip_spaces stop =
+    while !pos < stop && String.unsafe_get s !pos = ' ' do
+      incr pos
+    done
+  in
+  let token stop =
+    skip_spaces stop;
+    if !pos >= stop then raise Bad_entry;
+    let t0 = !pos in
+    while !pos < stop && String.unsafe_get s !pos <> ' ' do
+      incr pos
+    done;
+    (t0, !pos - t0)
+  in
+  let int stop =
+    let t0, n = token stop in
+    if n = 0 || n > 18 then raise Bad_entry;
+    let neg = String.unsafe_get s t0 = '-' in
+    let i0 = if neg then t0 + 1 else t0 in
+    if i0 = t0 + n then raise Bad_entry;
+    let v = ref 0 in
+    for i = i0 to t0 + n - 1 do
+      let c = Char.code (String.unsafe_get s i) - Char.code '0' in
+      if c < 0 || c > 9 then raise Bad_entry;
+      v := (!v * 10) + c
+    done;
+    if neg then - !v else !v
+  in
+  let fl stop =
+    let t0, n = token stop in
+    let v = parse_hex_float s t0 n in
+    if Float.is_nan v then
+      match float_of_string_opt (String.sub s t0 n) with
+      | Some f -> f
+      | None -> raise Bad_entry
+    else v
+  in
+  let mix () =
+    let stop = line_end () in
+    let n = int stop in
+    if n < 0 || n > 1024 then raise Bad_entry;
+    let per_category = Array.init n (fun _ -> fl stop) in
+    let reg_operands = fl stop in
+    skip_spaces stop;
+    if !pos <> stop then raise Bad_entry;
+    pos := stop + 1;
+    { Gat_core.Imix.per_category; reg_operands }
+  in
+  let n_mixes = counted "mixes " in
+  if n_mixes > 1_000_000 then raise Bad_entry;
+  let mixes = Array.init n_mixes (fun _ -> mix ()) in
+  let variant () =
+    let stop = line_end () in
+    let threads_per_block = int stop in
+    let block_count = int stop in
+    let unroll = int stop in
+    let l1_pref_kb = int stop in
+    let staging = int stop in
+    let fast_math = int stop <> 0 in
+    let time_ms = fl stop in
+    let occupancy = fl stop in
+    let registers = int stop in
+    let mix_ref () =
+      let i = int stop in
+      if i < 0 || i >= n_mixes then raise Bad_entry;
+      mixes.(i)
+    in
+    let dynamic_mix = mix_ref () in
+    let est_mix = mix_ref () in
+    skip_spaces stop;
+    if !pos <> stop then raise Bad_entry;
+    pos := stop + 1;
+    {
+      Variant.params =
+        {
+          Gat_compiler.Params.threads_per_block;
+          block_count;
+          unroll;
+          l1_pref_kb;
+          staging;
+          fast_math;
+        };
+      time_ms;
+      occupancy;
+      registers;
+      dynamic_mix;
+      est_mix;
+    }
+  in
+  let count = counted "variants " in
+  let variants = List.init count (fun _ -> variant ()) in
+  expect_line "end";
+  if !pos <> len then raise Bad_entry;
+  variants
+
+let find space kernel gpu ~n ~seed =
+  if not (enabled ()) then None
+  else
+    let path = file_of_key (key space kernel gpu ~n ~seed) in
+    if not (Sys.file_exists path) then begin
+      miss ();
+      None
+    end
+    else
+      match read_file path with
+      | variants ->
+          hit ();
+          Some variants
+      | exception _ ->
+          (* Corrupted, truncated or foreign content: a miss, and the
+             stale file will be overwritten by the next store. *)
+          miss ();
+          None
+
+let store space kernel gpu ~n ~seed variants =
+  if enabled () then
+    try
+      let d = dir () in
+      ensure_dir d;
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf magic;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf ("model " ^ model_version ^ "\n");
+      let mix_ids : (Gat_core.Imix.t, int) Hashtbl.t = Hashtbl.create 64 in
+      let mixes_rev = ref [] in
+      let n_mixes = ref 0 in
+      let mix_id m =
+        match Hashtbl.find_opt mix_ids m with
+        | Some i -> i
+        | None ->
+            let i = !n_mixes in
+            incr n_mixes;
+            Hashtbl.replace mix_ids m i;
+            mixes_rev := m :: !mixes_rev;
+            i
+      in
+      let refs =
+        List.map
+          (fun (v : Variant.t) ->
+            (mix_id v.Variant.dynamic_mix, mix_id v.Variant.est_mix))
+          variants
+      in
+      Buffer.add_string buf (Printf.sprintf "mixes %d\n" !n_mixes);
+      List.iter
+        (fun m ->
+          emit_mix buf m;
+          Buffer.add_char buf '\n')
+        (List.rev !mixes_rev);
+      Buffer.add_string buf
+        (Printf.sprintf "variants %d\n" (List.length variants));
+      List.iter2
+        (fun v (dyn_idx, est_idx) -> emit_variant buf v ~dyn_idx ~est_idx)
+        variants refs;
+      Buffer.add_string buf "end\n";
+      (* Atomic publish: write a private temp file in the same
+         directory, then rename over the final name, so concurrent
+         readers see either the old entry or the new one, never a
+         partial write. *)
+      let tmp = Filename.temp_file ~temp_dir:d "gat" ".sweep.tmp" in
+      Out_channel.with_open_bin tmp (fun oc ->
+          Out_channel.output_string oc (Buffer.contents buf));
+      Sys.rename tmp (file_of_key (key space kernel gpu ~n ~seed));
+      stored ()
+    with Sys_error _ -> ()
+
+(* ---- maintenance (the [gat cache] subcommand) ---- *)
+
+let entry_files () =
+  let d = dir () in
+  if not (Sys.file_exists d) then []
+  else
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".sweep")
+    |> List.sort compare
+    |> List.map (Filename.concat d)
+
+let disk_usage () =
+  List.fold_left
+    (fun (count, bytes) path ->
+      match In_channel.with_open_bin path In_channel.length with
+      | len -> (count + 1, bytes + Int64.to_int len)
+      | exception Sys_error _ -> (count, bytes))
+    (0, 0) (entry_files ())
+
+let clear () =
+  List.fold_left
+    (fun removed path ->
+      match Sys.remove path with
+      | () -> removed + 1
+      | exception Sys_error _ -> removed)
+    0 (entry_files ())

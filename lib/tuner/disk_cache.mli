@@ -1,0 +1,88 @@
+(** Persistent cross-run sweep cache.
+
+    The in-process sweep cache in {!Tuner} dies with the process, so
+    every [gat] invocation repeats the full compile-and-simulate sweep
+    even when nothing changed.  This module stores finished sweep
+    results on disk — one file per (kernel, device, space, size, seed)
+    under [GAT_CACHE_DIR] (default [$XDG_CACHE_HOME/gat], falling back
+    to [~/.cache/gat]) — and {!Tuner.sweep} consults it before
+    compiling anything.
+
+    Correctness model:
+    - {b Content-hash keys.}  The file name is the MD5 of the kernel
+      source rendering, the device description (every model-relevant
+      hardware limit), the parameter space, the input size, the
+      measurement seed and {!model_version}.  Anything that could
+      change a sweep's result changes the key, so stale entries are
+      never read — they are simply unreachable.
+    - {b Exact round-trip.}  Payloads are text with hexadecimal float
+      literals, so a cached {!Variant.t} list is bit-identical to the
+      freshly computed one.
+    - {b Crash safety.}  Entries are written to a temp file and
+      [rename]d into place (atomic on POSIX); readers see whole entries
+      or nothing.
+    - {b Corruption tolerance.}  A truncated, corrupted or foreign file
+      parses as a miss, never an error or a crash.
+
+    All operations take the lock only for counters; file I/O runs
+    unlocked and relies on the atomic publish. *)
+
+val model_version : string
+(** Version stamp of the performance model baked into every key and
+    payload.  Bump it whenever {!Gat_sim.Engine} or the memory model
+    changes behaviour: all previous entries become unreachable
+    (self-invalidation). *)
+
+val dir : unit -> string
+(** The cache directory, resolved on every call: [GAT_CACHE_DIR], else
+    [$XDG_CACHE_HOME/gat], else [~/.cache/gat], else a directory under
+    the system temp dir when no home is known.  Created lazily on first
+    store. *)
+
+val enabled : unit -> bool
+(** Whether lookups and stores touch the disk (default [true]). *)
+
+val set_enabled : bool -> unit
+(** Turn the cache off (e.g. [--no-cache]) or back on.  When disabled,
+    {!find} returns [None] without counting a miss and {!store} is a
+    no-op. *)
+
+type stats = { hits : int; misses : int; stores : int }
+
+val stats : unit -> stats
+(** Process-lifetime counters (find hits/misses, successful stores). *)
+
+val reset_stats : unit -> unit
+
+val key :
+  Space.t -> Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> n:int -> seed:int -> string
+(** The content-hash key (hex MD5) for one sweep; exposed for tests and
+    diagnostics. *)
+
+val find :
+  Space.t ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  Variant.t list option
+(** Look up a finished sweep.  [None] on any failure whatsoever. *)
+
+val store :
+  Space.t ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  Variant.t list ->
+  unit
+(** Persist a finished sweep.  Never raises: I/O failures (read-only
+    filesystem, no space) are silently dropped — the cache is an
+    optimization, not a store of record. *)
+
+val disk_usage : unit -> int * int
+(** [(entries, bytes)] currently on disk. *)
+
+val clear : unit -> int
+(** Remove every cache entry ([*.sweep] files only — nothing else in
+    the directory is touched); returns the number removed. *)

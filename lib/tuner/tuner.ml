@@ -25,7 +25,8 @@ let sweep_cache : (string, Variant.t list) Hashtbl.t = Hashtbl.create 16
 
 let clear_cache () =
   Gat_util.Pool.with_lock sweep_lock (fun () -> Hashtbl.reset sweep_cache);
-  Compile_cache.clear ()
+  Compile_cache.clear ();
+  Gat_compiler.Codegen_cache.clear ()
 
 let sweep_key space kernel gpu ~n ~seed =
   Printf.sprintf "%s/%s/%d/%d/%s" kernel.Gat_ir.Kernel.name
@@ -91,19 +92,36 @@ let run_sweeps ?jobs kernel gpu ~space ~ns ~seed =
   done;
   List.map (fun (n, rev_variants) -> (n, List.rev !rev_variants)) acc
 
+(* A sweep missing from the in-process cache may still be on disk from
+   an earlier run; only sweeps absent from both are computed, and every
+   computed sweep is persisted for the next process. *)
+let restore_from_disk space kernel gpu ~n ~seed key =
+  match Disk_cache.find space kernel gpu ~n ~seed with
+  | Some variants -> Some (store_sweep key variants)
+  | None -> None
+
 let sweep ?(space = Space.paper) ?jobs kernel gpu ~n ~seed =
   let key = sweep_key space kernel gpu ~n ~seed in
   match find_sweep key with
   | Some variants -> variants
   | None -> (
-      match run_sweeps ?jobs kernel gpu ~space ~ns:[ n ] ~seed with
-      | [ (_, variants) ] -> store_sweep key variants
-      | _ -> assert false)
+      match restore_from_disk space kernel gpu ~n ~seed key with
+      | Some variants -> variants
+      | None -> (
+          match run_sweeps ?jobs kernel gpu ~space ~ns:[ n ] ~seed with
+          | [ (_, variants) ] ->
+              let variants = store_sweep key variants in
+              Disk_cache.store space kernel gpu ~n ~seed variants;
+              variants
+          | _ -> assert false))
 
 let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
   let missing =
     List.filter
-      (fun n -> Option.is_none (find_sweep (sweep_key space kernel gpu ~n ~seed)))
+      (fun n ->
+        let key = sweep_key space kernel gpu ~n ~seed in
+        Option.is_none (find_sweep key)
+        && Option.is_none (restore_from_disk space kernel gpu ~n ~seed key))
       ns
   in
   (match missing with
@@ -111,7 +129,10 @@ let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
   | _ ->
       List.iter
         (fun (n, variants) ->
-          ignore (store_sweep (sweep_key space kernel gpu ~n ~seed) variants))
+          let variants =
+            store_sweep (sweep_key space kernel gpu ~n ~seed) variants
+          in
+          Disk_cache.store space kernel gpu ~n ~seed variants)
         (run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed));
   List.map (fun n -> (n, sweep ~space ?jobs kernel gpu ~n ~seed)) ns
 

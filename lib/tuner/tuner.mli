@@ -16,7 +16,11 @@
     Sweeps are cached per (kernel, device, size, seed) within the
     process so reports that need the same sweep (Fig. 4, Table V,
     Fig. 5, Table VI, Fig. 6) share one evaluation; the cache is
-    mutex-protected and safe to populate from concurrent sweeps. *)
+    mutex-protected and safe to populate from concurrent sweeps.
+    Finished sweeps are additionally persisted through {!Disk_cache},
+    so a rerun of the same experiment in a fresh process skips the
+    compile-and-simulate work entirely (disable with
+    {!Disk_cache.set_enabled} or the CLI's [--no-cache]). *)
 
 val point_seed :
   Gat_ir.Kernel.t ->

@@ -471,6 +471,29 @@ let test_driver_rejects_smem_overflow () =
   | Ok _ -> Alcotest.fail "expected validation error"
   | Error _ -> ()
 
+(* The backend memo must be bit-transparent: a compile that hits the
+   cache (same kernel/gpu/UIF/PL/SC/CFLAGS, different TC/BC) returns
+   exactly what a cold compile of the same point returns. *)
+let test_codegen_cache_transparent () =
+  Codegen_cache.clear ();
+  let kernel = Gat_workloads.Workloads.bicg in
+  let p1 = Params.make ~threads_per_block:64 ~block_count:8 () in
+  let p2 = Params.make ~threads_per_block:512 ~block_count:120 () in
+  let _warm = Driver.compile_exn kernel gpu p1 in
+  let before = Codegen_cache.stats () in
+  let via_cache = Driver.compile_exn kernel gpu p2 in
+  let after = Codegen_cache.stats () in
+  Alcotest.(check int) "hit" (before.Codegen_cache.hits + 1)
+    after.Codegen_cache.hits;
+  Codegen_cache.clear ();
+  let cold = Driver.compile_exn kernel gpu p2 in
+  Alcotest.(check bool) "program bit-identical" true
+    (via_cache.Driver.program = cold.Driver.program);
+  Alcotest.(check bool) "mem summary bit-identical" true
+    (via_cache.Driver.mem_summary = cold.Driver.mem_summary);
+  Alcotest.(check bool) "alloc stats bit-identical" true
+    (via_cache.Driver.alloc_stats = cold.Driver.alloc_stats)
+
 let test_driver_log_matches_program () =
   let c = compile Gat_workloads.Workloads.bicg in
   Alcotest.(check int) "registers" c.Driver.alloc_stats.Regalloc.regs_used
@@ -487,6 +510,94 @@ let test_ptxas_render () =
       i + 4 <= String.length s && (String.sub s i 4 = "atax" || contains (i + 1))
     in
     contains 0)
+
+(* ---- Block_table ---- *)
+
+let check_f label a b =
+  Alcotest.(check int64) label (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* The table's per-block rows must agree exactly with what a direct
+   walk of the linked structures computes — in particular the memory
+   rows, which replace the per-run [List.assoc_opt] scan of
+   [mem_summary] with a precomputed per-block index. *)
+let test_block_table_matches_program () =
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun params ->
+          let c = compile ~params kernel in
+          let tbl = c.Driver.block_table in
+          let blocks = c.Driver.program.Gat_isa.Program.blocks in
+          Alcotest.(check int) "block count" (List.length blocks)
+            tbl.Block_table.n_blocks;
+          List.iteri
+            (fun i b ->
+              let label = b.Gat_isa.Basic_block.label in
+              Alcotest.(check string) "layout order" label
+                tbl.Block_table.labels.(i);
+              Alcotest.(check (option int)) "index" (Some i)
+                (Hashtbl.find_opt tbl.Block_table.index label);
+              Alcotest.(check int) "instr count"
+                (Gat_isa.Basic_block.instruction_count b)
+                (int_of_float tbl.Block_table.instr_counts.(i));
+              (* Memory rows vs the assoc-scan they replace. *)
+              let accesses =
+                Option.value ~default:[]
+                  (List.assoc_opt label c.Driver.mem_summary)
+              in
+              let expected_tx =
+                List.map Gat_analysis.Memory_model.access_transactions accesses
+              in
+              let expected_lat =
+                List.filter_map
+                  (fun (a : Gat_analysis.Coalescing.access) ->
+                    if a.Gat_analysis.Coalescing.kind = `Load then
+                      Some
+                        (Gat_analysis.Memory_model.access_latency
+                           c.Driver.gpu
+                           ~l1_pref_kb:params.Params.l1_pref_kb
+                           ~staging:params.Params.staging a)
+                    else None)
+                  accesses
+              in
+              Alcotest.(check int) "tx row length" (List.length expected_tx)
+                (Array.length tbl.Block_table.mem_transactions.(i));
+              List.iteri
+                (fun j v -> check_f "tx" v tbl.Block_table.mem_transactions.(i).(j))
+                expected_tx;
+              Alcotest.(check int) "lat row length" (List.length expected_lat)
+                (Array.length tbl.Block_table.mem_load_latency.(i));
+              List.iteri
+                (fun j v -> check_f "lat" v tbl.Block_table.mem_load_latency.(i).(j))
+                expected_lat;
+              (* Static mix rows sum to the instruction count. *)
+              Alcotest.(check int) "mix total"
+                (Gat_isa.Basic_block.instruction_count b)
+                (Array.fold_left ( + ) 0 tbl.Block_table.mix_counts.(i));
+              Alcotest.(check int) "reg_ops length"
+                (Gat_isa.Basic_block.instruction_count b)
+                (Array.length tbl.Block_table.reg_ops.(i)))
+            blocks)
+        [
+          Params.default;
+          Params.make ~threads_per_block:256 ~unroll:3 ~l1_pref_kb:48
+            ~staging:2 ~fast_math:true ();
+        ])
+    Gat_workloads.Workloads.all
+
+let test_block_table_residency_size_independent () =
+  let c = compile ~params:(Params.make ~l1_pref_kb:48 ()) Gat_workloads.Workloads.atax in
+  let tbl = c.Driver.block_table in
+  let direct =
+    Block_table.residency gpu c.Driver.params
+      ~regs_per_thread:c.Driver.log.Ptxas_info.registers
+      ~smem_per_block:(Gat_isa.Program.smem_per_block c.Driver.program)
+  in
+  Alcotest.(check int) "active blocks"
+    direct.Gat_core.Occupancy.active_blocks
+    tbl.Block_table.residency.Gat_core.Occupancy.active_blocks;
+  Alcotest.(check int) "active warps" direct.Gat_core.Occupancy.active_warps
+    tbl.Block_table.residency.Gat_core.Occupancy.active_warps
 
 let () =
   Alcotest.run "gat_compiler"
@@ -553,6 +664,13 @@ let () =
           Alcotest.test_case "rejects invalid" `Quick test_driver_rejects_invalid_params;
           Alcotest.test_case "rejects smem overflow" `Quick test_driver_rejects_smem_overflow;
           Alcotest.test_case "log matches" `Quick test_driver_log_matches_program;
+          Alcotest.test_case "codegen cache transparent" `Quick
+            test_codegen_cache_transparent;
           Alcotest.test_case "ptxas render" `Quick test_ptxas_render;
+        ] );
+      ( "block_table",
+        [
+          Alcotest.test_case "matches program" `Quick test_block_table_matches_program;
+          Alcotest.test_case "residency" `Quick test_block_table_residency_size_independent;
         ] );
     ]

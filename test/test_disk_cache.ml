@@ -1,0 +1,281 @@
+(* Tests for the persistent sweep cache: exact round-trips, key
+   sensitivity, version invalidation, corruption tolerance, and the
+   Tuner integration (a fresh in-memory state restored from disk gives
+   bit-identical sweeps). *)
+
+module Disk_cache = Gat_tuner.Disk_cache
+module Variant = Gat_tuner.Variant
+module Space = Gat_tuner.Space
+module Params = Gat_compiler.Params
+
+(* Everything below must run against a private scratch directory, never
+   the user's real cache. *)
+let scratch =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gat-test-cache-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "GAT_CACHE_DIR" d;
+  d
+
+let reset () =
+  Disk_cache.set_enabled true;
+  ignore (Disk_cache.clear ());
+  Disk_cache.reset_stats ()
+
+let kernel = Gat_workloads.Workloads.atax
+let kernel2 = Gat_workloads.Workloads.bicg
+let gpu = Gat_arch.Gpu.k20
+
+let small_space =
+  {
+    Space.tc = [ 64; 128 ];
+    bc = [ 32 ];
+    uif = [ 1; 2 ];
+    pl = [ 16 ];
+    sc = [ 1 ];
+    cflags = [ false ];
+  }
+
+(* Variants with awkward values: subnormals, many-significant-bit
+   floats, negatives — the text format must round-trip each bitwise. *)
+let mix a b =
+  {
+    Gat_core.Imix.per_category = Array.init 12 (fun i -> a +. (b *. float_of_int i));
+    reg_operands = a *. b;
+  }
+
+let sample_variants =
+  [
+    {
+      Variant.params = Params.default;
+      time_ms = 0.1 +. (1.0 /. 3.0);
+      occupancy = 0.75;
+      registers = 24;
+      dynamic_mix = mix Float.pi 1e-300;
+      est_mix = mix (-2.5e-7) (Float.of_string "0x1.fffffffffffffp+1");
+    };
+    {
+      Variant.params =
+        Params.make ~threads_per_block:512 ~block_count:24 ~unroll:7
+          ~l1_pref_kb:48 ~staging:8 ~fast_math:true ();
+      time_ms = Float.min_float;
+      occupancy = 1.0;
+      registers = 255;
+      dynamic_mix = mix 0.0 0.0;
+      est_mix = mix 1e22 (-0.0);
+    };
+  ]
+
+let check_bits label a b =
+  Alcotest.(check int64) label (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_variants_identical stored loaded =
+  Alcotest.(check int) "variant count" (List.length stored) (List.length loaded);
+  List.iter2
+    (fun (a : Variant.t) (b : Variant.t) ->
+      Alcotest.(check int) "params equal" 0 (Params.compare a.Variant.params b.Variant.params);
+      check_bits "time_ms" a.Variant.time_ms b.Variant.time_ms;
+      check_bits "occupancy" a.Variant.occupancy b.Variant.occupancy;
+      Alcotest.(check int) "registers" a.Variant.registers b.Variant.registers;
+      List.iter2
+        (fun (ma : Gat_core.Imix.t) (mb : Gat_core.Imix.t) ->
+          Array.iteri
+            (fun i v -> check_bits "mix" v mb.Gat_core.Imix.per_category.(i))
+            ma.Gat_core.Imix.per_category;
+          check_bits "reg_operands" ma.Gat_core.Imix.reg_operands
+            mb.Gat_core.Imix.reg_operands)
+        [ a.Variant.dynamic_mix; a.Variant.est_mix ]
+        [ b.Variant.dynamic_mix; b.Variant.est_mix ])
+    stored loaded
+
+(* ---- basics ---- *)
+
+let test_scratch_dir () =
+  Alcotest.(check string) "GAT_CACHE_DIR honoured" scratch (Disk_cache.dir ())
+
+let test_miss_on_empty () =
+  reset ();
+  Alcotest.(check bool) "empty cache misses" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
+  let s = Disk_cache.stats () in
+  Alcotest.(check int) "one miss" 1 s.Disk_cache.misses;
+  Alcotest.(check int) "no hit" 0 s.Disk_cache.hits
+
+let test_store_find_roundtrip () =
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  match Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 with
+  | None -> Alcotest.fail "stored entry not found"
+  | Some loaded ->
+      check_variants_identical sample_variants loaded;
+      let s = Disk_cache.stats () in
+      Alcotest.(check int) "one store" 1 s.Disk_cache.stores;
+      Alcotest.(check int) "one hit" 1 s.Disk_cache.hits
+
+let test_key_sensitivity () =
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Alcotest.(check bool) "different size misses" true
+    (Disk_cache.find small_space kernel gpu ~n:128 ~seed:42 = None);
+  Alcotest.(check bool) "different seed misses" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:43 = None);
+  Alcotest.(check bool) "different kernel misses" true
+    (Disk_cache.find small_space kernel2 gpu ~n:64 ~seed:42 = None);
+  Alcotest.(check bool) "different gpu misses" true
+    (Disk_cache.find small_space kernel Gat_arch.Gpu.p100 ~n:64 ~seed:42 = None);
+  Alcotest.(check bool) "different space misses" true
+    (Disk_cache.find Space.paper kernel gpu ~n:64 ~seed:42 = None);
+  Alcotest.(check bool) "original still hits" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 <> None)
+
+let entry_path () =
+  Filename.concat scratch
+    (Disk_cache.key small_space kernel gpu ~n:64 ~seed:42 ^ ".sweep")
+
+let test_version_invalidation () =
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  (* Pretend the entry was written by an older simulator: rewrite its
+     model stamp.  The payload check must reject it. *)
+  let path = entry_path () in
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+    |> List.map (fun l ->
+           if String.length l >= 5 && String.sub l 0 5 = "model" then
+             "model gat-sim/0-ancient"
+           else l)
+  in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) lines);
+  Alcotest.(check bool) "stale model version is a miss" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None)
+
+let corrupt content =
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Out_channel.with_open_text (entry_path ()) (fun oc ->
+      Out_channel.output_string oc content);
+  Disk_cache.find small_space kernel gpu ~n:64 ~seed:42
+
+let test_corruption_tolerated () =
+  Alcotest.(check bool) "empty file" true (corrupt "" = None);
+  Alcotest.(check bool) "garbage" true (corrupt "\x00\xffnot a cache file\n" = None);
+  Alcotest.(check bool) "bad counts" true
+    (corrupt "gat-sweep-cache 1\nmodel gat-sim/3\nvariants 999\nend\n" = None);
+  (* Truncation: drop the trailing "end" marker and half a line. *)
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  let whole = In_channel.with_open_text (entry_path ()) In_channel.input_all in
+  Out_channel.with_open_text (entry_path ()) (fun oc ->
+      Out_channel.output_string oc
+        (String.sub whole 0 (String.length whole * 2 / 3)));
+  Alcotest.(check bool) "truncated file is a miss, not a crash" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None)
+
+let test_disabled_is_inert () =
+  reset ();
+  Disk_cache.set_enabled false;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Alcotest.(check bool) "no find when disabled" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
+  let entries, _ = Disk_cache.disk_usage () in
+  Alcotest.(check int) "no file written" 0 entries;
+  let s = Disk_cache.stats () in
+  Alcotest.(check int) "no counters touched" 0
+    (s.Disk_cache.hits + s.Disk_cache.misses + s.Disk_cache.stores);
+  Disk_cache.set_enabled true
+
+let test_usage_and_clear () =
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:128 ~seed:42 sample_variants;
+  (* A foreign file in the cache directory must survive [clear]. *)
+  let foreign = Filename.concat scratch "keep.txt" in
+  Out_channel.with_open_text foreign (fun oc ->
+      Out_channel.output_string oc "not a cache entry\n");
+  let entries, bytes = Disk_cache.disk_usage () in
+  Alcotest.(check int) "two entries" 2 entries;
+  Alcotest.(check bool) "nonzero size" true (bytes > 0);
+  Alcotest.(check int) "clear removes both" 2 (Disk_cache.clear ());
+  let entries, bytes = Disk_cache.disk_usage () in
+  Alcotest.(check int) "empty after clear" 0 entries;
+  Alcotest.(check int) "no bytes" 0 bytes;
+  Alcotest.(check bool) "foreign file kept" true (Sys.file_exists foreign);
+  Sys.remove foreign
+
+(* ---- Tuner integration ---- *)
+
+let test_sweep_restored_across_processes () =
+  reset ();
+  (* "Process one": compute and persist. *)
+  Gat_tuner.Tuner.clear_cache ();
+  let first =
+    Gat_tuner.Tuner.sweep ~space:small_space ~jobs:1 kernel gpu ~n:64 ~seed:42
+  in
+  (* "Process two": in-memory caches empty, disk intact.  The sweep
+     must come back from disk (no compile) and be bit-identical. *)
+  Gat_tuner.Tuner.clear_cache ();
+  Gat_tuner.Compile_cache.reset_stats ();
+  let before = Disk_cache.stats () in
+  let second =
+    Gat_tuner.Tuner.sweep ~space:small_space ~jobs:1 kernel gpu ~n:64 ~seed:42
+  in
+  let after = Disk_cache.stats () in
+  check_variants_identical first second;
+  Alcotest.(check int) "exactly one disk hit" 1
+    (after.Disk_cache.hits - before.Disk_cache.hits);
+  Alcotest.(check int) "no compiles on the warm path" 0
+    (Gat_tuner.Compile_cache.stats ()).Gat_tuner.Compile_cache.compiles
+
+let test_sweep_multi_restored () =
+  reset ();
+  Gat_tuner.Tuner.clear_cache ();
+  let first =
+    Gat_tuner.Tuner.sweep_multi ~space:small_space ~jobs:1 kernel gpu
+      ~ns:[ 64; 128; 256 ] ~seed:7
+  in
+  Gat_tuner.Tuner.clear_cache ();
+  let before = Disk_cache.stats () in
+  let second =
+    Gat_tuner.Tuner.sweep_multi ~space:small_space ~jobs:1 kernel gpu
+      ~ns:[ 64; 128; 256 ] ~seed:7
+  in
+  let after = Disk_cache.stats () in
+  Alcotest.(check int) "three disk hits" 3
+    (after.Disk_cache.hits - before.Disk_cache.hits);
+  Alcotest.(check int) "no disk misses" 0
+    (after.Disk_cache.misses - before.Disk_cache.misses);
+  List.iter2
+    (fun (n1, v1) (n2, v2) ->
+      Alcotest.(check int) "size order" n1 n2;
+      check_variants_identical v1 v2)
+    first second
+
+let cleanup () =
+  Disk_cache.set_enabled true;
+  ignore (Disk_cache.clear ());
+  try if Sys.file_exists scratch then Sys.rmdir scratch
+  with Sys_error _ -> ()
+
+let () =
+  Fun.protect ~finally:cleanup (fun () ->
+      Alcotest.run "gat_disk_cache"
+        [
+          ( "format",
+            [
+              Alcotest.test_case "scratch dir" `Quick test_scratch_dir;
+              Alcotest.test_case "miss on empty" `Quick test_miss_on_empty;
+              Alcotest.test_case "roundtrip bit-exact" `Quick test_store_find_roundtrip;
+              Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+              Alcotest.test_case "version invalidation" `Quick test_version_invalidation;
+              Alcotest.test_case "corruption tolerated" `Quick test_corruption_tolerated;
+              Alcotest.test_case "disabled inert" `Quick test_disabled_is_inert;
+              Alcotest.test_case "usage and clear" `Quick test_usage_and_clear;
+            ] );
+          ( "tuner",
+            [
+              Alcotest.test_case "sweep restored" `Quick test_sweep_restored_across_processes;
+              Alcotest.test_case "sweep_multi restored" `Quick test_sweep_multi_restored;
+            ] );
+        ])

@@ -2,6 +2,11 @@
    the expected content; the sweep-based experiments are covered by the
    bench harness, not unit tests, to keep `dune runtest` fast. *)
 
+(* Keep sweeps honest (and the user's cache directory untouched): the
+   compile-count assertions below require real compiles, not persistent
+   cache hits. *)
+let () = Gat_tuner.Disk_cache.set_enabled false
+
 let contains haystack needle =
   let nl = String.length needle and hl = String.length haystack in
   let rec scan i =

@@ -201,6 +201,106 @@ let prop_engine_all_variants_positive =
       let c = compile ~params Gat_workloads.Workloads.bicg in
       (Engine.run c ~n:128).Engine.time_ms > 0.0)
 
+(* ---- flattened engine vs the reference path ----
+
+   The block-table engine must return *bit-identical* results to the
+   retained list-based implementation: every float field compares by
+   its IEEE-754 bit pattern, not within a tolerance. *)
+
+let check_bits label a b =
+  Alcotest.(check int64) label (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_result_identical ctx (a : Engine.result) (b : Engine.result) =
+  check_bits (ctx ^ " cycles") a.Engine.cycles b.Engine.cycles;
+  check_bits (ctx ^ " time_ms") a.Engine.time_ms b.Engine.time_ms;
+  check_bits (ctx ^ " occupancy") a.Engine.occupancy b.Engine.occupancy;
+  Alcotest.(check int) (ctx ^ " active_blocks") a.Engine.active_blocks
+    b.Engine.active_blocks;
+  Alcotest.(check int) (ctx ^ " waves") a.Engine.waves b.Engine.waves;
+  check_bits (ctx ^ " issue_cycles") a.Engine.issue_cycles b.Engine.issue_cycles;
+  check_bits (ctx ^ " mem_cycles") a.Engine.mem_cycles b.Engine.mem_cycles;
+  check_bits (ctx ^ " latency_cycles") a.Engine.latency_cycles
+    b.Engine.latency_cycles;
+  Alcotest.(check bool) (ctx ^ " bound") true (a.Engine.bound = b.Engine.bound);
+  check_bits (ctx ^ " transactions") a.Engine.transactions b.Engine.transactions;
+  check_bits (ctx ^ " lane_utilization") a.Engine.lane_utilization
+    b.Engine.lane_utilization;
+  let am = a.Engine.dynamic_mix and bm = b.Engine.dynamic_mix in
+  Alcotest.(check int)
+    (ctx ^ " mix categories")
+    (Array.length am.Gat_core.Imix.per_category)
+    (Array.length bm.Gat_core.Imix.per_category);
+  Array.iteri
+    (fun i v ->
+      check_bits
+        (Printf.sprintf "%s mix[%d]" ctx i)
+        v bm.Gat_core.Imix.per_category.(i))
+    am.Gat_core.Imix.per_category;
+  check_bits (ctx ^ " reg_operands") am.Gat_core.Imix.reg_operands
+    bm.Gat_core.Imix.reg_operands
+
+(* A parameter set exercising every engine feature: defaults, deep
+   unrolling with fast math, the 48KB L1 preference (carveout path),
+   staging, tiny and huge launches. *)
+let equivalence_params =
+  [
+    Params.default;
+    Params.make ~threads_per_block:256 ~block_count:192 ~unroll:4
+      ~fast_math:true ();
+    Params.make ~threads_per_block:512 ~block_count:24 ~l1_pref_kb:48
+      ~staging:4 ();
+    Params.make ~threads_per_block:32 ~block_count:8 ~unroll:2 ();
+  ]
+
+let test_engine_matches_reference_everywhere () =
+  List.iter
+    (fun kernel ->
+      List.iter
+        (fun gpu ->
+          List.iter
+            (fun params ->
+              match Driver.compile kernel gpu params with
+              | Error _ -> ()
+              | Ok c ->
+                  List.iter
+                    (fun n ->
+                      let ctx =
+                        Printf.sprintf "%s/%s/%s/n=%d"
+                          kernel.Gat_ir.Kernel.name gpu.Gpu.name
+                          (Params.to_string params) n
+                      in
+                      check_result_identical ctx (Engine.run c ~n)
+                        (Engine.run_reference c ~n))
+                    (Gat_workloads.Workloads.input_sizes kernel))
+            equivalence_params)
+        Gpu.all)
+    Gat_workloads.Workloads.all
+
+let prop_engine_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"flattened engine = reference (random points)"
+    QCheck.(
+      pair
+        (quad (oneofl [ 32; 64; 128; 256; 512; 1024 ]) (oneofl [ 8; 24; 96; 384 ])
+           (int_range 1 6) bool)
+        (pair (oneofl [ 16; 48 ]) (int_range 1 8)))
+    (fun ((tc, bc, uif, fm), (pl, sc)) ->
+      let params =
+        Params.make ~threads_per_block:tc ~block_count:bc ~unroll:uif
+          ~l1_pref_kb:pl ~staging:sc ~fast_math:fm ()
+      in
+      match Driver.compile Gat_workloads.Workloads.matvec2d Gpu.m2050 params with
+      | Error _ -> true
+      | Ok c ->
+          List.for_all
+            (fun n ->
+              let a = Engine.run c ~n and b = Engine.run_reference c ~n in
+              Int64.bits_of_float a.Engine.time_ms
+              = Int64.bits_of_float b.Engine.time_ms
+              && Int64.bits_of_float a.Engine.cycles
+                 = Int64.bits_of_float b.Engine.cycles
+              && a.Engine.bound = b.Engine.bound)
+            [ 16; 200; 1024 ])
+
 let () =
   Alcotest.run "gat_sim"
     [
@@ -231,5 +331,11 @@ let () =
           Alcotest.test_case "l1 pref fallback" `Quick test_engine_l1_preference_unlaunchable_fallback;
           Alcotest.test_case "measurement noise" `Quick test_measured_time_noise;
           QCheck_alcotest.to_alcotest prop_engine_all_variants_positive;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "all kernels x gpus x sizes" `Quick
+            test_engine_matches_reference_everywhere;
+          QCheck_alcotest.to_alcotest prop_engine_matches_reference;
         ] );
     ]

@@ -11,6 +11,11 @@ module Space = Gat_tuner.Space
 module Search = Gat_tuner.Search
 module Strategies = Gat_tuner.Strategies
 
+(* The persistent sweep cache would satisfy sweeps without compiling,
+   breaking the compile-count assertions below (and polluting the
+   user's cache directory).  Tests exercise it via test_disk_cache. *)
+let () = Gat_tuner.Disk_cache.set_enabled false
+
 (* A small space with 96 points. *)
 let small_space =
   {
@@ -527,6 +532,88 @@ let test_autotune_with_journal () =
   Alcotest.(check int) "journal captured all evaluations"
     o.Search.evaluations (Gat_tuner.Journal.length j)
 
+(* ---- flattened engine vs legacy path, at the ranking level ----
+
+   The Fig. 4 population is built from sweep rankings, so the flattened
+   simulation path must reproduce the legacy ranking *bit-identically*:
+   same variants, same order, same recorded times.  Evaluate a small
+   space once through the production sweep (block-table engine) and
+   once through a from-scratch replica of the measurement protocol
+   driven by [Engine.run_reference], then compare the per-size pooled
+   ranking exactly as Fig. 4 pools it. *)
+
+let legacy_evaluate kernel gpu ~n ~seed params =
+  match Gat_compiler.Driver.compile kernel gpu params with
+  | Error _ -> None
+  | Ok c ->
+      let rng =
+        Gat_util.Rng.create (Gat_tuner.Tuner.point_seed kernel gpu ~seed params)
+      in
+      let sim = Gat_sim.Engine.run_reference c ~n in
+      let t = ref sim.Gat_sim.Engine.time_ms in
+      for _ = 1 to Gat_tuner.Measure.selected_trial do
+        t :=
+          sim.Gat_sim.Engine.time_ms
+          *. Gat_util.Rng.lognormal rng ~mu:0.0 ~sigma:0.02
+      done;
+      Some
+        {
+          Gat_tuner.Variant.params;
+          time_ms = !t;
+          occupancy = sim.Gat_sim.Engine.occupancy;
+          registers =
+            c.Gat_compiler.Driver.log.Gat_compiler.Ptxas_info.registers;
+          dynamic_mix = sim.Gat_sim.Engine.dynamic_mix;
+          est_mix =
+            Gat_core.Imix.estimate_dynamic c.Gat_compiler.Driver.program ~n;
+        }
+
+let check_ranking_half label (a : Gat_tuner.Variant.t list)
+    (b : Gat_tuner.Variant.t list) =
+  Alcotest.(check int) (label ^ " size") (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Gat_tuner.Variant.t) (y : Gat_tuner.Variant.t) ->
+      Alcotest.(check int) (label ^ " params") 0
+        (Params.compare x.Gat_tuner.Variant.params y.Gat_tuner.Variant.params);
+      Alcotest.(check int64) (label ^ " time bits")
+        (Int64.bits_of_float x.Gat_tuner.Variant.time_ms)
+        (Int64.bits_of_float y.Gat_tuner.Variant.time_ms))
+    a b
+
+let test_fig4_ranking_identical_to_legacy () =
+  let kernel = Gat_workloads.Workloads.atax in
+  let gpu = Gat_arch.Gpu.m2050 in
+  let seed = 42 in
+  let ns = [ 64; 128; 256 ] in
+  Gat_tuner.Tuner.clear_cache ();
+  let swept =
+    Gat_tuner.Tuner.sweep_multi ~space:small_space ~jobs:1 kernel gpu ~ns ~seed
+  in
+  let pool rankings =
+    {
+      Gat_tuner.Ranking.rank1 =
+        List.concat_map (fun r -> r.Gat_tuner.Ranking.rank1) rankings;
+      rank2 = List.concat_map (fun r -> r.Gat_tuner.Ranking.rank2) rankings;
+    }
+  in
+  let fast =
+    pool (List.map (fun (_, vs) -> Gat_tuner.Ranking.split vs) swept)
+  in
+  let legacy =
+    pool
+      (List.map
+         (fun n ->
+           Gat_tuner.Ranking.split
+             (List.filter_map
+                (legacy_evaluate kernel gpu ~n ~seed)
+                (Space.points small_space)))
+         ns)
+  in
+  check_ranking_half "rank1" legacy.Gat_tuner.Ranking.rank1
+    fast.Gat_tuner.Ranking.rank1;
+  check_ranking_half "rank2" legacy.Gat_tuner.Ranking.rank2
+    fast.Gat_tuner.Ranking.rank2
+
 let () =
   Alcotest.run "gat_tuner"
     [
@@ -590,6 +677,8 @@ let () =
             test_measure_draws_match_full_protocol;
           Alcotest.test_case "evaluate_compiled matches evaluate" `Quick
             test_evaluate_compiled_matches_evaluate;
+          Alcotest.test_case "fig4 ranking = legacy path" `Quick
+            test_fig4_ranking_identical_to_legacy;
         ] );
       ( "journal",
         [
