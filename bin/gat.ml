@@ -84,9 +84,7 @@ let params_term =
 let compile_or_die kernel gpu params =
   match Gat_compiler.Driver.compile kernel gpu params with
   | Ok c -> c
-  | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      exit 1
+  | Error e -> Gat_util.Error.fail Compile e
 
 (* ---- analyze ---- *)
 
@@ -337,9 +335,7 @@ let emulate_cmd =
 let parse_file path gpu tune seed =
   let text =
     match open_in path with
-    | exception Sys_error e ->
-        Printf.eprintf "error: %s\n" e;
-        exit 1
+    | exception Sys_error e -> Gat_util.Error.fail Io e
     | ic ->
         Fun.protect
           ~finally:(fun () -> close_in ic)
@@ -347,8 +343,8 @@ let parse_file path gpu tune seed =
   in
   match Gat_ir.Source.parse text with
   | Error e ->
-      Printf.eprintf "error: %s: %s\n" path (Gat_ir.Source.error_to_string e);
-      exit 1
+      Gat_util.Error.failf Parse "%s: %s" path
+        (Gat_ir.Source.error_to_string e)
   | Ok parsed ->
       let kernel = parsed.Gat_ir.Source.kernel in
       print_string (Gat_ir.Kernel.to_string kernel);
@@ -456,6 +452,24 @@ let no_cache_arg =
           "Skip the persistent sweep cache under $(b,GAT_CACHE_DIR): \
            neither read nor write it.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the exhaustive sweeps (default: \
+           $(b,GAT_JOBS) or the machine's core count).  Results are \
+           identical for any job count.")
+
+let set_jobs jobs =
+  Option.iter
+    (fun j ->
+      if j < 1 then
+        Gat_util.Error.failf Usage "--jobs must be >= 1 (got %d)" j;
+      Gat_util.Pool.set_default_jobs (Some j))
+    jobs
+
 let autotune kernel gpu n seed strategy journal_path no_cache =
   if no_cache then Gat_tuner.Disk_cache.set_enabled false;
   let n = size_of kernel n in
@@ -509,13 +523,122 @@ let autotune_cmd =
       const autotune $ kernel_arg $ gpu_arg $ n_arg $ seed $ strategy $ journal
       $ no_cache_arg)
 
+(* ---- sweep ---- *)
+
+let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
+    block no_cache top =
+  if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  set_jobs jobs;
+  if retries < 0 then
+    Gat_util.Error.failf Usage "--retries must be >= 0 (got %d)" retries;
+  if block < 1 then
+    Gat_util.Error.failf Usage "--checkpoint-every must be >= 1 (got %d)" block;
+  Gat_util.Cancel.install ();
+  let n = size_of kernel n in
+  let space = Gat_tuner.Space.paper in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    Gat_tuner.Tuner.sweep_report ~space ~retries ?max_failures
+      ~checkpoint:(not no_checkpoint) ~resume ~block kernel gpu ~n ~seed
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  (* Timings and resume notes go to stderr so stdout is byte-identical
+     across job counts, interruptions and resumptions. *)
+  if report.Gat_tuner.Tuner.restored_points > 0 then
+    Printf.eprintf "gat: resumed from checkpoint: %d/%d points\n%!"
+      report.Gat_tuner.Tuner.restored_points
+      (Gat_tuner.Space.cardinality space);
+  let variants = report.Gat_tuner.Tuner.variants in
+  let failures = report.Gat_tuner.Tuner.failures in
+  Printf.printf "sweep %s on %s (N=%d, seed %d): %d points\n"
+    kernel.Gat_ir.Kernel.name gpu.Gat_arch.Gpu.name n seed
+    (Gat_tuner.Space.cardinality space);
+  Printf.printf "valid variants: %d\nfailed variants: %d\n"
+    (List.length variants) (List.length failures);
+  List.iter
+    (fun f -> Printf.printf "  failed: %s\n" (Gat_tuner.Variant.failure_summary f))
+    failures;
+  let ranked = List.sort Gat_tuner.Variant.compare_time variants in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  (match ranked with
+  | [] -> print_endline "no valid variant found"
+  | _ ->
+      Printf.printf "top %d variants:\n" (min top (List.length ranked));
+      List.iteri
+        (fun i v ->
+          Printf.printf "  %2d. %s\n" (i + 1) (Gat_tuner.Variant.summary v))
+        (take top ranked));
+  Printf.eprintf "gat: sweep finished in %.1f s\n%!" dt
+
+let sweep_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Extra in-place attempts for a variant whose evaluation \
+             raises before it is recorded as failed.")
+  in
+  let max_failures =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-failures" ] ~docv:"K"
+          ~doc:
+            "Abort the sweep (exit code 5) once more than $(docv) \
+             variants have failed.  Default: record all failures and \
+             keep going.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the last checkpoint of the same sweep if one \
+             exists under $(b,GAT_CACHE_DIR); a byte-identical report \
+             is produced either way.")
+  in
+  let no_checkpoint =
+    Arg.(
+      value & flag
+      & info [ "no-checkpoint" ]
+          ~doc:"Do not write progress checkpoints during the sweep.")
+  in
+  let block =
+    Arg.(
+      value
+      & opt int Gat_tuner.Tuner.default_block_size
+      & info [ "checkpoint-every" ] ~docv:"POINTS"
+          ~doc:
+            "Flush a checkpoint after each block of $(docv) points.  \
+             Results never depend on the block size.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"K" ~doc:"How many best variants to print.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Exhaustively evaluate the paper's 5,120-variant space with \
+          supervision: per-variant failures are recorded (not fatal), \
+          progress is checkpointed, and an interrupted sweep can \
+          $(b,--resume) with byte-identical results.")
+    Term.(
+      const sweep $ kernel_arg $ gpu_arg $ n_arg $ seed $ jobs_arg $ retries
+      $ max_failures $ resume $ no_checkpoint $ block $ no_cache_arg $ top)
+
 (* ---- replay ---- *)
 
 let replay path seed =
   match Gat_tuner.Journal.load path with
-  | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      exit 1
+  | Error e -> Gat_util.Error.failf Parse "%s: %s" path e
   | Ok journal -> (
       match
         ( Gat_workloads.Workloads.find journal.Gat_tuner.Journal.kernel,
@@ -538,8 +661,8 @@ let replay path seed =
             report.Gat_tuner.Journal.total
             (100.0 *. report.Gat_tuner.Journal.max_relative_deviation)
       | _ ->
-          Printf.eprintf "error: journal references an unknown kernel or GPU\n";
-          exit 1)
+          Gat_util.Error.fail Parse
+            "journal references an unknown kernel or GPU")
 
 let replay_cmd =
   let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
@@ -557,37 +680,23 @@ let replay_cmd =
 
 (* ---- experiment ---- *)
 
-let jobs_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:
-          "Worker domains for the exhaustive sweeps (default: \
-           $(b,GAT_JOBS) or the machine's core count).  Results are \
-           identical for any job count.")
-
 let experiment jobs no_cache id =
   if no_cache then Gat_tuner.Disk_cache.set_enabled false;
-  Option.iter
-    (fun j ->
-      if j < 1 then (
-        Printf.eprintf "gat: --jobs must be >= 1 (got %d)\n" j;
-        exit 1);
-      Gat_util.Pool.set_default_jobs (Some j))
-    jobs;
+  set_jobs jobs;
   if String.lowercase_ascii id = "all" then
     print_string (Gat_report.Experiments.render_all ())
   else
     match Gat_report.Experiments.find id with
     | Some e -> print_string (e.Gat_report.Experiments.render ())
     | None ->
-        Printf.eprintf "unknown experiment %S; available: all, %s\n" id
-          (String.concat ", "
-             (List.map
-                (fun e -> e.Gat_report.Experiments.id)
-                Gat_report.Experiments.all));
-        exit 1
+        Gat_util.Error.failf Usage
+          ~hint:
+            (Printf.sprintf "available: all, %s"
+               (String.concat ", "
+                  (List.map
+                     (fun e -> e.Gat_report.Experiments.id)
+                     Gat_report.Experiments.all)))
+          "unknown experiment %S" id
 
 let experiment_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
@@ -621,8 +730,8 @@ let cache action =
         (if removed = 1 then "y" else "ies")
         (Gat_tuner.Disk_cache.dir ())
   | _ ->
-      Printf.eprintf "unknown cache action %S; expected: stats, clear\n" action;
-      exit 1
+      Gat_util.Error.failf Usage ~hint:"expected: stats, clear"
+        "unknown cache action %S" action
 
 let cache_cmd =
   let action =
@@ -671,15 +780,36 @@ let () =
     Cmd.info "gat" ~version:"1.0.0"
       ~doc:"Autotuning GPU kernels via static and predictive analysis."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            analyze_cmd; disasm_cmd; cfg_cmd; lint_cmd; occupancy_cmd;
-            suggest_cmd;
-            simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
-            replay_cmd;
-            experiment_cmd;
-            cache_cmd;
-            list_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        analyze_cmd; disasm_cmd; cfg_cmd; lint_cmd; occupancy_cmd;
+        suggest_cmd;
+        simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
+        sweep_cmd;
+        replay_cmd;
+        experiment_cmd;
+        cache_cmd;
+        list_cmd;
+      ]
+  in
+  (* Exit codes are part of the interface (see README): cmdliner's own
+     parse failures (unknown subcommand, unknown flag, malformed
+     --gpu/kernel name) map to the Usage code alongside our structured
+     errors; everything unexpected is Internal. *)
+  let code =
+    try
+      match Cmd.eval_value ~catch:false group with
+      | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+      | Error (`Parse | `Term) -> Gat_util.Error.exit_code Usage
+      | Error `Exn -> Gat_util.Error.exit_code Internal
+    with
+    | Gat_util.Error.Error e ->
+        Printf.eprintf "gat: %s\n" (Gat_util.Error.to_string e);
+        Option.iter (Printf.eprintf "hint: %s\n") e.Gat_util.Error.hint;
+        Gat_util.Error.exit_code e.Gat_util.Error.stage
+    | e ->
+        Printf.eprintf "gat: internal error: %s\n" (Printexc.to_string e);
+        Gat_util.Error.exit_code Internal
+  in
+  exit code

@@ -455,4 +455,4 @@ let parse ?description text =
 let parse_exn ?description text =
   match parse ?description text with
   | Ok p -> p
-  | Error e -> failwith (error_to_string e)
+  | Error e -> Gat_util.Error.fail Parse (error_to_string e)

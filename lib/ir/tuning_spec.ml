@@ -153,7 +153,7 @@ let parse text =
     go [] statements
 
 let parse_exn text =
-  match parse text with Ok t -> t | Error e -> failwith e
+  match parse text with Ok t -> t | Error e -> Gat_util.Error.fail Parse e
 
 (* Fig. 3 / Table III.  Fig. 3's BC step (24) is authoritative: it is the
    only step consistent with the paper's 5,120-variant space

@@ -183,4 +183,4 @@ let program text =
 let program_exn text =
   match program text with
   | Ok p -> p
-  | Error e -> failwith (error_to_string e)
+  | Error e -> Gat_util.Error.fail Parse (error_to_string e)

@@ -53,7 +53,7 @@ let pruning_row gpu kernel =
   let pruning =
     match Gat_tuner.Static_search.prune kernel gpu space with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> Gat_util.Error.fail Compile e
   in
   (* Rules-only: apply the intensity band to the raw TC axis. *)
   let rules_only_space =

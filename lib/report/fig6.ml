@@ -13,7 +13,7 @@ let row kernel gpu =
   let pruning =
     match Gat_tuner.Static_search.prune kernel gpu space with
     | Ok p -> p
-    | Error e -> failwith e
+    | Error e -> Gat_util.Error.fail Compile e
   in
   let obj = Gat_tuner.Tuner.objective kernel gpu ~n ~seed:Context.seed in
   (* Reuse the cached sweep for the exhaustive baseline. *)

@@ -1,16 +1,23 @@
-(* Persistent cross-run sweep cache.
+(* Persistent cross-run sweep cache and sweep checkpoints.
 
    One file per (kernel, device, space, size, seed) sweep, named by an
    MD5 content hash so any change to the kernel source, parameter
    space, device description or simulator model version produces a
    different key and the stale entry is simply never read again.  The
    payload is a line-oriented text format with hexadecimal float
-   literals ([%h]) so every stored Variant round-trips bit-exactly; a
-   corrupted or truncated file fails parsing and is reported as a miss,
-   never an error. *)
+   literals ([%h]) so every stored Variant round-trips bit-exactly,
+   closed by an MD5 integrity line so that truncations and byte flips
+   fail verification; anything that does not parse and verify is
+   reported as a miss, never an error.
+
+   Checkpoints reuse the same directory, keys, serialization and
+   atomic-rename publish: a [<key>.ckpt] file holds the completed
+   prefix of an in-flight sweep (point count, variants, failures) so a
+   killed run can resume instead of starting over. *)
 
 let model_version = "gat-sim/3"
-let magic = "gat-sweep-cache 2"
+let magic = "gat-sweep-cache 3"
+let ckpt_magic = "gat-sweep-ckpt 1"
 
 (* ---- location ---- *)
 
@@ -33,12 +40,44 @@ let rec ensure_dir d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
-(* ---- switch and statistics ---- *)
+(* ---- switch, health and statistics ---- *)
 
 let lock = Mutex.create ()
 let enabled_flag = ref true
 let set_enabled b = Gat_util.Pool.with_lock lock (fun () -> enabled_flag := b)
 let enabled () = Gat_util.Pool.with_lock lock (fun () -> !enabled_flag)
+
+(* Graceful degradation: a cache that cannot be written (read-only
+   directory, ENOSPC, injected I/O fault) must never take the sweep
+   down with it.  The first write failure warns once on stderr and
+   latches [degraded_flag]; every later write is skipped silently and
+   reads keep behaving as misses. *)
+let degraded_flag = ref false
+let warned = ref false
+
+let degraded () = Gat_util.Pool.with_lock lock (fun () -> !degraded_flag)
+
+let reset_degraded () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      degraded_flag := false;
+      warned := false)
+
+let degrade msg =
+  let warn =
+    Gat_util.Pool.with_lock lock (fun () ->
+        degraded_flag := true;
+        if !warned then false
+        else begin
+          warned := true;
+          true
+        end)
+  in
+  if warn then
+    Printf.eprintf
+      "gat: warning: sweep cache unavailable (%s); continuing uncached\n%!"
+      msg
+
+let writable () = enabled () && not (degraded ())
 
 type stats = { hits : int; misses : int; stores : int }
 
@@ -85,8 +124,9 @@ let key space kernel gpu ~n ~seed =
   Digest.to_hex (Digest.string payload)
 
 let file_of_key k = Filename.concat (dir ()) (k ^ ".sweep")
+let ckpt_of_key k = Filename.concat (dir ()) (k ^ ".ckpt")
 
-(* ---- serialization ---- *)
+(* ---- serialization: emit ---- *)
 
 let emit_mix buf (m : Gat_core.Imix.t) =
   Buffer.add_string buf (string_of_int (Array.length m.Gat_core.Imix.per_category));
@@ -112,6 +152,63 @@ let emit_variant buf (v : Variant.t) ~dyn_idx ~est_idx =
        (if p.Gat_compiler.Params.fast_math then 1 else 0)
        v.Variant.time_ms v.Variant.occupancy v.Variant.registers dyn_idx
        est_idx)
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let emit_failure buf (f : Variant.failure) =
+  let p = f.Variant.failed_params in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %d %d %d %s\n"
+       p.Gat_compiler.Params.threads_per_block p.Gat_compiler.Params.block_count
+       p.Gat_compiler.Params.unroll p.Gat_compiler.Params.l1_pref_kb
+       p.Gat_compiler.Params.staging
+       (if p.Gat_compiler.Params.fast_math then 1 else 0)
+       f.Variant.attempts (one_line f.Variant.message))
+
+(* The mix dictionary plus the variant lines — shared by entry and
+   checkpoint files. *)
+let emit_variants_section buf variants =
+  let mix_ids : (Gat_core.Imix.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let mixes_rev = ref [] in
+  let n_mixes = ref 0 in
+  let mix_id m =
+    match Hashtbl.find_opt mix_ids m with
+    | Some i -> i
+    | None ->
+        let i = !n_mixes in
+        incr n_mixes;
+        Hashtbl.replace mix_ids m i;
+        mixes_rev := m :: !mixes_rev;
+        i
+  in
+  let refs =
+    List.map
+      (fun (v : Variant.t) ->
+        (mix_id v.Variant.dynamic_mix, mix_id v.Variant.est_mix))
+      variants
+  in
+  Buffer.add_string buf (Printf.sprintf "mixes %d\n" !n_mixes);
+  List.iter
+    (fun m ->
+      emit_mix buf m;
+      Buffer.add_char buf '\n')
+    (List.rev !mixes_rev);
+  Buffer.add_string buf
+    (Printf.sprintf "variants %d\n" (List.length variants));
+  List.iter2
+    (fun v (dyn_idx, est_idx) -> emit_variant buf v ~dyn_idx ~est_idx)
+    variants refs
+
+(* Close the payload: terminator plus an MD5 of every byte so far, so
+   any truncation or byte flip — including inside a hex-float literal,
+   where it would otherwise still parse — fails verification and reads
+   as a miss instead of a wrong hit. *)
+let emit_trailer buf =
+  Buffer.add_string buf "end\n";
+  Buffer.add_string buf
+    ("md5 " ^ Digest.to_hex (Digest.string (Buffer.contents buf)) ^ "\n")
+
+(* ---- serialization: parse ---- *)
 
 exception Bad_entry
 
@@ -219,130 +316,224 @@ let parse_hex_float s t0 n =
    splitting every line into token lists, and floats take the exact
    hex fast path above.  Strictness is unchanged: any malformed byte
    raises [Bad_entry] and the entry reads as a miss. *)
-let read_file path =
-  let s = In_channel.with_open_bin path In_channel.input_all in
-  let len = String.length s in
-  let pos = ref 0 in
-  let line_end () =
-    match String.index_from_opt s !pos '\n' with
-    | Some nl -> nl
+type cursor = { s : string; mutable pos : int }
+
+let line_end cur =
+  match String.index_from_opt cur.s cur.pos '\n' with
+  | Some nl -> nl
+  | None -> raise Bad_entry
+
+let expect_line cur want =
+  let nl = line_end cur in
+  if
+    nl - cur.pos <> String.length want
+    || not (String.equal (String.sub cur.s cur.pos (nl - cur.pos)) want)
+  then raise Bad_entry;
+  cur.pos <- nl + 1
+
+let counted cur prefix =
+  let nl = line_end cur in
+  let plen = String.length prefix in
+  if
+    nl - cur.pos <= plen
+    || not (String.equal (String.sub cur.s cur.pos plen) prefix)
+  then raise Bad_entry;
+  match
+    int_of_string_opt (String.sub cur.s (cur.pos + plen) (nl - cur.pos - plen))
+  with
+  | Some n when n >= 0 ->
+      cur.pos <- nl + 1;
+      n
+  | _ -> raise Bad_entry
+
+let skip_spaces cur stop =
+  while cur.pos < stop && String.unsafe_get cur.s cur.pos = ' ' do
+    cur.pos <- cur.pos + 1
+  done
+
+let token cur stop =
+  skip_spaces cur stop;
+  if cur.pos >= stop then raise Bad_entry;
+  let t0 = cur.pos in
+  while cur.pos < stop && String.unsafe_get cur.s cur.pos <> ' ' do
+    cur.pos <- cur.pos + 1
+  done;
+  (t0, cur.pos - t0)
+
+let int_field cur stop =
+  let t0, n = token cur stop in
+  if n = 0 || n > 18 then raise Bad_entry;
+  let neg = String.unsafe_get cur.s t0 = '-' in
+  let i0 = if neg then t0 + 1 else t0 in
+  if i0 = t0 + n then raise Bad_entry;
+  let v = ref 0 in
+  for i = i0 to t0 + n - 1 do
+    let c = Char.code (String.unsafe_get cur.s i) - Char.code '0' in
+    if c < 0 || c > 9 then raise Bad_entry;
+    v := (!v * 10) + c
+  done;
+  if neg then - !v else !v
+
+let float_field cur stop =
+  let t0, n = token cur stop in
+  let v = parse_hex_float cur.s t0 n in
+  if Float.is_nan v then
+    match float_of_string_opt (String.sub cur.s t0 n) with
+    | Some f -> f
     | None -> raise Bad_entry
+  else v
+
+(* Remainder of the line, leading spaces stripped: free-text fields
+   (failure messages). *)
+let rest_of_line cur stop =
+  skip_spaces cur stop;
+  let r = String.sub cur.s cur.pos (stop - cur.pos) in
+  cur.pos <- stop;
+  r
+
+let end_line cur stop =
+  skip_spaces cur stop;
+  if cur.pos <> stop then raise Bad_entry;
+  cur.pos <- stop + 1
+
+let read_mix cur =
+  let stop = line_end cur in
+  let n = int_field cur stop in
+  if n < 0 || n > 1024 then raise Bad_entry;
+  let per_category = Array.init n (fun _ -> float_field cur stop) in
+  let reg_operands = float_field cur stop in
+  end_line cur stop;
+  { Gat_core.Imix.per_category; reg_operands }
+
+let read_variant cur mixes =
+  let stop = line_end cur in
+  let threads_per_block = int_field cur stop in
+  let block_count = int_field cur stop in
+  let unroll = int_field cur stop in
+  let l1_pref_kb = int_field cur stop in
+  let staging = int_field cur stop in
+  let fast_math = int_field cur stop <> 0 in
+  let time_ms = float_field cur stop in
+  let occupancy = float_field cur stop in
+  let registers = int_field cur stop in
+  let n_mixes = Array.length mixes in
+  let mix_ref () =
+    let i = int_field cur stop in
+    if i < 0 || i >= n_mixes then raise Bad_entry;
+    mixes.(i)
   in
-  let expect_line want =
-    let nl = line_end () in
-    if
-      nl - !pos <> String.length want
-      || not (String.equal (String.sub s !pos (nl - !pos)) want)
-    then raise Bad_entry;
-    pos := nl + 1
-  in
-  expect_line magic;
-  expect_line ("model " ^ model_version);
-  let counted prefix =
-    let nl = line_end () in
-    let plen = String.length prefix in
-    if nl - !pos <= plen || not (String.equal (String.sub s !pos plen) prefix)
-    then raise Bad_entry;
-    match int_of_string_opt (String.sub s (!pos + plen) (nl - !pos - plen)) with
-    | Some n when n >= 0 ->
-        pos := nl + 1;
-        n
-    | _ -> raise Bad_entry
-  in
-  let skip_spaces stop =
-    while !pos < stop && String.unsafe_get s !pos = ' ' do
-      incr pos
-    done
-  in
-  let token stop =
-    skip_spaces stop;
-    if !pos >= stop then raise Bad_entry;
-    let t0 = !pos in
-    while !pos < stop && String.unsafe_get s !pos <> ' ' do
-      incr pos
-    done;
-    (t0, !pos - t0)
-  in
-  let int stop =
-    let t0, n = token stop in
-    if n = 0 || n > 18 then raise Bad_entry;
-    let neg = String.unsafe_get s t0 = '-' in
-    let i0 = if neg then t0 + 1 else t0 in
-    if i0 = t0 + n then raise Bad_entry;
-    let v = ref 0 in
-    for i = i0 to t0 + n - 1 do
-      let c = Char.code (String.unsafe_get s i) - Char.code '0' in
-      if c < 0 || c > 9 then raise Bad_entry;
-      v := (!v * 10) + c
-    done;
-    if neg then - !v else !v
-  in
-  let fl stop =
-    let t0, n = token stop in
-    let v = parse_hex_float s t0 n in
-    if Float.is_nan v then
-      match float_of_string_opt (String.sub s t0 n) with
-      | Some f -> f
-      | None -> raise Bad_entry
-    else v
-  in
-  let mix () =
-    let stop = line_end () in
-    let n = int stop in
-    if n < 0 || n > 1024 then raise Bad_entry;
-    let per_category = Array.init n (fun _ -> fl stop) in
-    let reg_operands = fl stop in
-    skip_spaces stop;
-    if !pos <> stop then raise Bad_entry;
-    pos := stop + 1;
-    { Gat_core.Imix.per_category; reg_operands }
-  in
-  let n_mixes = counted "mixes " in
+  let dynamic_mix = mix_ref () in
+  let est_mix = mix_ref () in
+  end_line cur stop;
+  {
+    Variant.params =
+      {
+        Gat_compiler.Params.threads_per_block;
+        block_count;
+        unroll;
+        l1_pref_kb;
+        staging;
+        fast_math;
+      };
+    time_ms;
+    occupancy;
+    registers;
+    dynamic_mix;
+    est_mix;
+  }
+
+let read_failure cur =
+  let stop = line_end cur in
+  let threads_per_block = int_field cur stop in
+  let block_count = int_field cur stop in
+  let unroll = int_field cur stop in
+  let l1_pref_kb = int_field cur stop in
+  let staging = int_field cur stop in
+  let fast_math = int_field cur stop <> 0 in
+  let attempts = int_field cur stop in
+  if attempts < 1 then raise Bad_entry;
+  let message = rest_of_line cur stop in
+  cur.pos <- stop + 1;
+  {
+    Variant.failed_params =
+      {
+        Gat_compiler.Params.threads_per_block;
+        block_count;
+        unroll;
+        l1_pref_kb;
+        staging;
+        fast_math;
+      };
+    message;
+    attempts;
+  }
+
+let read_variants_section cur =
+  let n_mixes = counted cur "mixes " in
   if n_mixes > 1_000_000 then raise Bad_entry;
-  let mixes = Array.init n_mixes (fun _ -> mix ()) in
-  let variant () =
-    let stop = line_end () in
-    let threads_per_block = int stop in
-    let block_count = int stop in
-    let unroll = int stop in
-    let l1_pref_kb = int stop in
-    let staging = int stop in
-    let fast_math = int stop <> 0 in
-    let time_ms = fl stop in
-    let occupancy = fl stop in
-    let registers = int stop in
-    let mix_ref () =
-      let i = int stop in
-      if i < 0 || i >= n_mixes then raise Bad_entry;
-      mixes.(i)
-    in
-    let dynamic_mix = mix_ref () in
-    let est_mix = mix_ref () in
-    skip_spaces stop;
-    if !pos <> stop then raise Bad_entry;
-    pos := stop + 1;
-    {
-      Variant.params =
-        {
-          Gat_compiler.Params.threads_per_block;
-          block_count;
-          unroll;
-          l1_pref_kb;
-          staging;
-          fast_math;
-        };
-      time_ms;
-      occupancy;
-      registers;
-      dynamic_mix;
-      est_mix;
-    }
-  in
-  let count = counted "variants " in
-  let variants = List.init count (fun _ -> variant ()) in
-  expect_line "end";
-  if !pos <> len then raise Bad_entry;
+  let mixes = Array.init n_mixes (fun _ -> read_mix cur) in
+  let count = counted cur "variants " in
+  List.init count (fun _ -> read_variant cur mixes)
+
+(* "end" then "md5 <hex of everything before this line>", then EOF.
+   Verification makes corruption detection exact instead of
+   best-effort: without it a flipped digit inside a float literal
+   still parses and silently yields a wrong variant. *)
+let read_trailer cur =
+  expect_line cur "end";
+  let digest_at = cur.pos in
+  let nl = line_end cur in
+  if nl - cur.pos <> 4 + 32 then raise Bad_entry;
+  if not (String.equal (String.sub cur.s cur.pos 4) "md5 ") then
+    raise Bad_entry;
+  let want = String.sub cur.s (cur.pos + 4) 32 in
+  if
+    not
+      (String.equal want
+         (Digest.to_hex (Digest.substring cur.s 0 digest_at)))
+  then raise Bad_entry;
+  cur.pos <- nl + 1;
+  if cur.pos <> String.length cur.s then raise Bad_entry
+
+let read_file path =
+  Gat_util.Fault.inject ~site:"cache-read" ~key:(Filename.basename path);
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let cur = { s; pos = 0 } in
+  expect_line cur magic;
+  expect_line cur ("model " ^ model_version);
+  let variants = read_variants_section cur in
+  read_trailer cur;
   variants
+
+(* ---- store / find ---- *)
+
+(* Atomic publish: write a private temp file in the same directory,
+   then rename over the final name, so concurrent readers (and a
+   SIGKILL between the two syscalls) see either the old entry or the
+   new one, never a partial write. *)
+let publish ~path buf =
+  let d = dir () in
+  ensure_dir d;
+  Gat_util.Fault.inject ~site:"cache-write" ~key:(Filename.basename path);
+  let tmp = Filename.temp_file ~temp_dir:d "gat" ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Sys.rename tmp path
+
+let store space kernel gpu ~n ~seed variants =
+  if writable () then
+    try
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf magic;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf ("model " ^ model_version ^ "\n");
+      emit_variants_section buf variants;
+      emit_trailer buf;
+      publish ~path:(file_of_key (key space kernel gpu ~n ~seed)) buf;
+      stored ()
+    with
+    | Sys_error e -> degrade e
+    | Gat_util.Fault.Injected e -> degrade e
 
 let find space kernel gpu ~n ~seed =
   if not (enabled ()) then None
@@ -363,67 +554,73 @@ let find space kernel gpu ~n ~seed =
           miss ();
           None
 
-let store space kernel gpu ~n ~seed variants =
-  if enabled () then
+(* ---- checkpoints ---- *)
+
+type checkpoint = {
+  done_points : int;  (** Completed prefix of [Space.points]. *)
+  variants : Variant.t list;
+  failures : Variant.failure list;
+}
+
+let checkpoint_store space kernel gpu ~n ~seed ckpt =
+  if writable () then
     try
-      let d = dir () in
-      ensure_dir d;
       let buf = Buffer.create 4096 in
-      Buffer.add_string buf magic;
+      Buffer.add_string buf ckpt_magic;
       Buffer.add_char buf '\n';
       Buffer.add_string buf ("model " ^ model_version ^ "\n");
-      let mix_ids : (Gat_core.Imix.t, int) Hashtbl.t = Hashtbl.create 64 in
-      let mixes_rev = ref [] in
-      let n_mixes = ref 0 in
-      let mix_id m =
-        match Hashtbl.find_opt mix_ids m with
-        | Some i -> i
-        | None ->
-            let i = !n_mixes in
-            incr n_mixes;
-            Hashtbl.replace mix_ids m i;
-            mixes_rev := m :: !mixes_rev;
-            i
-      in
-      let refs =
-        List.map
-          (fun (v : Variant.t) ->
-            (mix_id v.Variant.dynamic_mix, mix_id v.Variant.est_mix))
-          variants
-      in
-      Buffer.add_string buf (Printf.sprintf "mixes %d\n" !n_mixes);
-      List.iter
-        (fun m ->
-          emit_mix buf m;
-          Buffer.add_char buf '\n')
-        (List.rev !mixes_rev);
+      Buffer.add_string buf (Printf.sprintf "done %d\n" ckpt.done_points);
       Buffer.add_string buf
-        (Printf.sprintf "variants %d\n" (List.length variants));
-      List.iter2
-        (fun v (dyn_idx, est_idx) -> emit_variant buf v ~dyn_idx ~est_idx)
-        variants refs;
-      Buffer.add_string buf "end\n";
-      (* Atomic publish: write a private temp file in the same
-         directory, then rename over the final name, so concurrent
-         readers see either the old entry or the new one, never a
-         partial write. *)
-      let tmp = Filename.temp_file ~temp_dir:d "gat" ".sweep.tmp" in
-      Out_channel.with_open_bin tmp (fun oc ->
-          Out_channel.output_string oc (Buffer.contents buf));
-      Sys.rename tmp (file_of_key (key space kernel gpu ~n ~seed));
-      stored ()
-    with Sys_error _ -> ()
+        (Printf.sprintf "failures %d\n" (List.length ckpt.failures));
+      List.iter (emit_failure buf) ckpt.failures;
+      emit_variants_section buf ckpt.variants;
+      emit_trailer buf;
+      publish ~path:(ckpt_of_key (key space kernel gpu ~n ~seed)) buf
+    with
+    | Sys_error e -> degrade e
+    | Gat_util.Fault.Injected e -> degrade e
+
+let checkpoint_find space kernel gpu ~n ~seed =
+  if not (enabled ()) then None
+  else
+    let path = ckpt_of_key (key space kernel gpu ~n ~seed) in
+    if not (Sys.file_exists path) then None
+    else
+      let read () =
+        Gat_util.Fault.inject ~site:"cache-read"
+          ~key:(Filename.basename path);
+        let s = In_channel.with_open_bin path In_channel.input_all in
+        let cur = { s; pos = 0 } in
+        expect_line cur ckpt_magic;
+        expect_line cur ("model " ^ model_version);
+        let done_points = counted cur "done " in
+        let n_failures = counted cur "failures " in
+        if n_failures > 1_000_000 then raise Bad_entry;
+        let failures = List.init n_failures (fun _ -> read_failure cur) in
+        let variants = read_variants_section cur in
+        read_trailer cur;
+        { done_points; variants; failures }
+      in
+      (* Like entries: damaged checkpoints read as "no checkpoint" and
+         the sweep restarts from scratch, which is always safe. *)
+      (match read () with c -> Some c | exception _ -> None)
+
+let checkpoint_clear space kernel gpu ~n ~seed =
+  let path = ckpt_of_key (key space kernel gpu ~n ~seed) in
+  try Sys.remove path with Sys_error _ -> ()
 
 (* ---- maintenance (the [gat cache] subcommand) ---- *)
 
-let entry_files () =
+let files_with_suffix suffix =
   let d = dir () in
   if not (Sys.file_exists d) then []
   else
     Sys.readdir d |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".sweep")
+    |> List.filter (fun f -> Filename.check_suffix f suffix)
     |> List.sort compare
     |> List.map (Filename.concat d)
+
+let entry_files () = files_with_suffix ".sweep"
 
 let disk_usage () =
   List.fold_left
@@ -439,4 +636,5 @@ let clear () =
       match Sys.remove path with
       | () -> removed + 1
       | exception Sys_error _ -> removed)
-    0 (entry_files ())
+    0
+    (entry_files () @ files_with_suffix ".ckpt")

@@ -47,6 +47,15 @@ val set_enabled : bool -> unit
     {!find} returns [None] without counting a miss and {!store} is a
     no-op. *)
 
+val degraded : unit -> bool
+(** True once a write has failed (unwritable directory, ENOSPC,
+    injected I/O fault).  The first failure warns once on stderr; from
+    then on every write is skipped and the run continues uncached —
+    a broken cache never takes a sweep down. *)
+
+val reset_degraded : unit -> unit
+(** Clear the degradation latch (tests; or after fixing the disk). *)
+
 type stats = { hits : int; misses : int; stores : int }
 
 val stats : unit -> stats
@@ -80,9 +89,51 @@ val store :
     filesystem, no space) are silently dropped — the cache is an
     optimization, not a store of record. *)
 
+(** {2 Sweep checkpoints}
+
+    The completed prefix of an in-flight sweep, stored next to the
+    entries under the same content key as [<key>.ckpt] with the same
+    serialization, integrity trailer and atomic publish.  {!Tuner}
+    writes one after every completed block and removes it when the
+    sweep finishes; a run killed in between can resume from the last
+    checkpoint and produce byte-identical results. *)
+
+type checkpoint = {
+  done_points : int;  (** Completed prefix length of [Space.points]. *)
+  variants : Variant.t list;  (** Outcomes of that prefix, in order. *)
+  failures : Variant.failure list;  (** Failed points of that prefix. *)
+}
+
+val checkpoint_store :
+  Space.t ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  checkpoint ->
+  unit
+(** Atomically replace the sweep's checkpoint.  Never raises; write
+    failures degrade the cache exactly like {!store}. *)
+
+val checkpoint_find :
+  Space.t ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  checkpoint option
+(** The last checkpoint for this exact sweep configuration, or [None]
+    if absent, damaged, or the cache is disabled.  Restarting from
+    scratch is always a safe answer. *)
+
+val checkpoint_clear :
+  Space.t -> Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> n:int -> seed:int -> unit
+(** Remove the sweep's checkpoint, if any. *)
+
 val disk_usage : unit -> int * int
 (** [(entries, bytes)] currently on disk. *)
 
 val clear : unit -> int
-(** Remove every cache entry ([*.sweep] files only — nothing else in
-    the directory is touched); returns the number removed. *)
+(** Remove every cache entry and checkpoint ([*.sweep] / [*.ckpt]
+    files only — nothing else in the directory is touched); returns
+    the number removed. *)

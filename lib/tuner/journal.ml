@@ -9,19 +9,28 @@ type t = {
   seed : int;
   strategy : string;
   mutable entries_rev : entry list;
+  lock : Mutex.t;
 }
 
 let create ~kernel ~gpu ~n ~seed ~strategy =
-  { kernel; gpu; n; seed; strategy; entries_rev = [] }
+  { kernel; gpu; n; seed; strategy; entries_rev = []; lock = Mutex.create () }
 
 let recording t objective params =
+  (* The objective runs outside the lock — it may be evaluated from
+     Pool workers, and only the append must be serialized.  Index
+     assignment and the push happen under the lock together so indices
+     are dense and unique even under concurrent recording. *)
   let result = objective params in
-  let index = List.length t.entries_rev + 1 in
-  t.entries_rev <- { index; params; time_ms = result } :: t.entries_rev;
+  Gat_util.Pool.with_lock t.lock (fun () ->
+      let index = List.length t.entries_rev + 1 in
+      t.entries_rev <- { index; params; time_ms = result } :: t.entries_rev);
   result
 
-let entries t = List.rev t.entries_rev
-let length t = List.length t.entries_rev
+let entries t =
+  Gat_util.Pool.with_lock t.lock (fun () -> List.rev t.entries_rev)
+
+let length t =
+  Gat_util.Pool.with_lock t.lock (fun () -> List.length t.entries_rev)
 
 (* ---- serialization ---- *)
 
@@ -101,7 +110,16 @@ let of_string text =
       | Some kernel, Some gpu, Some n, Some seed, Some strategy -> (
           match (int_of_string_opt n, int_of_string_opt seed) with
           | Some n, Some seed ->
-              Ok { kernel; gpu; n; seed; strategy; entries_rev = !rows }
+              Ok
+                {
+                  kernel;
+                  gpu;
+                  n;
+                  seed;
+                  strategy;
+                  entries_rev = !rows;
+                  lock = Mutex.create ();
+                }
           | _ -> Error "bad n/seed metadata")
       | _ -> Error "missing journal metadata")
 

@@ -22,6 +22,10 @@ type t = {
   seed : int;
   strategy : string;
   mutable entries_rev : entry list;
+      (** Access through {!entries}/{!length}, which take [lock] —
+          recording is thread-safe, so an objective wrapped by
+          {!recording} may be evaluated under {!Gat_util.Pool.map}. *)
+  lock : Mutex.t;
 }
 
 val create :

@@ -20,8 +20,14 @@ let objective kernel gpu ~n ~seed =
         (fun v -> v.Variant.time_ms)
         (eval_point kernel gpu ~n ~seed params))
 
+type report = {
+  variants : Variant.t list;
+  failures : Variant.failure list;
+  restored_points : int;
+}
+
 let sweep_lock = Mutex.create ()
-let sweep_cache : (string, Variant.t list) Hashtbl.t = Hashtbl.create 16
+let sweep_cache : (string, report) Hashtbl.t = Hashtbl.create 16
 
 let clear_cache () =
   Gat_util.Pool.with_lock sweep_lock (fun () -> Hashtbl.reset sweep_cache);
@@ -36,13 +42,13 @@ let find_sweep key =
   Gat_util.Pool.with_lock sweep_lock (fun () ->
       Hashtbl.find_opt sweep_cache key)
 
-let store_sweep key variants =
+let store_sweep key report =
   Gat_util.Pool.with_lock sweep_lock (fun () ->
       match Hashtbl.find_opt sweep_cache key with
       | Some existing -> existing
       | None ->
-          Hashtbl.replace sweep_cache key variants;
-          variants)
+          Hashtbl.replace sweep_cache key report;
+          report)
 
 (* The sweep core walks the space in fixed-size blocks: each block is
    compiled once (compile phase, one compile per parameter point) and
@@ -50,70 +56,207 @@ let store_sweep key variants =
    block's compiled variants are dropped.  Blocking keeps the resident
    set to one block of compiled programs regardless of space or size
    count; exactly-once compilation per (kernel, gpu, params) is by
-   construction, not a cache property. *)
-let block_size = 256
+   construction, not a cache property.  Blocks are also the sweep's
+   fault boundaries: after each one the supervised outcomes are folded
+   into the accumulators and (single-size runs) flushed to an atomic
+   checkpoint, so a crash or SIGINT costs at most one block of work. *)
+let default_block_size = 256
 
-let run_sweeps ?jobs kernel gpu ~space ~ns ~seed =
+let fault_key kernel gpu params =
+  Printf.sprintf "%s/%s/%s" kernel.Gat_ir.Kernel.name gpu.Gat_arch.Gpu.name
+    (Gat_compiler.Params.to_string params)
+
+let budget_exceeded ~failed ~budget (last : Gat_util.Pool.exn_info) =
+  Gat_util.Error.failf Tune
+    ~hint:
+      "raise --max-failures to tolerate more, or inspect the failure \
+       messages in the sweep summary"
+    "sweep aborted: more than %d variant failures (%d seen; last: %s)"
+    budget failed
+    (Printexc.to_string last.Gat_util.Pool.exn)
+
+(* Evaluation order over [Space.points] is fixed, so the accumulated
+   variant and failure lists depend only on (space, kernel, gpu, n,
+   seed) — never on the job count, the block size, or whether the run
+   was interrupted and resumed from a checkpointed prefix.  Resume
+   correctness rides entirely on that invariant. *)
+let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
+    ?(resume = false) ?(block = default_block_size) kernel gpu ~space ~ns
+    ~seed =
   let points = Array.of_list (Space.points space) in
   let total = Array.length points in
-  let acc = List.map (fun n -> (n, ref [])) ns in
+  let block_size = max 1 block in
+  if (checkpoint || resume) && List.length ns <> 1 then
+    invalid_arg "Tuner.run_sweeps: checkpointing supports exactly one size";
+  (* Per size: reversed variants and failures.  Compile failures are
+     size-independent and recorded against every size; simulate
+     failures only against theirs. *)
+  let acc = List.map (fun n -> (n, ref [], ref [])) ns in
+  let failed_global = ref 0 in
+  let budget_left () =
+    Option.map (fun b -> max 0 (b - !failed_global)) max_failures
+  in
   let start = ref 0 in
+  let restored = ref 0 in
+  if resume then
+    (match ns with
+    | [ n ] -> (
+        match Disk_cache.checkpoint_find space kernel gpu ~n ~seed with
+        | Some c when c.Disk_cache.done_points > 0
+                      && c.Disk_cache.done_points <= total -> (
+            match acc with
+            | [ (_, variants_rev, failures_rev) ] ->
+                variants_rev := List.rev c.Disk_cache.variants;
+                failures_rev := List.rev c.Disk_cache.failures;
+                failed_global := List.length c.Disk_cache.failures;
+                start := c.Disk_cache.done_points;
+                restored := c.Disk_cache.done_points
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
   while !start < total do
-    let block = Array.sub points !start (min block_size (total - !start)) in
-    (* Compile phase, parallel over the block's parameter points. *)
+    (* Cooperative SIGINT: the previous block's checkpoint is already
+       on disk, so stopping here loses nothing. *)
+    if Gat_util.Cancel.requested () then
+      Gat_util.Error.failf Interrupted
+        "sweep interrupted at %d/%d points%s" !start total
+        (if checkpoint then "; checkpoint saved — re-run with --resume"
+         else "");
+    let len = min block_size (total - !start) in
+    let blk = Array.sub points !start len in
+    (* Compile phase, parallel and supervised over the block. *)
     let compiled =
-      Gat_util.Pool.map ?jobs
-        (fun params ->
-          ( Gat_util.Rng.create (point_seed kernel gpu ~seed params),
-            Compile_cache.get kernel gpu params ))
-        block
+      try
+        Gat_util.Pool.map_result ?jobs ~retries ?max_failures:(budget_left ())
+          (fun params ->
+            Gat_util.Fault.inject ~site:"compile"
+              ~key:(fault_key kernel gpu params);
+            ( Gat_util.Rng.create (point_seed kernel gpu ~seed params),
+              Compile_cache.get kernel gpu params ))
+          blk
+      with Gat_util.Pool.Budget_exceeded { failed; last; _ } ->
+        budget_exceeded
+          ~failed:(!failed_global + failed)
+          ~budget:(Option.get max_failures) last
     in
+    Array.iteri
+      (fun i entry ->
+        match entry with
+        | Ok _ -> ()
+        | Error (info : Gat_util.Pool.exn_info) ->
+            incr failed_global;
+            let f =
+              {
+                Variant.failed_params = blk.(i);
+                message = "compile: " ^ Printexc.to_string info.exn;
+                attempts = info.attempts;
+              }
+            in
+            List.iter (fun (_, _, failures_rev) -> failures_rev := f :: !failures_rev) acc)
+      compiled;
     (* Simulate phase: every size reuses the block's compiles.  Each
        size re-copies the per-point RNG, so trial streams are the same
        at every size, exactly as a from-scratch evaluation draws them. *)
     List.iter
-      (fun (n, rev_variants) ->
+      (fun (n, variants_rev, failures_rev) ->
         let evaluated =
-          Gat_util.Pool.map ?jobs
-            (fun (rng, entry) ->
-              match entry with
-              | Error _ -> None
-              | Ok c ->
-                  Some
-                    (Measure.evaluate_compiled c ~n
-                       ~rng:(Gat_util.Rng.copy rng)))
-            compiled
+          try
+            Gat_util.Pool.map_result ?jobs ~retries
+              ?max_failures:(budget_left ())
+              (fun i ->
+                match compiled.(i) with
+                | Error _ -> None (* already recorded as a compile failure *)
+                | Ok (_, Error _) -> None (* invalid variant *)
+                | Ok (rng, Ok c) ->
+                    Gat_util.Fault.inject ~site:"simulate"
+                      ~key:
+                        (Printf.sprintf "%s/n=%d"
+                           (fault_key kernel gpu blk.(i))
+                           n);
+                    Some
+                      (Measure.evaluate_compiled c ~n
+                         ~rng:(Gat_util.Rng.copy rng)))
+              (Array.init len Fun.id)
+          with Gat_util.Pool.Budget_exceeded { failed; last; _ } ->
+            budget_exceeded
+              ~failed:(!failed_global + failed)
+              ~budget:(Option.get max_failures) last
         in
-        Array.iter
-          (function Some v -> rev_variants := v :: !rev_variants | None -> ())
+        Array.iteri
+          (fun i outcome ->
+            match outcome with
+            | Ok (Some v) -> variants_rev := v :: !variants_rev
+            | Ok None -> ()
+            | Error (info : Gat_util.Pool.exn_info) ->
+                incr failed_global;
+                failures_rev :=
+                  {
+                    Variant.failed_params = blk.(i);
+                    message =
+                      Printf.sprintf "simulate(n=%d): %s" n
+                        (Printexc.to_string info.exn);
+                    attempts = info.attempts;
+                  }
+                  :: !failures_rev)
           evaluated)
       acc;
-    start := !start + Array.length block
+    start := !start + len;
+    if checkpoint then
+      match acc with
+      | [ (n, variants_rev, failures_rev) ] ->
+          Disk_cache.checkpoint_store space kernel gpu ~n ~seed
+            {
+              Disk_cache.done_points = !start;
+              variants = List.rev !variants_rev;
+              failures = List.rev !failures_rev;
+            }
+      | _ -> ()
   done;
-  List.map (fun (n, rev_variants) -> (n, List.rev !rev_variants)) acc
+  if checkpoint then
+    (match ns with
+    | [ n ] -> Disk_cache.checkpoint_clear space kernel gpu ~n ~seed
+    | _ -> ());
+  ( List.map
+      (fun (n, variants_rev, failures_rev) ->
+        (n, (List.rev !variants_rev, List.rev !failures_rev)))
+      acc,
+    !restored )
 
 (* A sweep missing from the in-process cache may still be on disk from
    an earlier run; only sweeps absent from both are computed, and every
-   computed sweep is persisted for the next process. *)
+   computed sweep is persisted for the next process.  Sweeps that
+   recorded failures are deliberately NOT persisted: a degraded result
+   must never masquerade as the complete sweep in a later process. *)
 let restore_from_disk space kernel gpu ~n ~seed key =
   match Disk_cache.find space kernel gpu ~n ~seed with
-  | Some variants -> Some (store_sweep key variants)
+  | Some variants ->
+      Some (store_sweep key { variants; failures = []; restored_points = 0 })
   | None -> None
 
-let sweep ?(space = Space.paper) ?jobs kernel gpu ~n ~seed =
+let finish_sweep space kernel gpu ~n ~seed key (variants, failures) ~restored =
+  let r = store_sweep key { variants; failures; restored_points = restored } in
+  if r.failures = [] then Disk_cache.store space kernel gpu ~n ~seed r.variants;
+  r
+
+let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
+    ?checkpoint ?resume ?block kernel gpu ~n ~seed =
   let key = sweep_key space kernel gpu ~n ~seed in
   match find_sweep key with
-  | Some variants -> variants
+  | Some r -> r
   | None -> (
       match restore_from_disk space kernel gpu ~n ~seed key with
-      | Some variants -> variants
+      | Some r -> r
       | None -> (
-          match run_sweeps ?jobs kernel gpu ~space ~ns:[ n ] ~seed with
-          | [ (_, variants) ] ->
-              let variants = store_sweep key variants in
-              Disk_cache.store space kernel gpu ~n ~seed variants;
-              variants
+          match
+            run_sweeps ?jobs ?retries ?max_failures ?checkpoint ?resume ?block
+              kernel gpu ~space ~ns:[ n ] ~seed
+          with
+          | [ (_, outcome) ], restored ->
+              finish_sweep space kernel gpu ~n ~seed key outcome ~restored
           | _ -> assert false))
+
+let sweep ?space ?jobs kernel gpu ~n ~seed =
+  (sweep_report ?space ?jobs kernel gpu ~n ~seed).variants
 
 let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
   let missing =
@@ -127,13 +270,14 @@ let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
   (match missing with
   | [] -> ()
   | _ ->
+      let results, _ = run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed in
       List.iter
-        (fun (n, variants) ->
-          let variants =
-            store_sweep (sweep_key space kernel gpu ~n ~seed) variants
-          in
-          Disk_cache.store space kernel gpu ~n ~seed variants)
-        (run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed));
+        (fun (n, outcome) ->
+          ignore
+            (finish_sweep space kernel gpu ~n ~seed
+               (sweep_key space kernel gpu ~n ~seed)
+               outcome ~restored:0))
+        results);
   List.map (fun n -> (n, sweep ~space ?jobs kernel gpu ~n ~seed)) ns
 
 type strategy =

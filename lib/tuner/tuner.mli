@@ -20,7 +20,26 @@
     Finished sweeps are additionally persisted through {!Disk_cache},
     so a rerun of the same experiment in a fresh process skips the
     compile-and-simulate work entirely (disable with
-    {!Disk_cache.set_enabled} or the CLI's [--no-cache]). *)
+    {!Disk_cache.set_enabled} or the CLI's [--no-cache]).
+
+    {b Supervision.}  Sweeps evaluate through
+    {!Gat_util.Pool.map_result}: a variant whose evaluation raises is
+    retried in place and, if it keeps failing, recorded as a
+    {!Variant.failure} — first-class data in the {!report}, not a
+    reason to abort thousands of good variants.  An optional
+    [max_failures] budget restores fail-fast behaviour past a
+    threshold ({!Gat_util.Error.Tune}).  Failed sweeps are never
+    persisted to disk, so a degraded result cannot masquerade as the
+    complete sweep later.
+
+    {b Checkpoint / resume.}  Single-size sweeps can flush an atomic
+    checkpoint of the completed point-prefix after every block
+    ([checkpoint:true]) and continue from one ([resume:true]).
+    Evaluation order over {!Space.points} is fixed, so a resumed sweep
+    is byte-identical to an uninterrupted one regardless of where it
+    was killed — SIGKILL included, since checkpoints are published by
+    atomic rename.  {!Gat_util.Cancel} is polled between blocks, so
+    SIGINT (once routed there) stops cleanly right after a flush. *)
 
 val point_seed :
   Gat_ir.Kernel.t ->
@@ -37,6 +56,43 @@ val objective :
 (** A memoized objective implementing the measurement protocol,
     compiling through {!Compile_cache}. *)
 
+val default_block_size : int
+(** Points per sweep block (the checkpoint granularity). *)
+
+type report = {
+  variants : Variant.t list;
+      (** Successful evaluations, in space-point order. *)
+  failures : Variant.failure list;
+      (** Points whose evaluation raised even after retry, in order. *)
+  restored_points : int;
+      (** Points restored from a checkpoint (0 unless resumed). *)
+}
+
+val sweep_report :
+  ?space:Space.t ->
+  ?jobs:int ->
+  ?retries:int ->
+  ?max_failures:int ->
+  ?checkpoint:bool ->
+  ?resume:bool ->
+  ?block:int ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  report
+(** The supervised sweep.  [retries] (default 1) bounds in-place
+    re-attempts per variant; [max_failures] aborts the sweep with
+    {!Gat_util.Error.Error} (stage [Tune]) once {e more than} that
+    many variants have failed (default: unbounded, all failures
+    recorded).  [checkpoint] (default false) flushes an atomic
+    checkpoint after each block of [block] (default 256) points;
+    [resume] (default false) continues from a previous checkpoint of
+    the exact same sweep when one exists.  Results never depend on
+    [jobs], [block], or resumption.
+    @raise Gat_util.Error.Error (stage [Interrupted]) when
+    {!Gat_util.Cancel.requested} fires between blocks. *)
+
 val sweep :
   ?space:Space.t ->
   ?jobs:int ->
@@ -46,9 +102,10 @@ val sweep :
   seed:int ->
   Variant.t list
 (** Evaluate every point of the space (default {!Space.paper}); invalid
-    variants are dropped.  Cached.  [?jobs] overrides the worker count
-    (default {!Gat_util.Pool.jobs}); the result does not depend on
-    it. *)
+    variants are dropped and failures tolerated unboundedly (use
+    {!sweep_report} to see them).  Cached.  [?jobs] overrides the
+    worker count (default {!Gat_util.Pool.jobs}); the result does not
+    depend on it. *)
 
 val sweep_multi :
   ?space:Space.t ->

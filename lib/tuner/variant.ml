@@ -7,7 +7,20 @@ type t = {
   est_mix : Gat_core.Imix.t;
 }
 
+type failure = {
+  failed_params : Gat_compiler.Params.t;
+  message : string;
+  attempts : int;
+}
+
 let compare_time a b = compare a.time_ms b.time_ms
+
+let failure_summary f =
+  Printf.sprintf "%s  FAILED after %d attempt%s: %s"
+    (Gat_compiler.Params.to_string f.failed_params)
+    f.attempts
+    (if f.attempts = 1 then "" else "s")
+    f.message
 
 let summary t =
   Printf.sprintf "%s  time=%.4f ms  occ=%.2f  regs=%d"

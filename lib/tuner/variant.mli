@@ -14,7 +14,20 @@ type t = {
           variants and keeping programs alive exhausts memory. *)
 }
 
+type failure = {
+  failed_params : Gat_compiler.Params.t;
+      (** The parameter point whose evaluation crashed. *)
+  message : string;  (** One line: stage plus the exception rendering. *)
+  attempts : int;  (** Tries made before giving up (retries included). *)
+}
+(** A variant whose evaluation {e raised} — distinct from an invalid
+    variant, which the compiler rejects cleanly and the sweep silently
+    skips.  Failures are first-class sweep outcomes: recorded,
+    reported, checkpointed, never fatal below the failure budget. *)
+
 val compare_time : t -> t -> int
 (** Ascending measured time. *)
+
+val failure_summary : failure -> string
 
 val summary : t -> string

@@ -1,0 +1,13 @@
+let flag = Atomic.make false
+let installed = ref false
+
+let request () = Atomic.set flag true
+let requested () = Atomic.get flag
+let reset () = Atomic.set flag false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> request ()))
+    with Invalid_argument _ | Sys_error _ -> ()
+  end

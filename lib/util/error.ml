@@ -1,0 +1,49 @@
+type stage =
+  | Usage
+  | Parse
+  | Typecheck
+  | Compile
+  | Tune
+  | Io
+  | Interrupted
+  | Internal
+
+type t = { stage : stage; message : string; hint : string option }
+
+exception Error of t
+
+let stage_name = function
+  | Usage -> "usage"
+  | Parse -> "parse"
+  | Typecheck -> "typecheck"
+  | Compile -> "compile"
+  | Tune -> "tuning"
+  | Io -> "i/o"
+  | Interrupted -> "interrupted"
+  | Internal -> "internal"
+
+(* The documented contract (README "Exit codes"): small stable numbers
+   for user-facing failure classes, 130 = 128+SIGINT for interruption
+   (the shell convention), 125 for bugs. *)
+let exit_code = function
+  | Usage -> 2
+  | Parse -> 3
+  | Typecheck -> 3
+  | Compile -> 4
+  | Tune -> 5
+  | Io -> 6
+  | Interrupted -> 130
+  | Internal -> 125
+
+let to_string e =
+  match e.stage with
+  | Interrupted -> e.message
+  | s -> Printf.sprintf "%s error: %s" (stage_name s) e.message
+
+let fail ?hint stage message = raise (Error { stage; message; hint })
+let failf ?hint stage fmt = Printf.ksprintf (fail ?hint stage) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Gat_util.Error: " ^ to_string e)
+    | _ -> None)

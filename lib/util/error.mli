@@ -1,0 +1,40 @@
+(** Structured errors with a documented exit-code mapping.
+
+    Library code that hits an unrecoverable, user-diagnosable condition
+    raises {!Error} with a {!stage} classifying where the failure
+    belongs (bad flags, unparseable input, a compile rejection, a
+    tuning-run abort, an I/O problem).  [bin/gat.ml] catches the
+    exception at the top level, prints the one-line diagnosis from
+    {!to_string} (plus the optional hint) and exits with
+    {!exit_code} — so no user input can reach an uncaught-exception
+    backtrace, and scripts can dispatch on the exit status. *)
+
+type stage =
+  | Usage  (** Bad command line: unknown flag, malformed argument. *)
+  | Parse  (** Unparseable kernel source, journal, or annotation. *)
+  | Typecheck  (** Input parsed but is ill-typed. *)
+  | Compile  (** The compiler driver rejected a variant. *)
+  | Tune  (** An autotuning run aborted (e.g. failure budget). *)
+  | Io  (** File system or serialization failure. *)
+  | Interrupted  (** Cooperative stop after SIGINT. *)
+  | Internal  (** A bug: should never be user-reachable. *)
+
+type t = { stage : stage; message : string; hint : string option }
+
+exception Error of t
+
+val stage_name : stage -> string
+
+val exit_code : stage -> int
+(** Usage 2, Parse/Typecheck 3, Compile 4, Tune 5, Io 6,
+    Interrupted 130, Internal 125.  0 is success; 1 is left to
+    [Cmdliner]'s own conventions. *)
+
+val to_string : t -> string
+(** One line, no backtrace: ["<stage> error: <message>"]. *)
+
+val fail : ?hint:string -> stage -> string -> 'a
+(** Raise {!Error}. *)
+
+val failf : ?hint:string -> stage -> ('a, unit, string, 'b) format4 -> 'a
+(** [Printf]-style {!fail}. *)

@@ -71,3 +71,106 @@ let map ?jobs:requested ?chunk f input =
 
 let map_list ?jobs ?chunk f l =
   Array.to_list (map ?jobs ?chunk f (Array.of_list l))
+
+(* ---- supervised map ---- *)
+
+type exn_info = { exn : exn; backtrace : string; attempts : int }
+
+exception
+  Budget_exceeded of { failed : int; budget : int; last : exn_info }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { failed; budget; last } ->
+        Some
+          (Printf.sprintf
+             "Gat_util.Pool.Budget_exceeded: %d failures (budget %d), last: %s"
+             failed budget
+             (Printexc.to_string last.exn))
+    | _ -> None)
+
+(* One element, with bounded in-place retry: [retries] extra attempts
+   after the first.  The recorded [attempts] is the total number of
+   tries made. *)
+let eval_supervised ~retries f x =
+  let rec go attempt =
+    match f x with
+    | v -> Ok v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        if attempt <= retries then go (attempt + 1)
+        else
+          Error
+            {
+              exn = e;
+              backtrace = Printexc.raw_backtrace_to_string bt;
+              attempts = attempt;
+            }
+  in
+  go 1
+
+let map_result ?jobs:requested ?chunk ?(retries = 1) ?max_failures f input =
+  if retries < 0 then invalid_arg "Pool.map_result: retries must be >= 0";
+  let n = Array.length input in
+  let j = match requested with Some j -> max 1 j | None -> jobs () in
+  let j = min j n in
+  let failed = Atomic.make 0 in
+  (* Set once the failure count passes the budget; workers drain and
+     the caller raises. *)
+  let over : exn_info option Atomic.t = Atomic.make None in
+  let eval x =
+    let r = eval_supervised ~retries f x in
+    (match r with
+    | Ok _ -> ()
+    | Error info -> (
+        let c = 1 + Atomic.fetch_and_add failed 1 in
+        match max_failures with
+        | Some budget when c > budget ->
+            ignore (Atomic.compare_and_set over None (Some info))
+        | _ -> ()));
+    r
+  in
+  let results =
+    if j <= 1 then begin
+      let results = Array.make n None in
+      let i = ref 0 in
+      while !i < n && Atomic.get over = None do
+        results.(!i) <- Some (eval input.(!i));
+        incr i
+      done;
+      results
+    end
+    else begin
+      let chunk =
+        match chunk with Some c -> max 1 c | None -> max 1 (n / (j * 8))
+      in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n || Atomic.get over <> None then continue := false
+          else
+            for i = start to min n (start + chunk) - 1 do
+              results.(i) <- Some (eval input.(i))
+            done
+        done
+      in
+      let domains = List.init (j - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      results
+    end
+  in
+  match Atomic.get over with
+  | Some last ->
+      raise
+        (Budget_exceeded
+           {
+             failed = Atomic.get failed;
+             budget = Option.get max_failures;
+             last;
+           })
+  | None ->
+      Array.map (function Some r -> r | None -> assert false) results

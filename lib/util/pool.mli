@@ -30,6 +30,44 @@ val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map}; [map_list ~jobs:1 f l] is [List.map f l]. *)
 
+(** {2 Supervised map}
+
+    {!map} has fail-fast semantics: one raising element aborts the
+    whole map.  The supervised variant records per-element outcomes
+    instead, with bounded in-place retry and an optional failure
+    budget — the posture a long sweep needs, where one bad variant
+    must not discard hours of good ones. *)
+
+type exn_info = {
+  exn : exn;
+  backtrace : string;
+  attempts : int;  (** Total tries made (1 = failed without retry). *)
+}
+
+exception
+  Budget_exceeded of { failed : int; budget : int; last : exn_info }
+(** Raised by {!map_result} once more than [max_failures] elements
+    have failed; [last] is the failure that crossed the budget. *)
+
+val map_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?retries:int ->
+  ?max_failures:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, exn_info) result array
+(** [map_result f arr] is {!map} with per-element supervision: an
+    application that raises is retried in place up to [retries] more
+    times (default 1) and, if it keeps failing, yields [Error info] at
+    its index instead of aborting the map.  Result order matches input
+    order; [Ok] elements are exactly what {!map} would have produced.
+
+    With [max_failures], the map stops early once {e more than} that
+    many elements have failed (a budget of 0 tolerates none) and
+    raises {!Budget_exceeded} after all workers have drained.
+    @raise Invalid_argument if [retries < 0]. *)
+
 val with_lock : Mutex.t -> (unit -> 'a) -> 'a
 (** [with_lock m f] runs [f] holding [m], releasing it on return or
     exception.  The helper shared by every cache that must stay

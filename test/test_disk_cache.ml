@@ -204,6 +204,169 @@ let test_usage_and_clear () =
   Alcotest.(check bool) "foreign file kept" true (Sys.file_exists foreign);
   Sys.remove foreign
 
+(* ---- systematic corruption (QCheck) ----
+
+   The integrity trailer must turn EVERY truncation and single-byte
+   corruption into a miss (or, when the "corruption" writes back the
+   original byte, an unchanged hit) — never a wrong hit, never an
+   exception.  Without the md5 line this property is false: a flipped
+   digit inside a hex-float literal parses fine and yields a silently
+   wrong variant. *)
+
+let written_entry () =
+  reset ();
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  In_channel.with_open_bin (entry_path ()) In_channel.input_all
+
+let find_mutated whole mutated =
+  Out_channel.with_open_bin (entry_path ()) (fun oc ->
+      Out_channel.output_string oc mutated);
+  match Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 with
+  | exception e ->
+      Alcotest.failf "find raised on corrupted entry: %s" (Printexc.to_string e)
+  | None -> String.compare mutated whole <> 0
+  | Some loaded ->
+      check_variants_identical sample_variants loaded;
+      String.compare mutated whole = 0
+
+let test_truncation_property =
+  let whole = lazy (written_entry ()) in
+  QCheck.Test.make ~name:"every truncation is a miss" ~count:200
+    QCheck.(float_range 0.0 1.0)
+    (fun frac ->
+      let whole = Lazy.force whole in
+      let keep = int_of_float (frac *. float_of_int (String.length whole)) in
+      let keep = min keep (String.length whole - 1) in
+      find_mutated whole (String.sub whole 0 keep))
+
+let test_byte_flip_property =
+  let whole = lazy (written_entry ()) in
+  QCheck.Test.make ~name:"every single-byte corruption is a miss" ~count:500
+    QCheck.(pair (float_range 0.0 1.0) (int_range 0 255))
+    (fun (frac, byte) ->
+      let whole = Lazy.force whole in
+      let pos =
+        min
+          (String.length whole - 1)
+          (int_of_float (frac *. float_of_int (String.length whole)))
+      in
+      let mutated = Bytes.of_string whole in
+      Bytes.set mutated pos (Char.chr byte);
+      find_mutated whole (Bytes.to_string mutated))
+
+(* ---- graceful degradation ---- *)
+
+(* chmod 000 does not stop root (tests often run as root in CI
+   containers), so the unwritable directory is simulated with an
+   ENOTDIR path: a cache "directory" nested under a regular file. *)
+let test_unwritable_dir_degrades () =
+  reset ();
+  let blocker = Filename.temp_file "gat-test-blocker" ".txt" in
+  Unix.putenv "GAT_CACHE_DIR" (Filename.concat blocker "cache");
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "GAT_CACHE_DIR" scratch;
+      Disk_cache.reset_degraded ();
+      Sys.remove blocker)
+    (fun () ->
+      Disk_cache.reset_degraded ();
+      Alcotest.(check bool) "healthy before" false (Disk_cache.degraded ());
+      (* Must not raise, must latch, must keep misses working. *)
+      Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+      Alcotest.(check bool) "degraded after failed write" true
+        (Disk_cache.degraded ());
+      Alcotest.(check bool) "reads behave as misses" true
+        (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
+      (* Later stores are skipped silently, still no raise. *)
+      Disk_cache.store small_space kernel gpu ~n:128 ~seed:42 sample_variants;
+      Disk_cache.checkpoint_store small_space kernel gpu ~n:64 ~seed:42
+        { Disk_cache.done_points = 1; variants = []; failures = [] };
+      let s = Disk_cache.stats () in
+      Alcotest.(check int) "nothing counted as stored" 0 s.Disk_cache.stores);
+  Alcotest.(check bool) "latch cleared for later tests" false
+    (Disk_cache.degraded ())
+
+(* ---- checkpoints ---- *)
+
+let sample_failures =
+  [
+    {
+      Variant.failed_params = Params.default;
+      message = "simulate(n=64): Failure(\"injected\")";
+      attempts = 2;
+    };
+    {
+      Variant.failed_params =
+        Params.make ~threads_per_block:96 ~block_count:48 ~unroll:2
+          ~l1_pref_kb:48 ~staging:2 ~fast_math:true ();
+      message = "compile: Stack_overflow";
+      attempts = 1;
+    };
+  ]
+
+let check_failures_identical stored loaded =
+  Alcotest.(check int) "failure count" (List.length stored) (List.length loaded);
+  List.iter2
+    (fun (a : Variant.failure) (b : Variant.failure) ->
+      Alcotest.(check int) "failed params" 0
+        (Params.compare a.Variant.failed_params b.Variant.failed_params);
+      Alcotest.(check string) "message" a.Variant.message b.Variant.message;
+      Alcotest.(check int) "attempts" a.Variant.attempts b.Variant.attempts)
+    stored loaded
+
+let test_checkpoint_roundtrip () =
+  reset ();
+  let ckpt =
+    {
+      Disk_cache.done_points = 3;
+      variants = sample_variants;
+      failures = sample_failures;
+    }
+  in
+  Alcotest.(check bool) "no checkpoint initially" true
+    (Disk_cache.checkpoint_find small_space kernel gpu ~n:64 ~seed:42 = None);
+  Disk_cache.checkpoint_store small_space kernel gpu ~n:64 ~seed:42 ckpt;
+  (match Disk_cache.checkpoint_find small_space kernel gpu ~n:64 ~seed:42 with
+  | None -> Alcotest.fail "stored checkpoint not found"
+  | Some c ->
+      Alcotest.(check int) "done_points" 3 c.Disk_cache.done_points;
+      check_variants_identical sample_variants c.Disk_cache.variants;
+      check_failures_identical sample_failures c.Disk_cache.failures);
+  (* A checkpoint is not a cache entry. *)
+  Alcotest.(check bool) "entry lookup unaffected" true
+    (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
+  (* Replacement is atomic-in-effect: the latest store wins. *)
+  Disk_cache.checkpoint_store small_space kernel gpu ~n:64 ~seed:42
+    { ckpt with Disk_cache.done_points = 4 };
+  (match Disk_cache.checkpoint_find small_space kernel gpu ~n:64 ~seed:42 with
+  | Some c -> Alcotest.(check int) "replaced" 4 c.Disk_cache.done_points
+  | None -> Alcotest.fail "replacement lost");
+  Disk_cache.checkpoint_clear small_space kernel gpu ~n:64 ~seed:42;
+  Alcotest.(check bool) "cleared" true
+    (Disk_cache.checkpoint_find small_space kernel gpu ~n:64 ~seed:42 = None)
+
+let ckpt_path () =
+  Filename.concat scratch
+    (Disk_cache.key small_space kernel gpu ~n:64 ~seed:42 ^ ".ckpt")
+
+let test_checkpoint_corruption () =
+  reset ();
+  Disk_cache.checkpoint_store small_space kernel gpu ~n:64 ~seed:42
+    {
+      Disk_cache.done_points = 2;
+      variants = sample_variants;
+      failures = sample_failures;
+    };
+  let whole = In_channel.with_open_bin (ckpt_path ()) In_channel.input_all in
+  Out_channel.with_open_bin (ckpt_path ()) (fun oc ->
+      Out_channel.output_string oc
+        (String.sub whole 0 (String.length whole / 2)));
+  Alcotest.(check bool) "truncated checkpoint reads as absent" true
+    (Disk_cache.checkpoint_find small_space kernel gpu ~n:64 ~seed:42 = None);
+  (* clear() sweeps damaged checkpoints too. *)
+  Alcotest.(check bool) "clear removes it" true (Disk_cache.clear () >= 1);
+  Alcotest.(check bool) "file gone" false (Sys.file_exists (ckpt_path ()))
+
 (* ---- Tuner integration ---- *)
 
 let test_sweep_restored_across_processes () =
@@ -272,6 +435,22 @@ let () =
               Alcotest.test_case "corruption tolerated" `Quick test_corruption_tolerated;
               Alcotest.test_case "disabled inert" `Quick test_disabled_is_inert;
               Alcotest.test_case "usage and clear" `Quick test_usage_and_clear;
+            ] );
+          ( "integrity",
+            [
+              QCheck_alcotest.to_alcotest test_truncation_property;
+              QCheck_alcotest.to_alcotest test_byte_flip_property;
+            ] );
+          ( "degradation",
+            [
+              Alcotest.test_case "unwritable dir degrades" `Quick
+                test_unwritable_dir_degrades;
+            ] );
+          ( "checkpoint",
+            [
+              Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+              Alcotest.test_case "corruption reads as absent" `Quick
+                test_checkpoint_corruption;
             ] );
           ( "tuner",
             [

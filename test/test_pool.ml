@@ -87,6 +87,131 @@ let test_env_and_override () =
     (Invalid_argument "Pool.set_default_jobs: jobs must be >= 1") (fun () ->
       Pool.set_default_jobs (Some 0))
 
+(* ---- supervised map ---- *)
+
+let result_array =
+  let pp_result fmt = function
+    | Ok x -> Format.fprintf fmt "Ok %d" x
+    | Error (e : Pool.exn_info) ->
+        Format.fprintf fmt "Error (%s, %d attempts)" (Printexc.to_string e.Pool.exn)
+          e.Pool.attempts
+  in
+  let eq_result a b =
+    match (a, b) with
+    | Ok x, Ok y -> x = y
+    | Error (a : Pool.exn_info), Error b ->
+        a.Pool.exn = b.Pool.exn && a.Pool.attempts = b.Pool.attempts
+    | _ -> false
+  in
+  Alcotest.array (Alcotest.testable pp_result eq_result)
+
+let test_map_result_all_ok () =
+  let input = Array.init 200 (fun i -> i) in
+  let f x = (x * 3) + 1 in
+  let expected = Array.map (fun x -> Ok (f x)) input in
+  List.iter
+    (fun jobs ->
+      Alcotest.check result_array
+        (Printf.sprintf "jobs=%d all Ok, in order" jobs)
+        expected
+        (Pool.map_result ~jobs f input))
+    job_counts
+
+let test_map_result_records_failures () =
+  let f x = if x mod 10 = 3 then failwith "boom" else x in
+  List.iter
+    (fun jobs ->
+      let out = Pool.map_result ~jobs ~retries:0 f (Array.init 100 (fun i -> i)) in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              Alcotest.(check bool) "ok index" true (i mod 10 <> 3 && v = i)
+          | Error e ->
+              Alcotest.(check bool) "failed index" true (i mod 10 = 3);
+              Alcotest.(check bool) "exception kept" true
+                (e.Pool.exn = Failure "boom");
+              Alcotest.(check int) "one attempt, no retry" 1 e.Pool.attempts)
+        out;
+      Alcotest.(check int) "exactly ten failures" 10
+        (Array.fold_left
+           (fun acc r -> if Result.is_error r then acc + 1 else acc)
+           0 out))
+    [ 1; 4 ]
+
+let test_map_result_retry_recovers () =
+  (* Fails on every odd-numbered attempt per element: with one retry,
+     every element eventually succeeds. *)
+  let tries = Hashtbl.create 16 in
+  let lock = Mutex.create () in
+  let flaky x =
+    let a =
+      Pool.with_lock lock (fun () ->
+          let a = 1 + Option.value ~default:0 (Hashtbl.find_opt tries x) in
+          Hashtbl.replace tries x a;
+          a)
+    in
+    if a = 1 then failwith "transient" else x * 2
+  in
+  let out = Pool.map_result ~jobs:4 ~retries:1 flaky (Array.init 50 (fun i -> i)) in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "recovered value" (i * 2) v
+      | Error _ -> Alcotest.failf "element %d did not recover" i)
+    out
+
+let test_map_result_attempts_counted () =
+  let out =
+    Pool.map_result ~jobs:1 ~retries:3 (fun _ -> failwith "always") [| 0 |]
+  in
+  match out.(0) with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error e -> Alcotest.(check int) "1 + 3 retries" 4 e.Pool.attempts
+
+let test_map_result_budget () =
+  let f x = if x < 20 then failwith "early" else x in
+  (* Budget generous enough: all failures recorded, no exception. *)
+  let out =
+    Pool.map_result ~jobs:4 ~retries:0 ~max_failures:20 f
+      (Array.init 100 (fun i -> i))
+  in
+  Alcotest.(check int) "twenty failures recorded" 20
+    (Array.fold_left (fun acc r -> if Result.is_error r then acc + 1 else acc) 0 out);
+  (* Budget of zero: the first failure crosses it. *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map_result ~jobs ~retries:0 ~max_failures:0 f
+          (Array.init 100 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "budget must abort"
+      | exception Pool.Budget_exceeded { failed; budget; last } ->
+          Alcotest.(check bool) "at least one failure" true (failed >= 1);
+          Alcotest.(check int) "budget echoed" 0 budget;
+          Alcotest.(check bool) "last failure kept" true
+            (last.Pool.exn = Failure "early"))
+    [ 1; 4 ]
+
+let test_map_result_budget_early_stop () =
+  (* Sequential with budget 0: evaluation stops at the first failure
+     rather than visiting all elements. *)
+  let visited = ref 0 in
+  (try
+     ignore
+       (Pool.map_result ~jobs:1 ~retries:0 ~max_failures:0
+          (fun x ->
+            incr visited;
+            if x = 5 then failwith "stop" else x)
+          (Array.init 1000 (fun i -> i)))
+   with Pool.Budget_exceeded _ -> ());
+  Alcotest.(check bool) "stopped early" true (!visited < 1000)
+
+let test_map_result_bad_retries () =
+  Alcotest.check_raises "negative retries rejected"
+    (Invalid_argument "Pool.map_result: retries must be >= 0") (fun () ->
+      ignore (Pool.map_result ~retries:(-1) (fun x -> x) [| 1 |]))
+
 let test_with_lock () =
   let m = Mutex.create () in
   Alcotest.(check int) "returns the value" 5 (Pool.with_lock m (fun () -> 5));
@@ -107,6 +232,21 @@ let () =
           Alcotest.test_case "jobs > length" `Quick test_jobs_exceed_length;
           Alcotest.test_case "jobs=1 is List.map" `Quick test_jobs_one_equals_list_map;
           Alcotest.test_case "exceptions propagate" `Quick test_exception_propagates;
+        ] );
+      ( "map_result",
+        [
+          Alcotest.test_case "all Ok matches map" `Quick test_map_result_all_ok;
+          Alcotest.test_case "failures recorded in place" `Quick
+            test_map_result_records_failures;
+          Alcotest.test_case "retry recovers transients" `Quick
+            test_map_result_retry_recovers;
+          Alcotest.test_case "attempts counted" `Quick
+            test_map_result_attempts_counted;
+          Alcotest.test_case "failure budget" `Quick test_map_result_budget;
+          Alcotest.test_case "budget stops early" `Quick
+            test_map_result_budget_early_stop;
+          Alcotest.test_case "negative retries rejected" `Quick
+            test_map_result_bad_retries;
         ] );
       ( "config",
         [
