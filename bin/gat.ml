@@ -248,9 +248,24 @@ let suggest_cmd =
     (Cmd.info "suggest" ~doc:"Suggested launch parameters (paper Table VII).")
     Term.(const suggest $ kernel_arg $ gpu_arg)
 
+(* ---- tracing ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record compile/simulate/cache/pool spans and write them to \
+           $(docv) as Chrome trace-event JSON on exit (open in Perfetto \
+           or chrome://tracing).  Results are unaffected.")
+
+let set_trace path = Option.iter Gat_util.Trace.enable_to path
+
 (* ---- simulate ---- *)
 
-let simulate kernel gpu params n =
+let simulate kernel gpu params n trace =
+  set_trace trace;
   let c = compile_or_die kernel gpu params in
   let n = size_of kernel n in
   let r = Gat_sim.Engine.run c ~n in
@@ -270,7 +285,8 @@ let simulate kernel gpu params n =
 let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one variant on the GPU simulator.")
-    Term.(const simulate $ kernel_arg $ gpu_arg $ params_term $ n_arg)
+    Term.(
+      const simulate $ kernel_arg $ gpu_arg $ params_term $ n_arg $ trace_arg)
 
 (* ---- emulate ---- *)
 
@@ -470,8 +486,12 @@ let set_jobs jobs =
       Gat_util.Pool.set_default_jobs (Some j))
     jobs
 
-let autotune kernel gpu n seed strategy journal_path no_cache =
+let t_autotune = Gat_util.Metrics.timer "cli.autotune"
+let t_sweep = Gat_util.Metrics.timer "cli.sweep"
+
+let autotune kernel gpu n seed strategy journal_path no_cache trace =
   if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  set_trace trace;
   let n = size_of kernel n in
   let journal =
     Option.map
@@ -481,17 +501,19 @@ let autotune kernel gpu n seed strategy journal_path no_cache =
           ~strategy:(Gat_tuner.Tuner.strategy_name strategy))
       journal_path
   in
-  let t0 = Unix.gettimeofday () in
-  let outcome = Gat_tuner.Tuner.autotune ?journal ~strategy kernel gpu ~n ~seed in
-  let dt = Unix.gettimeofday () -. t0 in
+  let outcome, dt =
+    Gat_util.Metrics.timed t_autotune (fun () ->
+        Gat_tuner.Tuner.autotune ?journal ~strategy kernel gpu ~n ~seed)
+  in
   (match outcome.Gat_tuner.Search.best_params with
   | Some params ->
       Printf.printf "best: %s\nbest time: %.4f ms\n"
         (Gat_compiler.Params.to_string params)
         outcome.Gat_tuner.Search.best_time
   | None -> print_endline "no valid variant found");
-  Printf.printf "evaluations: %d (%.1f s wall)\n"
-    outcome.Gat_tuner.Search.evaluations dt;
+  Printf.printf "evaluations: %d (%s wall)\n"
+    outcome.Gat_tuner.Search.evaluations
+    (Gat_util.Metrics.pp_duration dt);
   match (journal, journal_path) with
   | Some j, Some path ->
       Gat_tuner.Journal.save j path;
@@ -521,13 +543,26 @@ let autotune_cmd =
     (Cmd.info "autotune" ~doc:"Autotune a kernel over the paper's search space.")
     Term.(
       const autotune $ kernel_arg $ gpu_arg $ n_arg $ seed $ strategy $ journal
-      $ no_cache_arg)
+      $ no_cache_arg $ trace_arg)
 
 (* ---- sweep ---- *)
 
+(* The --progress "cache N%" figure: the codegen cache's session hit
+   rate, i.e. how often a point's backend work (schedule, regalloc,
+   coalescing) was shared across the launch-geometry axes instead of
+   redone — the dominant reuse during a sweep. *)
+let codegen_cache_hit_pct () =
+  let cs = Gat_compiler.Codegen_cache.stats () in
+  let looked =
+    cs.Gat_compiler.Codegen_cache.hits + cs.Gat_compiler.Codegen_cache.misses
+  in
+  if looked > 0 then Some (100 * cs.Gat_compiler.Codegen_cache.hits / looked)
+  else None
+
 let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
-    block no_cache top =
+    block no_cache top show_progress trace =
   if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  set_trace trace;
   set_jobs jobs;
   if retries < 0 then
     Gat_util.Error.failf Usage "--retries must be >= 0 (got %d)" retries;
@@ -536,12 +571,33 @@ let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
   Gat_util.Cancel.install ();
   let n = size_of kernel n in
   let space = Gat_tuner.Space.paper in
-  let t0 = Unix.gettimeofday () in
-  let report =
-    Gat_tuner.Tuner.sweep_report ~space ~retries ?max_failures
-      ~checkpoint:(not no_checkpoint) ~resume ~block kernel gpu ~n ~seed
+  let progress =
+    if not show_progress then None
+    else begin
+      let label =
+        Printf.sprintf "%s/%s" kernel.Gat_ir.Kernel.name gpu.Gat_arch.Gpu.name
+      in
+      let p =
+        Gat_util.Progress.create ~label
+          ~total:(Gat_tuner.Space.cardinality space)
+          ()
+      in
+      Some
+        (fun ~done_ ~total ~failures ->
+          let render =
+            if done_ >= total then Gat_util.Progress.finish
+            else Gat_util.Progress.update
+          in
+          render p ~done_ ~failures ?cache_hit_pct:(codegen_cache_hit_pct ())
+            ())
+    end
   in
-  let dt = Unix.gettimeofday () -. t0 in
+  let report, dt =
+    Gat_util.Metrics.timed t_sweep (fun () ->
+        Gat_tuner.Tuner.sweep_report ~space ~retries ?max_failures
+          ~checkpoint:(not no_checkpoint) ~resume ~block ?progress kernel gpu
+          ~n ~seed)
+  in
   (* Timings and resume notes go to stderr so stdout is byte-identical
      across job counts, interruptions and resumptions. *)
   if report.Gat_tuner.Tuner.restored_points > 0 then
@@ -572,7 +628,8 @@ let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
         (fun i v ->
           Printf.printf "  %2d. %s\n" (i + 1) (Gat_tuner.Variant.summary v))
         (take top ranked));
-  Printf.eprintf "gat: sweep finished in %.1f s\n%!" dt
+  Printf.eprintf "gat: sweep finished in %s\n%!"
+    (Gat_util.Metrics.pp_duration dt)
 
 let sweep_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
@@ -623,6 +680,15 @@ let sweep_cmd =
       value & opt int 10
       & info [ "top" ] ~docv:"K" ~doc:"How many best variants to print.")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Live progress on stderr: points/s, ETA, compile-cache hit \
+             rate, failure count.  Redraws in place on a TTY; degrades \
+             to periodic full lines otherwise.  Never touches stdout.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
@@ -632,7 +698,8 @@ let sweep_cmd =
           $(b,--resume) with byte-identical results.")
     Term.(
       const sweep $ kernel_arg $ gpu_arg $ n_arg $ seed $ jobs_arg $ retries
-      $ max_failures $ resume $ no_checkpoint $ block $ no_cache_arg $ top)
+      $ max_failures $ resume $ no_checkpoint $ block $ no_cache_arg $ top
+      $ progress $ trace_arg)
 
 (* ---- replay ---- *)
 
@@ -680,8 +747,9 @@ let replay_cmd =
 
 (* ---- experiment ---- *)
 
-let experiment jobs no_cache id =
+let experiment jobs no_cache trace id =
   if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  set_trace trace;
   set_jobs jobs;
   if String.lowercase_ascii id = "all" then
     print_string (Gat_report.Experiments.render_all ())
@@ -703,7 +771,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate a paper table or figure (or 'all').")
-    Term.(const experiment $ jobs_arg $ no_cache_arg $ id)
+    Term.(const experiment $ jobs_arg $ no_cache_arg $ trace_arg $ id)
 
 (* ---- cache ---- *)
 
@@ -719,11 +787,13 @@ let cache action =
       let s = Gat_tuner.Disk_cache.stats () in
       Printf.printf
         "directory: %s\nmodel:     %s\nentries:   %d (%s)\n\
-         session:   %d hits, %d misses, %d stores\n"
+         session:   %d hits, %d misses, %d stores, %d degraded writes\n\
+         checkpoints: %d stored, %d resumed\n"
         (Gat_tuner.Disk_cache.dir ())
         Gat_tuner.Disk_cache.model_version entries (human_bytes bytes)
         s.Gat_tuner.Disk_cache.hits s.Gat_tuner.Disk_cache.misses
-        s.Gat_tuner.Disk_cache.stores
+        s.Gat_tuner.Disk_cache.stores s.Gat_tuner.Disk_cache.degraded_writes
+        s.Gat_tuner.Disk_cache.ckpt_stores s.Gat_tuner.Disk_cache.ckpt_resumes
   | "clear" ->
       let removed = Gat_tuner.Disk_cache.clear () in
       Printf.printf "removed %d cache entr%s from %s\n" removed
@@ -747,6 +817,63 @@ let cache_cmd =
          "Inspect or clear the persistent sweep cache (location: \
           $(b,GAT_CACHE_DIR), default ~/.cache/gat).")
     Term.(const cache $ action)
+
+(* ---- stats ---- *)
+
+let stats timers =
+  print_string
+    (if timers then Gat_util.Metrics.render ()
+     else Gat_util.Metrics.render_counters ())
+
+let stats_cmd =
+  let timers =
+    Arg.(
+      value & flag
+      & info [ "timers" ]
+          ~doc:
+            "Also print wall-clock timer summaries \
+             ($(b,_seconds_count)/$(b,_seconds_sum)); these are not \
+             deterministic across runs.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print the process metrics registry as Prometheus-style text \
+          (sorted, deterministic).  Set $(b,GAT_STATS=1) to dump the \
+          same snapshot to stderr after any subcommand.")
+    Term.(const stats $ timers)
+
+(* ---- trace-check ---- *)
+
+let trace_check file require =
+  match Gat_util.Trace.validate_file ~require file with
+  | Error e -> Gat_util.Error.failf Parse "%s: %s" file e
+  | Ok v ->
+      Printf.printf
+        "ok: %d events on %d tracks, %d counter samples\nspans: %s\n"
+        v.Gat_util.Trace.events v.Gat_util.Trace.tracks
+        (List.length v.Gat_util.Trace.counters)
+        (match v.Gat_util.Trace.span_names with
+        | [] -> "(none)"
+        | names -> String.concat " " names)
+
+let trace_check_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let require =
+    Arg.(
+      value & opt_all string []
+      & info [ "require" ] ~docv:"COUNTER"
+          ~doc:
+            "Fail unless a counter sample with this name is present \
+             (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event JSON file produced by \
+          $(b,--trace): structure, per-track B/E balance, X durations, \
+          required counter samples.  Exit code 3 on any violation.")
+    Term.(const trace_check $ file $ require)
 
 (* ---- list ---- *)
 
@@ -790,6 +917,8 @@ let () =
         replay_cmd;
         experiment_cmd;
         cache_cmd;
+        stats_cmd;
+        trace_check_cmd;
         list_cmd;
       ]
   in
@@ -812,4 +941,12 @@ let () =
         Printf.eprintf "gat: internal error: %s\n" (Printexc.to_string e);
         Gat_util.Error.exit_code Internal
   in
+  (* Observability flushes on every exit path — errors included — so a
+     failed run still leaves its trace and metrics behind. *)
+  (match Gat_util.Trace.finish () with
+  | Some (path, events) ->
+      Printf.eprintf "gat: trace: %d events written to %s\n%!" events path
+  | None -> ());
+  if Gat_util.Metrics.dump_requested () then
+    prerr_string (Gat_util.Metrics.render ());
   exit code

@@ -21,6 +21,8 @@ let table : (string * string * int * int * int * bool, entry) Hashtbl.t =
 let lock = Mutex.create ()
 let hit_count = ref 0
 let miss_count = ref 0
+let m_hits = Gat_util.Metrics.counter "cache.codegen.hits"
+let m_misses = Gat_util.Metrics.counter "cache.codegen.misses"
 
 let stats () =
   Gat_util.Pool.with_lock lock (fun () ->
@@ -55,11 +57,16 @@ let reweight vp_blocks out_blocks =
     vp_blocks out_blocks
 
 let compute gpu vp =
-  let scheduled = Schedule.program vp in
-  let program, alloc_stats = Regalloc.run gpu scheduled in
+  let scheduled =
+    Gat_util.Trace.span "compile.schedule" (fun () -> Schedule.program vp)
+  in
+  let program, alloc_stats =
+    Gat_util.Trace.span "compile.regalloc" (fun () -> Regalloc.run gpu scheduled)
+  in
   let mem_summary =
-    Gat_analysis.Coalescing.block_transactions gpu
-      (Gat_cfg.Cfg.of_program vp)
+    Gat_util.Trace.span "compile.coalescing" (fun () ->
+        Gat_analysis.Coalescing.block_transactions gpu
+          (Gat_cfg.Cfg.of_program vp))
   in
   { program; alloc_stats; mem_summary }
 
@@ -78,6 +85,7 @@ let run ~(gpu : Gat_arch.Gpu.t) ~(params : Params.t) (vp : Program.t) =
   match cached with
   | Some e when same_program_code e.in_blocks vp.Program.blocks ->
       Gat_util.Pool.with_lock lock (fun () -> incr hit_count);
+      Gat_util.Metrics.incr m_hits;
       let blocks = reweight vp.Program.blocks e.out_blocks in
       let program =
         Program.make ~name:vp.Program.name ~target:vp.Program.target
@@ -88,6 +96,7 @@ let run ~(gpu : Gat_arch.Gpu.t) ~(params : Params.t) (vp : Program.t) =
       { program; alloc_stats = e.out_stats; mem_summary = e.out_summary }
   | _ ->
       let r = compute gpu vp in
+      Gat_util.Metrics.incr m_misses;
       Gat_util.Pool.with_lock lock (fun () ->
           incr miss_count;
           Hashtbl.replace table key

@@ -153,7 +153,7 @@ let finish (c : Driver.compiled) ~n ~(occ : Gat_core.Occupancy.result)
    operation sequence per accumulator (see Block_table), so the result
    is bit-identical to [run_reference] while doing no list traversal
    and no per-instruction allocation. *)
-let run (c : Driver.compiled) ~n =
+let run_impl (c : Driver.compiled) ~n =
   let tbl = c.Driver.block_table in
   let profile = c.Driver.profile in
   let occ = tbl.Block_table.residency in
@@ -233,6 +233,25 @@ let run (c : Driver.compiled) ~n =
     ~weighted_lanes:!weighted_lanes ~total_issues:!total_issues
     ~mix:{ Gat_core.Imix.per_category; reg_operands = !reg_operands }
     ~lat_weighted:!lat_weighted
+
+let m_runs = Gat_util.Metrics.counter "sim.runs"
+
+(* Counting and (when enabled) tracing live in a wrapper so the hot
+   path above stays branch-free; the disabled-trace cost is one atomic
+   increment and one [Atomic.get]. *)
+let run (c : Driver.compiled) ~n =
+  Gat_util.Metrics.incr m_runs;
+  if not (Gat_util.Trace.on ()) then run_impl c ~n
+  else
+    Gat_util.Trace.span "simulate"
+      ~args:
+        [
+          ("kernel", Gat_util.Trace.S c.Driver.kernel.Gat_ir.Kernel.name);
+          ("gpu", Gat_util.Trace.S c.Driver.gpu.Gat_arch.Gpu.name);
+          ("params", Gat_util.Trace.S (Params.to_string c.Driver.params));
+          ("n", Gat_util.Trace.I n);
+        ]
+      (fun () -> run_impl c ~n)
 
 (* The original list-based path, kept verbatim as the executable
    specification: the equivalence suite asserts [run] returns

@@ -7,6 +7,9 @@ let max_entries = ref 256
 let compiles = ref 0
 let hits = ref 0
 let evictions = ref 0
+let m_hits = Gat_util.Metrics.counter "cache.compile.hits"
+let m_misses = Gat_util.Metrics.counter "cache.compile.misses"
+let m_evictions = Gat_util.Metrics.counter "cache.compile.evictions"
 
 type stats = { compiles : int; hits : int; evictions : int; entries : int }
 
@@ -55,8 +58,11 @@ let get kernel gpu params =
         | None -> None)
   in
   match cached with
-  | Some e -> e
+  | Some e ->
+      Gat_util.Metrics.incr m_hits;
+      e
   | None ->
+      Gat_util.Metrics.incr m_misses;
       (* Compile outside the lock so pool workers build distinct
          variants concurrently. *)
       let e = Gat_compiler.Driver.compile kernel gpu params in
@@ -70,6 +76,7 @@ let get kernel gpu params =
               while Hashtbl.length table > !max_entries do
                 let victim = Queue.pop order in
                 Hashtbl.remove table victim;
+                Gat_util.Metrics.incr m_evictions;
                 incr evictions
               done;
               e)

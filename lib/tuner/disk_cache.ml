@@ -62,7 +62,50 @@ let reset_degraded () =
       degraded_flag := false;
       warned := false)
 
+(* Process-wide cumulative counters, mirrored into the {!Gat_util.Metrics}
+   registry under [cache.disk.*] so traces and [gat stats] see them. *)
+let m_hits = Gat_util.Metrics.counter "cache.disk.hits"
+let m_misses = Gat_util.Metrics.counter "cache.disk.misses"
+let m_stores = Gat_util.Metrics.counter "cache.disk.stores"
+let m_degraded = Gat_util.Metrics.counter "cache.disk.degraded_writes"
+let m_ckpt_stores = Gat_util.Metrics.counter "cache.disk.ckpt.stores"
+let m_ckpt_resumes = Gat_util.Metrics.counter "cache.disk.ckpt.resumes"
+let m_bytes_read = Gat_util.Metrics.counter "cache.disk.bytes_read"
+let m_bytes_written = Gat_util.Metrics.counter "cache.disk.bytes_written"
+
+let writable () = enabled () && not (degraded ())
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  degraded_writes : int;
+  ckpt_stores : int;
+  ckpt_resumes : int;
+}
+
+let zero_stats =
+  {
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    degraded_writes = 0;
+    ckpt_stores = 0;
+    ckpt_resumes = 0;
+  }
+
+let stats_ref = ref zero_stats
+let stats () = Gat_util.Pool.with_lock lock (fun () -> !stats_ref)
+let reset_stats () = Gat_util.Pool.with_lock lock (fun () -> stats_ref := zero_stats)
+
+let bump f = Gat_util.Pool.with_lock lock (fun () -> stats_ref := f !stats_ref)
+
+let degraded_write () =
+  Gat_util.Metrics.incr m_degraded;
+  bump (fun s -> { s with degraded_writes = s.degraded_writes + 1 })
+
 let degrade msg =
+  degraded_write ();
   let warn =
     Gat_util.Pool.with_lock lock (fun () ->
         degraded_flag := true;
@@ -77,19 +120,25 @@ let degrade msg =
       "gat: warning: sweep cache unavailable (%s); continuing uncached\n%!"
       msg
 
-let writable () = enabled () && not (degraded ())
+let hit () =
+  Gat_util.Metrics.incr m_hits;
+  bump (fun s -> { s with hits = s.hits + 1 })
 
-type stats = { hits : int; misses : int; stores : int }
+let miss () =
+  Gat_util.Metrics.incr m_misses;
+  bump (fun s -> { s with misses = s.misses + 1 })
 
-let zero_stats = { hits = 0; misses = 0; stores = 0 }
-let stats_ref = ref zero_stats
-let stats () = Gat_util.Pool.with_lock lock (fun () -> !stats_ref)
-let reset_stats () = Gat_util.Pool.with_lock lock (fun () -> stats_ref := zero_stats)
+let stored () =
+  Gat_util.Metrics.incr m_stores;
+  bump (fun s -> { s with stores = s.stores + 1 })
 
-let bump f = Gat_util.Pool.with_lock lock (fun () -> stats_ref := f !stats_ref)
-let hit () = bump (fun s -> { s with hits = s.hits + 1 })
-let miss () = bump (fun s -> { s with misses = s.misses + 1 })
-let stored () = bump (fun s -> { s with stores = s.stores + 1 })
+let ckpt_stored () =
+  Gat_util.Metrics.incr m_ckpt_stores;
+  bump (fun s -> { s with ckpt_stores = s.ckpt_stores + 1 })
+
+let ckpt_resumed () =
+  Gat_util.Metrics.incr m_ckpt_resumes;
+  bump (fun s -> { s with ckpt_resumes = s.ckpt_resumes + 1 })
 
 (* ---- keys ---- *)
 
@@ -496,8 +545,12 @@ let read_trailer cur =
   if cur.pos <> String.length cur.s then raise Bad_entry
 
 let read_file path =
+  Gat_util.Trace.span "cache.read"
+    ~args:[ ("file", Gat_util.Trace.S (Filename.basename path)) ]
+  @@ fun () ->
   Gat_util.Fault.inject ~site:"cache-read" ~key:(Filename.basename path);
   let s = In_channel.with_open_bin path In_channel.input_all in
+  Gat_util.Metrics.incr ~by:(String.length s) m_bytes_read;
   let cur = { s; pos = 0 } in
   expect_line cur magic;
   expect_line cur ("model " ^ model_version);
@@ -512,13 +565,17 @@ let read_file path =
    SIGKILL between the two syscalls) see either the old entry or the
    new one, never a partial write. *)
 let publish ~path buf =
+  Gat_util.Trace.span "cache.write"
+    ~args:[ ("file", Gat_util.Trace.S (Filename.basename path)) ]
+  @@ fun () ->
   let d = dir () in
   ensure_dir d;
   Gat_util.Fault.inject ~site:"cache-write" ~key:(Filename.basename path);
   let tmp = Filename.temp_file ~temp_dir:d "gat" ".tmp" in
   Out_channel.with_open_bin tmp (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf));
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Gat_util.Metrics.incr ~by:(Buffer.length buf) m_bytes_written
 
 let store space kernel gpu ~n ~seed variants =
   if writable () then
@@ -575,7 +632,8 @@ let checkpoint_store space kernel gpu ~n ~seed ckpt =
       List.iter (emit_failure buf) ckpt.failures;
       emit_variants_section buf ckpt.variants;
       emit_trailer buf;
-      publish ~path:(ckpt_of_key (key space kernel gpu ~n ~seed)) buf
+      publish ~path:(ckpt_of_key (key space kernel gpu ~n ~seed)) buf;
+      ckpt_stored ()
     with
     | Sys_error e -> degrade e
     | Gat_util.Fault.Injected e -> degrade e
@@ -590,6 +648,7 @@ let checkpoint_find space kernel gpu ~n ~seed =
         Gat_util.Fault.inject ~site:"cache-read"
           ~key:(Filename.basename path);
         let s = In_channel.with_open_bin path In_channel.input_all in
+        Gat_util.Metrics.incr ~by:(String.length s) m_bytes_read;
         let cur = { s; pos = 0 } in
         expect_line cur ckpt_magic;
         expect_line cur ("model " ^ model_version);
@@ -603,7 +662,11 @@ let checkpoint_find space kernel gpu ~n ~seed =
       in
       (* Like entries: damaged checkpoints read as "no checkpoint" and
          the sweep restarts from scratch, which is always safe. *)
-      (match read () with c -> Some c | exception _ -> None)
+      (match read () with
+      | c ->
+          ckpt_resumed ();
+          Some c
+      | exception _ -> None)
 
 let checkpoint_clear space kernel gpu ~n ~seed =
   let path = ckpt_of_key (key space kernel gpu ~n ~seed) in

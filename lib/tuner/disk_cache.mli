@@ -56,10 +56,20 @@ val degraded : unit -> bool
 val reset_degraded : unit -> unit
 (** Clear the degradation latch (tests; or after fixing the disk). *)
 
-type stats = { hits : int; misses : int; stores : int }
+type stats = {
+  hits : int;  (** {!find} lookups answered from disk. *)
+  misses : int;  (** {!find} lookups answered empty (incl. damaged). *)
+  stores : int;  (** Successful {!store} publishes. *)
+  degraded_writes : int;  (** Writes dropped by the degradation latch. *)
+  ckpt_stores : int;  (** Successful {!checkpoint_store} publishes. *)
+  ckpt_resumes : int;  (** {!checkpoint_find} calls that restored one. *)
+}
 
 val stats : unit -> stats
-(** Process-lifetime counters (find hits/misses, successful stores). *)
+(** Process-lifetime counters.  The same counts are mirrored into the
+    {!Gat_util.Metrics} registry as [cache.disk.*] (plus
+    [cache.disk.bytes_read] / [cache.disk.bytes_written], which track
+    payload volume and appear only there). *)
 
 val reset_stats : unit -> unit
 

@@ -75,14 +75,23 @@ let budget_exceeded ~failed ~budget (last : Gat_util.Pool.exn_info) =
     budget failed
     (Printexc.to_string last.Gat_util.Pool.exn)
 
+(* Sweep observability: deterministic counters (point/block/failure
+   counts, not timings) plus per-block compile/simulate spans when
+   tracing is enabled. *)
+let m_points = Gat_util.Metrics.counter "sweep.points"
+let m_blocks = Gat_util.Metrics.counter "sweep.blocks"
+let m_fail_compile = Gat_util.Metrics.counter "sweep.failures.compile"
+let m_fail_simulate = Gat_util.Metrics.counter "sweep.failures.simulate"
+let m_restored = Gat_util.Metrics.counter "sweep.restored_points"
+
 (* Evaluation order over [Space.points] is fixed, so the accumulated
    variant and failure lists depend only on (space, kernel, gpu, n,
    seed) — never on the job count, the block size, or whether the run
    was interrupted and resumed from a checkpointed prefix.  Resume
    correctness rides entirely on that invariant. *)
 let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
-    ?(resume = false) ?(block = default_block_size) kernel gpu ~space ~ns
-    ~seed =
+    ?(resume = false) ?(block = default_block_size) ?progress kernel gpu
+    ~space ~ns ~seed =
   let points = Array.of_list (Space.points space) in
   let total = Array.length points in
   let block_size = max 1 block in
@@ -114,6 +123,10 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
             | _ -> ())
         | _ -> ())
     | _ -> ());
+  Gat_util.Metrics.incr ~by:!restored m_restored;
+  (match progress with
+  | Some f -> f ~done_:!start ~total ~failures:!failed_global
+  | None -> ());
   while !start < total do
     (* Cooperative SIGINT: the previous block's checkpoint is already
        on disk, so stopping here loses nothing. *)
@@ -124,9 +137,13 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
          else "");
     let len = min block_size (total - !start) in
     let blk = Array.sub points !start len in
+    let block_args =
+      [ ("start", Gat_util.Trace.I !start); ("len", Gat_util.Trace.I len) ]
+    in
     (* Compile phase, parallel and supervised over the block. *)
     let compiled =
       try
+        Gat_util.Trace.span "sweep.compile" ~args:block_args @@ fun () ->
         Gat_util.Pool.map_result ?jobs ~retries ?max_failures:(budget_left ())
           (fun params ->
             Gat_util.Fault.inject ~site:"compile"
@@ -145,6 +162,7 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
         | Ok _ -> ()
         | Error (info : Gat_util.Pool.exn_info) ->
             incr failed_global;
+            Gat_util.Metrics.incr m_fail_compile;
             let f =
               {
                 Variant.failed_params = blk.(i);
@@ -161,6 +179,9 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
       (fun (n, variants_rev, failures_rev) ->
         let evaluated =
           try
+            Gat_util.Trace.span "sweep.simulate"
+              ~args:(("n", Gat_util.Trace.I n) :: block_args)
+            @@ fun () ->
             Gat_util.Pool.map_result ?jobs ~retries
               ?max_failures:(budget_left ())
               (fun i ->
@@ -189,6 +210,7 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
             | Ok None -> ()
             | Error (info : Gat_util.Pool.exn_info) ->
                 incr failed_global;
+                Gat_util.Metrics.incr m_fail_simulate;
                 failures_rev :=
                   {
                     Variant.failed_params = blk.(i);
@@ -201,6 +223,11 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
           evaluated)
       acc;
     start := !start + len;
+    Gat_util.Metrics.incr m_blocks;
+    Gat_util.Metrics.incr ~by:len m_points;
+    (match progress with
+    | Some f -> f ~done_:!start ~total ~failures:!failed_global
+    | None -> ());
     if checkpoint then
       match acc with
       | [ (n, variants_rev, failures_rev) ] ->
@@ -239,7 +266,7 @@ let finish_sweep space kernel gpu ~n ~seed key (variants, failures) ~restored =
   r
 
 let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
-    ?checkpoint ?resume ?block kernel gpu ~n ~seed =
+    ?checkpoint ?resume ?block ?progress kernel gpu ~n ~seed =
   let key = sweep_key space kernel gpu ~n ~seed in
   match find_sweep key with
   | Some r -> r
@@ -249,7 +276,7 @@ let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
       | None -> (
           match
             run_sweeps ?jobs ?retries ?max_failures ?checkpoint ?resume ?block
-              kernel gpu ~space ~ns:[ n ] ~seed
+              ?progress kernel gpu ~space ~ns:[ n ] ~seed
           with
           | [ (_, outcome) ], restored ->
               finish_sweep space kernel gpu ~n ~seed key outcome ~restored

@@ -76,6 +76,7 @@ val sweep_report :
   ?checkpoint:bool ->
   ?resume:bool ->
   ?block:int ->
+  ?progress:(done_:int -> total:int -> failures:int -> unit) ->
   Gat_ir.Kernel.t ->
   Gat_arch.Gpu.t ->
   n:int ->
@@ -90,6 +91,13 @@ val sweep_report :
     [resume] (default false) continues from a previous checkpoint of
     the exact same sweep when one exists.  Results never depend on
     [jobs], [block], or resumption.
+
+    [progress] is invoked once before the first block (with the
+    restored point count when resuming) and once after every completed
+    block — only when the sweep is actually computed, not when it is
+    answered from the in-process or on-disk cache.  It runs on the
+    coordinating domain; failures counts both compile and simulate
+    failures so far.
     @raise Gat_util.Error.Error (stage [Interrupted]) when
     {!Gat_util.Cancel.requested} fires between blocks. *)
 

@@ -108,8 +108,13 @@ let inject ~site ~key =
                 a)
           in
           let salt = match mode with Sticky -> 0 | Transient -> attempt in
-          if chance ~seed ~site ~key ~salt prob then
+          if chance ~seed ~site ~key ~salt prob then begin
+            Metrics.bump "fault.injected";
+            Metrics.bump ("fault.injected." ^ site);
+            Trace.instant "fault"
+              ~args:[ ("site", Trace.S site); ("key", Trace.S key) ];
             raise
               (Injected
                  (Printf.sprintf "injected %s fault (%s, attempt %d)" site key
-                    attempt)))
+                    attempt))
+          end)

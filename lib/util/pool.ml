@@ -1,5 +1,17 @@
 let override = Atomic.make None
 
+(* Pool observability.  Counters are deterministic for a deterministic
+   workload (outcome counts, not timings); the busy/idle timers
+   aggregate wall time across workers so a flushed metrics dump shows
+   how much of the pool's lifetime did useful work. *)
+let m_maps = Metrics.counter "pool.maps"
+let m_ok = Metrics.counter "pool.jobs.ok"
+let m_failed = Metrics.counter "pool.jobs.failed"
+let m_recovered = Metrics.counter "pool.jobs.recovered"
+let m_retries = Metrics.counter "pool.retries"
+let t_busy = Metrics.timer "pool.worker.busy"
+let t_idle = Metrics.timer "pool.worker.idle"
+
 let set_default_jobs j =
   (match j with
   | Some j when j < 1 -> invalid_arg "Pool.set_default_jobs: jobs must be >= 1"
@@ -33,12 +45,41 @@ let with_lock m f =
       Mutex.unlock m;
       Printexc.raise_with_backtrace e bt
 
+(* Run one stolen chunk: timed into the caller's busy accumulator and,
+   when tracing, recorded as one span — chunks are bounded (about
+   eight per worker per map), so per-chunk spans stay cheap. *)
+let run_chunk ~busy ~start ~len body =
+  let t0 = Metrics.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      busy := Int64.add !busy (Int64.sub (Metrics.now_ns ()) t0))
+    (fun () ->
+      if Trace.on () then
+        Trace.span
+          ~args:[ ("start", Trace.I start); ("len", Trace.I len) ]
+          "pool.chunk" body
+      else body ())
+
+(* Account a worker's lifetime: busy is what its chunks measured, idle
+   is the remainder (ramp-up, steal contention, end-of-map drain). *)
+let with_worker_accounting work =
+  let t0 = Metrics.now_ns () in
+  let busy = ref 0L in
+  Fun.protect
+    ~finally:(fun () ->
+      let life = Int64.sub (Metrics.now_ns ()) t0 in
+      Metrics.timer_add t_busy (Int64.to_int !busy);
+      Metrics.timer_add t_idle
+        (Int64.to_int (Int64.max 0L (Int64.sub life !busy))))
+    (fun () -> work busy)
+
 let map ?jobs:requested ?chunk f input =
   let n = Array.length input in
   let j = match requested with Some j -> max 1 j | None -> jobs () in
   let j = min j n in
   if j <= 1 then Array.map f input
   else begin
+    Metrics.incr m_maps;
     let chunk =
       match chunk with Some c -> max 1 c | None -> max 1 (n / (j * 8))
     in
@@ -46,15 +87,18 @@ let map ?jobs:requested ?chunk f input =
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
+      with_worker_accounting @@ fun busy ->
       try
         let continue = ref true in
         while !continue do
           let start = Atomic.fetch_and_add next chunk in
           if start >= n || Atomic.get failure <> None then continue := false
           else
-            for i = start to min n (start + chunk) - 1 do
-              results.(i) <- Some (f input.(i))
-            done
+            let stop = min n (start + chunk) - 1 in
+            run_chunk ~busy ~start ~len:(stop - start + 1) (fun () ->
+                for i = start to stop do
+                  results.(i) <- Some (f input.(i))
+                done)
         done
       with e ->
         let bt = Printexc.get_raw_backtrace () in
@@ -95,17 +139,29 @@ let () =
 let eval_supervised ~retries f x =
   let rec go attempt =
     match f x with
-    | v -> Ok v
+    | v ->
+        (* Successes that needed a retry used to be indistinguishable
+           from first-try successes; count them so flaky-but-recovered
+           variants are visible ([pool.jobs.recovered]). *)
+        if attempt > 1 then begin
+          Metrics.incr m_recovered;
+          Metrics.incr ~by:(attempt - 1) m_retries
+        end;
+        Metrics.incr m_ok;
+        Ok v
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         if attempt <= retries then go (attempt + 1)
-        else
+        else begin
+          Metrics.incr m_failed;
+          Metrics.incr ~by:(attempt - 1) m_retries;
           Error
             {
               exn = e;
               backtrace = Printexc.raw_backtrace_to_string bt;
               attempts = attempt;
             }
+        end
   in
   go 1
 
@@ -141,20 +197,24 @@ let map_result ?jobs:requested ?chunk ?(retries = 1) ?max_failures f input =
       results
     end
     else begin
+      Metrics.incr m_maps;
       let chunk =
         match chunk with Some c -> max 1 c | None -> max 1 (n / (j * 8))
       in
       let results = Array.make n None in
       let next = Atomic.make 0 in
       let worker () =
+        with_worker_accounting @@ fun busy ->
         let continue = ref true in
         while !continue do
           let start = Atomic.fetch_and_add next chunk in
           if start >= n || Atomic.get over <> None then continue := false
           else
-            for i = start to min n (start + chunk) - 1 do
-              results.(i) <- Some (eval input.(i))
-            done
+            let stop = min n (start + chunk) - 1 in
+            run_chunk ~busy ~start ~len:(stop - start + 1) (fun () ->
+                for i = start to stop do
+                  results.(i) <- Some (eval input.(i))
+                done)
         done
       in
       let domains = List.init (j - 1) (fun _ -> Domain.spawn worker) in

@@ -66,6 +66,12 @@ val map_result :
     With [max_failures], the map stops early once {e more than} that
     many elements have failed (a budget of 0 tolerates none) and
     raises {!Budget_exceeded} after all workers have drained.
+
+    Outcomes feed the {!Metrics} registry: [pool.jobs.ok] /
+    [pool.jobs.failed] count per-element results, [pool.retries]
+    counts extra attempts, and [pool.jobs.recovered] counts elements
+    that succeeded only after a retry — which the [Ok] payload alone
+    cannot distinguish from first-try successes.
     @raise Invalid_argument if [retries < 0]. *)
 
 val with_lock : Mutex.t -> (unit -> 'a) -> 'a

@@ -1,0 +1,87 @@
+(** Span tracing with Chrome trace-event export.
+
+    The observability substrate's event side: {!span} wraps a
+    computation and records a complete ("X") event into the calling
+    domain's private buffer; {!finish} merges every domain's buffer
+    and writes one Chrome trace-event JSON file, loadable in Perfetto
+    or [chrome://tracing] — one track per domain, span args carrying
+    variant coordinates, and a final counter sample per registered
+    {!Metrics} counter.
+
+    Cost model: when tracing is off (the default) every entry point is
+    one [Atomic.get] and a branch — no clock read, no allocation, no
+    lock.  When on, a span costs two monotonic-clock reads and one
+    cons onto a domain-local list; buffers are bounded (excess events
+    are dropped and counted) and merged only at {!finish}.
+
+    Recording is bit-transparent: spans return the traced thunk's
+    value unchanged and re-raise its exceptions with their
+    backtraces. *)
+
+val on : unit -> bool
+(** Whether spans are being recorded (the fast-path flag; inline the
+    check before building expensive args in hot paths). *)
+
+val enable : unit -> unit
+(** Start recording (no output file; for tests). *)
+
+val enable_to : string -> unit
+(** Start recording and write the trace to this file at {!finish}
+    (the CLI's [--trace FILE]). *)
+
+val disable : unit -> unit
+(** Stop recording; buffered events remain until {!clear}. *)
+
+type arg = S of string | I of int | F of float
+(** Span argument values: shown under the span in the viewer. *)
+
+val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when enabled, records a complete
+    event named [name] covering [f]'s duration on this domain's
+    track.  Use stable names ([compile.lower], [sweep.simulate]) and
+    put per-instance coordinates in [args]. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** A zero-duration instant event (e.g. an injected fault). *)
+
+val collected : unit -> int
+(** Events currently buffered across all domains. *)
+
+val dropped : unit -> int
+(** Events dropped because a domain buffer reached capacity. *)
+
+val clear : unit -> unit
+(** Drop all buffered events (buffers stay registered). *)
+
+val render : unit -> string * int
+(** The merged trace as Chrome trace-event JSON plus the number of
+    recorded events (excludes metadata/counter lines). *)
+
+val write_file : string -> int
+(** Render and write to a file; returns the event count. *)
+
+val finish : unit -> (string * int) option
+(** If tracing was started with {!enable_to}: write the file, disable
+    tracing, clear the buffers, and return [(path, events)].
+    Otherwise just disable and return [None].  The CLI calls this on
+    every exit path so a trace survives failed runs. *)
+
+(** {2 Validation — the test checker}
+
+    A minimal structural checker for trace files, shared by the unit
+    tests and the CI [trace-smoke] job ([gat trace-check]).  It
+    parses the JSON with a built-in reader (no JSON dependency),
+    verifies every event has [name]/[ph]/[ts]/[tid], that ["B"]/["E"]
+    events balance per track with matching names, that ["X"] events
+    carry a non-negative [dur], and that all [require]d counter
+    samples are present. *)
+
+type validation = {
+  events : int;  (** Span/instant events (metadata and counters excluded). *)
+  tracks : int;  (** Distinct domain tracks carrying events. *)
+  counters : string list;  (** Names of counter samples, sorted. *)
+  span_names : string list;  (** Distinct span names, sorted. *)
+}
+
+val validate_string : ?require:string list -> string -> (validation, string) result
+val validate_file : ?require:string list -> string -> (validation, string) result
