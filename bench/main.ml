@@ -430,12 +430,119 @@ let calibrate_observability () =
     overhead_ok = traced_s <= (untraced_s *. 1.02) +. 0.25;
   }
 
-let write_bench_json ~calibration ~cache_cal ~obs_cal ~timings ~total_s =
+(* ---- scheduler calibration: work stealing vs fixed chunks ---- *)
+
+(* A deliberately skewed sweep workload: every element is a distinct
+   variant (distinct TC/BC, so the codegen cache shares nothing), all
+   unroll-1 except one fixed-chunk's worth of unroll-8 heavies parked
+   at the tail.  Under the fixed-chunk scheduler that last chunk lands
+   on one worker while the others drain and idle; work stealing splits
+   it under steal pressure.  Jobs is pinned to 4 so the skew interacts
+   with chunking identically on every host — the host's core count and
+   resolved default jobs are recorded alongside so the numbers stay
+   interpretable. *)
+
+type sched_calibration = {
+  sc_elements : int;
+  sc_heavy : int;
+  sc_jobs : int;
+  fixed_s : float;
+  ws_s : float;
+  sc_steals : int;  (** Steals per work-stealing run (averaged). *)
+  sc_splits : int;
+  fixed_busy_ratio : float;  (** busy / (busy + idle) worker time. *)
+  ws_busy_ratio : float;
+  ws_ok : bool;
+}
+
+let pool_busy_idle () =
+  let get name =
+    match
+      List.find_opt
+        (fun (n, _, _) -> n = name)
+        (Gat_util.Metrics.timers_snapshot ())
+    with
+    | Some (_, _, s) -> s
+    | None -> 0.0
+  in
+  (get "pool.worker.busy", get "pool.worker.idle")
+
+let calibrate_scheduler () =
+  let kernel = atax in
+  let n = if fast_mode then 64 else 128 in
+  let jobs = 4 in
+  let elements = 256 in
+  (* The fixed scheduler's grain for this shape — the heavy tail is
+     exactly one such chunk, the pathological case. *)
+  let chunk = max 1 (elements / (8 * jobs)) in
+  let variants =
+    Array.init elements (fun i ->
+        let heavy = i >= elements - chunk in
+        Gat_compiler.Params.make
+          ~threads_per_block:(32 + (i mod 32))
+          ~block_count:(32 + (i / 32))
+          ~unroll:(if heavy then 8 else 1)
+          ())
+  in
+  let eval params =
+    let rng =
+      Gat_util.Rng.create
+        (Hashtbl.hash (Gat_compiler.Params.to_string params))
+    in
+    match Gat_tuner.Measure.evaluate kernel gpu ~n ~rng params with
+    | Ok v -> v.Gat_tuner.Variant.time_ms
+    | Error e -> failwith e
+  in
+  let rounds = 3 in
+  let run_strategy strategy =
+    let best = ref infinity in
+    let s0 = Gat_util.Pool.scheduler_stats () in
+    let busy0, idle0 = pool_busy_idle () in
+    for _ = 1 to rounds do
+      Gat_tuner.Tuner.clear_cache ();
+      best :=
+        Float.min !best
+          (timed (fun () ->
+               ignore (Gat_util.Pool.map ~strategy ~jobs eval variants)))
+    done;
+    let s1 = Gat_util.Pool.scheduler_stats () in
+    let busy1, idle1 = pool_busy_idle () in
+    let busy = busy1 -. busy0 and idle = idle1 -. idle0 in
+    ( !best,
+      (if busy +. idle > 0.0 then busy /. (busy +. idle) else 1.0),
+      (s1.Gat_util.Pool.steals - s0.Gat_util.Pool.steals) / rounds,
+      (s1.Gat_util.Pool.splits - s0.Gat_util.Pool.splits) / rounds )
+  in
+  let fixed_s, fixed_busy_ratio, _, _ =
+    run_strategy Gat_util.Pool.Fixed_chunk
+  in
+  let ws_s, ws_busy_ratio, sc_steals, sc_splits =
+    run_strategy Gat_util.Pool.Work_stealing
+  in
+  Gat_tuner.Tuner.clear_cache ();
+  {
+    sc_elements = elements;
+    sc_heavy = chunk;
+    sc_jobs = jobs;
+    fixed_s;
+    ws_s;
+    sc_steals;
+    sc_splits;
+    fixed_busy_ratio;
+    ws_busy_ratio;
+    (* Gate with a small absolute slack: fast-mode runs are short and
+       a pure inequality would be a coin flip under machine noise. *)
+    ws_ok = ws_s <= fixed_s +. 0.05;
+  }
+
+let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~timings
+    ~total_s =
   let b = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"gat-bench-sweep/3\",\n";
+  add "  \"schema\": \"gat-bench-sweep/4\",\n";
   add "  \"jobs\": %d,\n" (Gat_util.Pool.jobs ());
+  add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   add "  \"fast_mode\": %b,\n" fast_mode;
   (match calibration with
   | None -> add "  \"sweep_calibration\": null,\n"
@@ -478,6 +585,21 @@ let write_bench_json ~calibration ~cache_cal ~obs_cal ~timings ~total_s =
   add "    \"trace_events\": %d,\n" ob.trace_events;
   add "    \"overhead_pct\": %.2f,\n" ob.overhead_pct;
   add "    \"trace_overhead_ok\": %b\n" ob.overhead_ok;
+  add "  },\n";
+  let sc = sched_cal in
+  add "  \"scheduler\": {\n";
+  add "    \"elements\": %d,\n" sc.sc_elements;
+  add "    \"heavy_elements\": %d,\n" sc.sc_heavy;
+  add "    \"jobs\": %d,\n" sc.sc_jobs;
+  add "    \"fixed_chunk_seconds\": %.3f,\n" sc.fixed_s;
+  add "    \"work_stealing_seconds\": %.3f,\n" sc.ws_s;
+  add "    \"ws_speedup\": %.2f,\n"
+    (if sc.ws_s > 0.0 then sc.fixed_s /. sc.ws_s else 0.0);
+  add "    \"steals\": %d,\n" sc.sc_steals;
+  add "    \"splits\": %d,\n" sc.sc_splits;
+  add "    \"fixed_busy_ratio\": %.3f,\n" sc.fixed_busy_ratio;
+  add "    \"ws_busy_ratio\": %.3f,\n" sc.ws_busy_ratio;
+  add "    \"ws_beats_fixed\": %b\n" sc.ws_ok;
   add "  },\n";
   add "  \"experiments\": [\n";
   List.iteri
@@ -535,6 +657,20 @@ let () =
     \  traced:   %.3f s  (%+.1f%%, %d events; within budget: %b)\n\n"
     obs_cal.oc_kernel obs_cal.oc_variants obs_cal.untraced_s obs_cal.traced_s
     obs_cal.overhead_pct obs_cal.trace_events obs_cal.overhead_ok;
+  let sched_cal = calibrate_scheduler () in
+  Printf.printf
+    "Scheduler calibration (%d variants, %d heavy at the tail, jobs=%d, %d \
+     cores):\n\
+    \  fixed chunks:  %.3f s  (busy %.0f%%)\n\
+    \  work stealing: %.3f s  (busy %.0f%%, %.2fx, %d steals, %d splits)\n\n"
+    sched_cal.sc_elements sched_cal.sc_heavy sched_cal.sc_jobs
+    (Domain.recommended_domain_count ())
+    sched_cal.fixed_s
+    (100.0 *. sched_cal.fixed_busy_ratio)
+    sched_cal.ws_s
+    (100.0 *. sched_cal.ws_busy_ratio)
+    (if sched_cal.ws_s > 0.0 then sched_cal.fixed_s /. sched_cal.ws_s else 0.0)
+    sched_cal.sc_steals sched_cal.sc_splits;
   (* Experiments, twice: a cold pass computing every sweep, and a warm
      pass that must satisfy them from the persistent cache alone. *)
   ignore (Gat_tuner.Disk_cache.clear ());
@@ -546,7 +682,8 @@ let () =
   ignore (run_experiments ~record:timings ());
   print_newline ();
   let total_s = Unix.gettimeofday () -. t0 in
-  write_bench_json ~calibration ~cache_cal ~obs_cal ~timings ~total_s;
+  write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~timings
+    ~total_s;
   Printf.printf "wrote BENCH_sweep.json (jobs=%d, %.1f s total)\n\n"
     (Gat_util.Pool.jobs ()) total_s;
   run_microbenches ()

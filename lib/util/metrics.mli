@@ -65,8 +65,11 @@ val timers_snapshot : unit -> (string * int * float) list
 (** All timers as [(name, events, total_seconds)], sorted by name. *)
 
 val render_counters : unit -> string
-(** Prometheus-style text dump of the counters only — sorted,
-    deterministic. *)
+(** Prometheus-style text dump of the counters only — sorted.
+    Deterministic for a deterministic run, with one exception: the
+    scheduler-internal counters ([pool.steals], [pool.steal_fails],
+    [pool.splits]) count scheduling events, not outcomes, and vary
+    with runtime interleaving. *)
 
 val render : unit -> string
 (** {!render_counters} plus the timers as [_seconds_count] /

@@ -1,16 +1,42 @@
 let override = Atomic.make None
 
-(* Pool observability.  Counters are deterministic for a deterministic
-   workload (outcome counts, not timings); the busy/idle timers
-   aggregate wall time across workers so a flushed metrics dump shows
-   how much of the pool's lifetime did useful work. *)
+(* Pool observability.  Outcome counters (maps, ok, failed, recovered,
+   retries) are deterministic for a deterministic workload; the
+   scheduler counters (steals, steal_fails, splits) and the busy/idle
+   timers depend on runtime interleaving and are documented as such —
+   they describe how the work moved, never what it computed. *)
 let m_maps = Metrics.counter "pool.maps"
 let m_ok = Metrics.counter "pool.jobs.ok"
 let m_failed = Metrics.counter "pool.jobs.failed"
 let m_recovered = Metrics.counter "pool.jobs.recovered"
 let m_retries = Metrics.counter "pool.retries"
+let m_steals = Metrics.counter "pool.steals"
+let m_steal_fails = Metrics.counter "pool.steal_fails"
+let m_splits = Metrics.counter "pool.splits"
 let t_busy = Metrics.timer "pool.worker.busy"
 let t_idle = Metrics.timer "pool.worker.idle"
+
+type sched_stats = { steals : int; steal_fails : int; splits : int }
+
+let scheduler_stats () =
+  {
+    steals = Metrics.value m_steals;
+    steal_fails = Metrics.value m_steal_fails;
+    splits = Metrics.value m_splits;
+  }
+
+type strategy = Work_stealing | Fixed_chunk
+
+let env_strategy () =
+  match Sys.getenv_opt "GAT_SCHED" with
+  | Some ("fixed" | "fixed-chunk") -> Some Fixed_chunk
+  | Some ("ws" | "work-stealing") -> Some Work_stealing
+  | _ -> None
+
+let resolve_strategy = function
+  | Some s -> s
+  | None -> (
+      match env_strategy () with Some s -> s | None -> Work_stealing)
 
 let set_default_jobs j =
   (match j with
@@ -41,14 +67,107 @@ let with_lock m f =
       Mutex.unlock m;
       v
   | exception e ->
-      let bt = Printexc.get_raw_backtrace () in
+      let bt = Printexc.get_raw_backtrace ()
+      in
       Mutex.unlock m;
       Printexc.raise_with_backtrace e bt
 
-(* Run one stolen chunk: timed into the caller's busy accumulator and,
-   when tracing, recorded as one span — chunks are bounded (about
-   eight per worker per map), so per-chunk spans stay cheap. *)
-let run_chunk ~busy ~start ~len body =
+(* ---- index ranges ----
+
+   A unit of schedulable work is a half-open index range [lo, hi)
+   packed into one immutable int, so a deque cell is a single atomic
+   word and range hand-off needs no allocation.  31 bits per bound
+   caps a work-stealing map at 2^31 - 1 elements; larger inputs (far
+   beyond any in-memory sweep) fall back to the fixed-chunk path,
+   which has no packing. *)
+
+let range_bits = 31
+let range_mask = (1 lsl range_bits) - 1
+let pack lo hi = (lo lsl range_bits) lor hi
+let range_lo r = r lsr range_bits
+let range_hi r = r land range_mask
+
+(* ---- Chase-Lev deque of ranges ----
+
+   One per worker.  The owner pushes and pops at the bottom without a
+   CAS except on the last element; thieves steal from the top with a
+   CAS on the monotonic [top] counter (no ABA).  Cells are atomic so
+   every access is well-defined under the OCaml memory model — the
+   textbook algorithm's acquire/release reasoning carries over to
+   seq-cst atomics unchanged.
+
+   Capacity is fixed: splitting a popped range in half pushes at most
+   one entry per halving, so a deque holds O(log n) ranges of
+   geometrically decreasing size.  If a push ever finds the deque full
+   the caller simply runs the range inline — graceful degradation, no
+   growth path. *)
+
+module Deque = struct
+  let capacity = 64
+  let mask = capacity - 1
+
+  type t = {
+    top : int Atomic.t;  (* next index to steal; only ever increments *)
+    bottom : int Atomic.t;  (* next free slot for the owner *)
+    cells : int Atomic.t array;
+  }
+
+  let create () =
+    {
+      top = Atomic.make 0;
+      bottom = Atomic.make 0;
+      cells = Array.init capacity (fun _ -> Atomic.make 0);
+    }
+
+  (* Owner only. *)
+  let push d v =
+    let b = Atomic.get d.bottom in
+    let t = Atomic.get d.top in
+    if b - t >= capacity then false
+    else begin
+      Atomic.set d.cells.(b land mask) v;
+      Atomic.set d.bottom (b + 1);
+      true
+    end
+
+  (* Owner only: take the most recently pushed range (LIFO keeps the
+     owner on the small, cache-warm end; thieves meet it at the old,
+     large end). *)
+  let pop d =
+    let b = Atomic.get d.bottom - 1 in
+    Atomic.set d.bottom b;
+    let t = Atomic.get d.top in
+    if b < t then begin
+      Atomic.set d.bottom t;
+      None
+    end
+    else begin
+      let v = Atomic.get d.cells.(b land mask) in
+      if b > t then Some v
+      else begin
+        (* Single element left: race the thieves for it. *)
+        let won = Atomic.compare_and_set d.top t (t + 1) in
+        Atomic.set d.bottom (t + 1);
+        if won then Some v else None
+      end
+    end
+
+  (* Any thief. *)
+  let steal d =
+    let t = Atomic.get d.top in
+    let b = Atomic.get d.bottom in
+    if t >= b then None
+    else
+      let v = Atomic.get d.cells.(t land mask) in
+      if Atomic.compare_and_set d.top t (t + 1) then Some v else None
+end
+
+(* ---- shared worker plumbing ---- *)
+
+(* Run one range: timed into the caller's busy accumulator and, when
+   tracing, recorded as one span.  Ranges are coarse while the pool is
+   balanced, so per-range spans stay cheap. *)
+let run_range ~busy ~lo ~len body =
   let t0 = Metrics.now_ns () in
   Fun.protect
     ~finally:(fun () ->
@@ -56,12 +175,12 @@ let run_chunk ~busy ~start ~len body =
     (fun () ->
       if Trace.on () then
         Trace.span
-          ~args:[ ("start", Trace.I start); ("len", Trace.I len) ]
-          "pool.chunk" body
+          ~args:[ ("lo", Trace.I lo); ("len", Trace.I len) ]
+          "pool.range" body
       else body ())
 
-(* Account a worker's lifetime: busy is what its chunks measured, idle
-   is the remainder (ramp-up, steal contention, end-of-map drain). *)
+(* Account a worker's lifetime: busy is what its ranges measured, idle
+   is the remainder (ramp-up, steal hunting, end-of-map drain). *)
 let with_worker_accounting work =
   let t0 = Metrics.now_ns () in
   let busy = ref 0L in
@@ -73,44 +192,226 @@ let with_worker_accounting work =
         (Int64.to_int (Int64.max 0L (Int64.sub life !busy))))
     (fun () -> work busy)
 
-let map ?jobs:requested ?chunk f input =
+(* Seeds the per-map victim shuffle: deterministic for a given map
+   ordinal so two identical runs visit victims in the same order (the
+   actual steal outcomes still depend on interleaving). *)
+let map_ordinal = Atomic.make 0
+
+(* The work-stealing worker loop.
+
+   Each worker owns one deque seeded with a contiguous slice of the
+   input.  It pops from its own bottom; a range wider than the current
+   grain is split in half, the far half pushed back (stealable), the
+   near half kept — so the deque always exposes the largest remaining
+   ranges at its top, and a single steal takes roughly half the
+   victim's remaining indices.  The grain adapts: coarse
+   ([n / (4 jobs)]) while every worker has local work, collapsing to a
+   single element as soon as any worker is hungry, so a skewed tail is
+   carved fine enough to share.  Workers with an empty deque hunt in a
+   randomized victim order until the map has no unfinished index
+   ([remaining] = 0) or the map is halting. *)
+let ws_worker ~deques ~remaining ~hungry ~grain ~halt ~exec ~seed ~busy w =
+  let j = Array.length deques in
+  let d = deques.(w) in
+  let rng = Rng.create (Hashtbl.hash (seed, w, j)) in
+  let order = Array.init j Fun.id in
+  let rec handle lo hi =
+    let len = hi - lo in
+    let g = if Atomic.get hungry > 0 then 1 else grain in
+    let mid = lo + (len / 2) in
+    if len > g && Deque.push d (pack mid hi) then begin
+      Metrics.incr m_splits;
+      handle lo mid
+    end
+    else begin
+      run_range ~busy ~lo ~len (fun () -> exec lo hi);
+      ignore (Atomic.fetch_and_add remaining (-len))
+    end
+  in
+  let steal_once () =
+    Rng.shuffle rng order;
+    let found = ref None in
+    Array.iter
+      (fun v ->
+        if !found = None && v <> w then
+          match Deque.steal deques.(v) with
+          | Some r ->
+              Metrics.incr m_steals;
+              if Trace.on () then
+                Trace.instant "pool.steal"
+                  ~args:
+                    [
+                      ("victim", Trace.I v);
+                      ("lo", Trace.I (range_lo r));
+                      ("len", Trace.I (range_hi r - range_lo r));
+                    ];
+              found := Some r
+          | None -> ())
+      order;
+    !found
+  in
+  let hunt () =
+    ignore (Atomic.fetch_and_add hungry 1);
+    Fun.protect
+      ~finally:(fun () -> ignore (Atomic.fetch_and_add hungry (-1)))
+      (fun () ->
+        let rec go fails =
+          if halt () || Atomic.get remaining <= 0 then None
+          else
+            match steal_once () with
+            | Some r -> Some r
+            | None ->
+                Metrics.incr m_steal_fails;
+                (* Back off after repeated dry scans: on an
+                   oversubscribed host a spinning hunter competes for
+                   the very core the busy worker needs to produce
+                   stealable work. *)
+                if fails >= 2 then Unix.sleepf 50e-6
+                else Domain.cpu_relax ();
+                go (fails + 1)
+        in
+        go 0)
+  in
+  let rec loop () =
+    if not (halt ()) then
+      match Deque.pop d with
+      | Some r ->
+          handle (range_lo r) (range_hi r);
+          loop ()
+      | None -> (
+          match hunt () with
+          | Some r ->
+              handle (range_lo r) (range_hi r);
+              loop ()
+          | None -> ())
+  in
+  loop ()
+
+(* The legacy scheduler: fixed chunks handed out from one shared
+   counter.  Kept as an explicit strategy so the benchmark can measure
+   work-stealing against it, and as the fallback for inputs too large
+   to pack into ranges. *)
+let fixed_worker ~next ~n ~chunk ~halt ~exec ~busy _w =
+  let continue_ = ref true in
+  while !continue_ do
+    let start = Atomic.fetch_and_add next chunk in
+    if start >= n || halt () then continue_ := false
+    else
+      let stop = min n (start + chunk) in
+      run_range ~busy ~lo:start ~len:(stop - start) (fun () -> exec start stop)
+  done
+
+(* ---- the unified supervised core loop ----
+
+   Both [map] and [map_result] run their workers through here; they
+   differ only in the [exec] closure (write plain results / record
+   supervised outcomes) and the [halt] predicate (nothing / the
+   failure budget).  A worker whose body raises parks the exception in
+   [failure], which halts every other worker; the first exception is
+   re-raised in the caller after all domains have joined. *)
+let run_parallel ?strategy ~jobs:j ~n ~grain_hint ~halt ~exec () =
+  Metrics.incr m_maps;
+  let strategy =
+    if n > range_mask then Fixed_chunk else resolve_strategy strategy
+  in
+  let failure = Atomic.make None in
+  let halt () = halt () || Atomic.get failure <> None in
+  let body =
+    match strategy with
+    | Work_stealing ->
+        let deques = Array.init j (fun _ -> Deque.create ()) in
+        (* Contiguous initial partition: one slice per worker, same
+           locality as the fixed chunking it replaces. *)
+        let per = n / j and rem = n mod j in
+        let lo = ref 0 in
+        Array.iteri
+          (fun w d ->
+            let len = per + if w < rem then 1 else 0 in
+            if len > 0 then ignore (Deque.push d (pack !lo (!lo + len)));
+            lo := !lo + len)
+          deques;
+        let remaining = Atomic.make n in
+        let hungry = Atomic.make 0 in
+        let grain =
+          match grain_hint with
+          | Some c -> max 1 c
+          | None -> max 1 (n / (j * 4))
+        in
+        let seed = Atomic.fetch_and_add map_ordinal 1 in
+        fun busy w ->
+          ws_worker ~deques ~remaining ~hungry ~grain ~halt ~exec ~seed ~busy w
+    | Fixed_chunk ->
+        let chunk =
+          match grain_hint with
+          | Some c -> max 1 c
+          | None -> max 1 (n / (j * 8))
+        in
+        let next = Atomic.make 0 in
+        fun busy w -> fixed_worker ~next ~n ~chunk ~halt ~exec ~busy w
+  in
+  let worker w () =
+    with_worker_accounting @@ fun busy ->
+    try body busy w
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+  in
+  let domains = List.init (j - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* ---- unboxed result buffer ----
+
+   Results land in a plain ['b array] created lazily from the first
+   computed value (there is no zero element for an arbitrary ['b]), so
+   a map costs one allocation for the whole buffer instead of one
+   [Some] per element plus a full unwrap pass.  Distinct indices are
+   written by distinct workers; [Domain.join] publishes the writes. *)
+
+type 'b buffer = { cell : 'b array option Atomic.t; size : int }
+
+let buffer n = { cell = Atomic.make None; size = n }
+
+let buffer_store b i v =
+  let arr =
+    match Atomic.get b.cell with
+    | Some arr -> arr
+    | None -> (
+        let arr = Array.make b.size v in
+        if Atomic.compare_and_set b.cell None (Some arr) then arr
+        else
+          match Atomic.get b.cell with
+          | Some arr -> arr
+          | None -> assert false)
+  in
+  arr.(i) <- v;
+  arr
+
+let buffer_contents b =
+  match Atomic.get b.cell with Some arr -> arr | None -> [||]
+
+(* ---- map ---- *)
+
+let map ?strategy ?jobs:requested ?chunk f input =
   let n = Array.length input in
   let j = match requested with Some j -> max 1 j | None -> jobs () in
   let j = min j n in
   if j <= 1 then Array.map f input
   else begin
-    Metrics.incr m_maps;
-    let chunk =
-      match chunk with Some c -> max 1 c | None -> max 1 (n / (j * 8))
+    let buf = buffer n in
+    let exec lo hi =
+      let arr = buffer_store buf lo (f input.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        arr.(i) <- f input.(i)
+      done
     in
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let worker () =
-      with_worker_accounting @@ fun busy ->
-      try
-        let continue = ref true in
-        while !continue do
-          let start = Atomic.fetch_and_add next chunk in
-          if start >= n || Atomic.get failure <> None then continue := false
-          else
-            let stop = min n (start + chunk) - 1 in
-            run_chunk ~busy ~start ~len:(stop - start + 1) (fun () ->
-                for i = start to stop do
-                  results.(i) <- Some (f input.(i))
-                done)
-        done
-      with e ->
-        let bt = Printexc.get_raw_backtrace () in
-        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
-    in
-    let domains = List.init (j - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    run_parallel ?strategy ~jobs:j ~n ~grain_hint:chunk
+      ~halt:(fun () -> false)
+      ~exec ();
+    buffer_contents buf
   end
 
 let map_list ?jobs ?chunk f l =
@@ -165,7 +466,8 @@ let eval_supervised ~retries f x =
   in
   go 1
 
-let map_result ?jobs:requested ?chunk ?(retries = 1) ?max_failures f input =
+let map_result ?strategy ?jobs:requested ?chunk ?(retries = 1) ?max_failures f
+    input =
   if retries < 0 then invalid_arg "Pool.map_result: retries must be >= 0";
   let n = Array.length input in
   let j = match requested with Some j -> max 1 j | None -> jobs () in
@@ -186,43 +488,26 @@ let map_result ?jobs:requested ?chunk ?(retries = 1) ?max_failures f input =
         | _ -> ()));
     r
   in
-  let results =
-    if j <= 1 then begin
-      let results = Array.make n None in
-      let i = ref 0 in
-      while !i < n && Atomic.get over = None do
-        results.(!i) <- Some (eval input.(!i));
+  let buf = buffer n in
+  if j <= 1 then begin
+    let i = ref 0 in
+    while !i < n && Atomic.get over = None do
+      ignore (buffer_store buf !i (eval input.(!i)));
+      incr i
+    done
+  end
+  else begin
+    let exec lo hi =
+      let i = ref lo in
+      while !i < hi && Atomic.get over = None do
+        ignore (buffer_store buf !i (eval input.(!i)));
         incr i
-      done;
-      results
-    end
-    else begin
-      Metrics.incr m_maps;
-      let chunk =
-        match chunk with Some c -> max 1 c | None -> max 1 (n / (j * 8))
-      in
-      let results = Array.make n None in
-      let next = Atomic.make 0 in
-      let worker () =
-        with_worker_accounting @@ fun busy ->
-        let continue = ref true in
-        while !continue do
-          let start = Atomic.fetch_and_add next chunk in
-          if start >= n || Atomic.get over <> None then continue := false
-          else
-            let stop = min n (start + chunk) - 1 in
-            run_chunk ~busy ~start ~len:(stop - start + 1) (fun () ->
-                for i = start to stop do
-                  results.(i) <- Some (eval input.(i))
-                done)
-        done
-      in
-      let domains = List.init (j - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      List.iter Domain.join domains;
-      results
-    end
-  in
+      done
+    in
+    run_parallel ?strategy ~jobs:j ~n ~grain_hint:chunk
+      ~halt:(fun () -> Atomic.get over <> None)
+      ~exec ()
+  end;
   match Atomic.get over with
   | Some last ->
       raise
@@ -232,5 +517,4 @@ let map_result ?jobs:requested ?chunk ?(retries = 1) ?max_failures f input =
              budget = Option.get max_failures;
              last;
            })
-  | None ->
-      Array.map (function Some r -> r | None -> assert false) results
+  | None -> buffer_contents buf

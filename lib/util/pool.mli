@@ -1,4 +1,4 @@
-(** Domain-based worker pool for data-parallel map over arrays.
+(** Work-stealing domain pool for data-parallel map over arrays.
 
     OCaml 5 domains, no external dependencies.  The pool exists for the
     exhaustive autotuning sweeps (thousands of independent
@@ -6,11 +6,36 @@
     index order, so a parallel map is observably identical to the
     sequential one whenever [f] is pure per element.
 
+    Scheduling: each worker owns a Chase-Lev deque seeded with one
+    contiguous slice of the input.  It pops index ranges from its own
+    bottom lock-free; ranges wider than the current grain are split in
+    half with the far half pushed back, so the top of every deque
+    exposes the largest remaining ranges.  A worker that runs dry
+    steals from a randomized victim order, taking the victim's top
+    range — roughly half its remaining indices.  The grain adapts:
+    coarse (about [n / (4 jobs)]) while every worker has local work,
+    collapsing to single elements as soon as any worker is hungry, so
+    a skewed tail (divergent kernels, large unroll factors) is carved
+    fine enough to share instead of serializing on one domain.
+
     Worker count resolution, in priority order: the [?jobs] argument,
     the process-wide {!set_default_jobs} override, the [GAT_JOBS]
     environment variable, and finally the machine's recommended domain
     count.  [jobs = 1] falls back to a plain sequential map — no
     domains are spawned. *)
+
+type strategy =
+  | Work_stealing  (** Per-worker deques with steal-half and adaptive grain. *)
+  | Fixed_chunk
+      (** The legacy scheduler: fixed chunks from one shared counter.
+          Kept for benchmarking the work-stealing gain and as the
+          automatic fallback for inputs too large to pack into ranges
+          (more than [2^31 - 1] elements). *)
+
+(** Strategy resolution: the [?strategy] argument, then the
+    [GAT_SCHED] environment variable ([ws] / [fixed]), then
+    {!Work_stealing}.  Results are bit-identical under either
+    strategy; only the schedule differs. *)
 
 val jobs : unit -> int
 (** The worker count that {!map} would use right now (>= 1). *)
@@ -20,12 +45,21 @@ val set_default_jobs : int option -> unit
     [GAT_JOBS] / domain-count default.
     @raise Invalid_argument if the override is < 1. *)
 
-val map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map f arr] is [Array.map f arr], evaluated by [jobs] domains that
-    steal [chunk]-sized index ranges from a shared counter (default:
-    about eight chunks per worker).  Result order matches input order.
-    If any application of [f] raises, the first exception observed is
-    re-raised in the caller after all workers have stopped. *)
+val map :
+  ?strategy:strategy ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+(** [map f arr] is [Array.map f arr], evaluated by [jobs] domains
+    under the work-stealing scheduler.  [?chunk] overrides the
+    balanced-state grain (fixed-chunk strategy: the chunk size).
+    Result order matches input order, and results land in one unboxed
+    buffer — no per-element [Some] allocation.  If any application of
+    [f] raises, every worker halts at its next range boundary and the
+    first exception observed is re-raised in the caller after all
+    workers have stopped. *)
 
 val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!map}; [map_list ~jobs:1 f l] is [List.map f l]. *)
@@ -36,7 +70,9 @@ val map_list : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
     whole map.  The supervised variant records per-element outcomes
     instead, with bounded in-place retry and an optional failure
     budget — the posture a long sweep needs, where one bad variant
-    must not discard hours of good ones. *)
+    must not discard hours of good ones.  Both variants run the same
+    unified worker core; they differ only in what a range execution
+    writes and in when the pool halts. *)
 
 type exn_info = {
   exn : exn;
@@ -50,6 +86,7 @@ exception
     have failed; [last] is the failure that crossed the budget. *)
 
 val map_result :
+  ?strategy:strategy ->
   ?jobs:int ->
   ?chunk:int ->
   ?retries:int ->
@@ -62,6 +99,9 @@ val map_result :
     times (default 1) and, if it keeps failing, yields [Error info] at
     its index instead of aborting the map.  Result order matches input
     order; [Ok] elements are exactly what {!map} would have produced.
+    Every element is evaluated exactly once per attempt regardless of
+    which worker ends up running it, so retry counts and fault-
+    injection decisions cannot depend on the schedule.
 
     With [max_failures], the map stops early once {e more than} that
     many elements have failed (a budget of 0 tolerates none) and
@@ -73,6 +113,20 @@ val map_result :
     that succeeded only after a retry — which the [Ok] payload alone
     cannot distinguish from first-try successes.
     @raise Invalid_argument if [retries < 0]. *)
+
+(** {2 Scheduler observability}
+
+    [pool.steals] counts ranges taken from a victim's deque,
+    [pool.steal_fails] counts full victim scans that found nothing,
+    and [pool.splits] counts range halvings.  Unlike the pool's
+    outcome counters these depend on runtime interleaving and are
+    {e not} deterministic across runs; they appear in [gat stats] and
+    as counter samples in exported traces, alongside a [pool.steal]
+    instant event per successful steal when tracing is on. *)
+
+type sched_stats = { steals : int; steal_fails : int; splits : int }
+
+val scheduler_stats : unit -> sched_stats
 
 val with_lock : Mutex.t -> (unit -> 'a) -> 'a
 (** [with_lock m f] runs [f] holding [m], releasing it on return or

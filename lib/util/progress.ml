@@ -40,7 +40,8 @@ let pct ~done_ ~total =
   if total <= 0 then 100 else done_ * 100 / total
 
 (* Pure so tests can cover the formatting without a clock or a TTY. *)
-let render_line ~label ~total ~done_ ~failures ~cache_hit_pct ~elapsed_s =
+let render_line ~label ~total ~done_ ~failures ~cache_hit_pct ~steals
+    ~elapsed_s =
   let rate = if elapsed_s > 0.0 then float_of_int done_ /. elapsed_s else 0.0 in
   let eta =
     if done_ > 0 && done_ < total && rate > 0.0 then
@@ -52,10 +53,20 @@ let render_line ~label ~total ~done_ ~failures ~cache_hit_pct ~elapsed_s =
     | Some p -> Printf.sprintf "  cache %d%%" p
     | None -> ""
   in
-  Printf.sprintf "%s %d/%d %d%%  %.0f pts/s  %s%s  failed %d" label done_
+  (* Steal activity only once it exists: a balanced (or sequential)
+     sweep keeps the line short. *)
+  let steals =
+    match steals with
+    | Some s when s > 0 ->
+        if elapsed_s > 0.0 then
+          Printf.sprintf "  steals %d (%.0f/s)" s (float_of_int s /. elapsed_s)
+        else Printf.sprintf "  steals %d" s
+    | _ -> ""
+  in
+  Printf.sprintf "%s %d/%d %d%%  %.0f pts/s  %s%s%s  failed %d" label done_
     total
     (pct ~done_ ~total)
-    rate eta cache failures
+    rate eta cache steals failures
 
 let write t line =
   if t.tty then begin
@@ -69,19 +80,19 @@ let write t line =
 let elapsed_s t =
   Int64.to_float (Int64.sub (Metrics.now_ns ()) t.start_ns) /. 1e9
 
-let line t ~done_ ~failures ~cache_hit_pct =
+let line t ~done_ ~failures ~cache_hit_pct ~steals =
   render_line ~label:t.label ~total:t.total ~done_ ~failures ~cache_hit_pct
-    ~elapsed_s:(elapsed_s t)
+    ~steals ~elapsed_s:(elapsed_s t)
 
-let update t ~done_ ~failures ?cache_hit_pct () =
+let update t ~done_ ~failures ?cache_hit_pct ?steals () =
   let now = Metrics.now_ns () in
   let due = Int64.sub now t.last_ns in
   let refresh = if t.tty then tty_refresh_ns else line_refresh_ns in
   if due >= refresh then begin
     t.last_ns <- now;
-    write t (line t ~done_ ~failures ~cache_hit_pct)
+    write t (line t ~done_ ~failures ~cache_hit_pct ~steals)
   end
 
-let finish t ~done_ ~failures ?cache_hit_pct () =
-  write t (line t ~done_ ~failures ~cache_hit_pct);
+let finish t ~done_ ~failures ?cache_hit_pct ?steals () =
+  write t (line t ~done_ ~failures ~cache_hit_pct ~steals);
   if t.tty then Printf.fprintf t.out "\n%!"

@@ -15,12 +15,28 @@ val create :
     buffer-backed channel). *)
 
 val update :
-  t -> done_:int -> failures:int -> ?cache_hit_pct:int -> unit -> unit
+  t ->
+  done_:int ->
+  failures:int ->
+  ?cache_hit_pct:int ->
+  ?steals:int ->
+  unit ->
+  unit
 (** Report progress; renders only when the refresh interval has
-    elapsed, so callers can invoke it as often as they like. *)
+    elapsed, so callers can invoke it as often as they like.
+    [?steals] is the cumulative work-steal count for this sweep
+    (typically a delta of {!Pool.scheduler_stats}); it is rendered
+    only when positive, so balanced or sequential sweeps keep the
+    short line. *)
 
 val finish :
-  t -> done_:int -> failures:int -> ?cache_hit_pct:int -> unit -> unit
+  t ->
+  done_:int ->
+  failures:int ->
+  ?cache_hit_pct:int ->
+  ?steals:int ->
+  unit ->
+  unit
 (** Render one final (unthrottled) line; on a TTY also terminates the
     in-place line with a newline. *)
 
@@ -30,6 +46,7 @@ val render_line :
   done_:int ->
   failures:int ->
   cache_hit_pct:int option ->
+  steals:int option ->
   elapsed_s:float ->
   string
 (** The pure formatter behind {!update}/{!finish}, exposed for

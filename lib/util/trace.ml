@@ -518,7 +518,19 @@ let validate_string ?(require = []) body =
                   in
                   match ph with
                   | 'M' -> ()
-                  | 'C' -> Hashtbl.replace counters name ()
+                  | 'C' ->
+                      (* Keep the sample's value so [require] can
+                         assert thresholds ("pool.steals>0"), not
+                         just presence. *)
+                      let value =
+                        match field "args" ev with
+                        | Some (Obj fields) -> (
+                            match List.assoc_opt "value" fields with
+                            | Some (Num v) -> v
+                            | _ -> 0.0)
+                        | _ -> 0.0
+                      in
+                      Hashtbl.replace counters name value
                   | 'X' -> (
                       incr n_events;
                       Hashtbl.replace tids itid ();
@@ -560,12 +572,43 @@ let validate_string ?(require = []) body =
                         (Printf.sprintf "unclosed span %S on tid %d" top tid))
             stacks;
           let counter_names =
-            List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) counters [])
+            List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) counters [])
           in
+          (* A requirement is either a bare counter name (presence) or
+             "name>K" (latest sample strictly above the integer K). *)
           List.iter
             (fun want ->
-              if not (List.mem want counter_names) && !err = None then
-                err := Some (Printf.sprintf "required counter %S absent" want))
+              if !err = None then
+                match String.index_opt want '>' with
+                | None ->
+                    if not (Hashtbl.mem counters want) then
+                      err :=
+                        Some (Printf.sprintf "required counter %S absent" want)
+                | Some gt -> (
+                    let cname = String.sub want 0 gt in
+                    let bound =
+                      String.sub want (gt + 1) (String.length want - gt - 1)
+                    in
+                    match int_of_string_opt bound with
+                    | None ->
+                        err :=
+                          Some
+                            (Printf.sprintf
+                               "bad requirement %S: expected NAME or NAME>INT"
+                               want)
+                    | Some k -> (
+                        match Hashtbl.find_opt counters cname with
+                        | None ->
+                            err :=
+                              Some
+                                (Printf.sprintf "required counter %S absent"
+                                   cname)
+                        | Some v when v <= float_of_int k ->
+                            err :=
+                              Some
+                                (Printf.sprintf
+                                   "counter %S is %g, required > %d" cname v k)
+                        | Some _ -> ())))
             require;
           match !err with
           | Some msg -> Error msg

@@ -74,7 +74,10 @@ val finish : unit -> (string * int) option
     verifies every event has [name]/[ph]/[ts]/[tid], that ["B"]/["E"]
     events balance per track with matching names, that ["X"] events
     carry a non-negative [dur], and that all [require]d counter
-    samples are present. *)
+    samples are present.  A requirement is either a bare counter name
+    (presence) or ["name>K"] with integer [K], asserting the sample's
+    value is strictly above [K] — CI uses ["pool.steals>0"] to prove
+    the work-stealing scheduler actually stole under load. *)
 
 type validation = {
   events : int;  (** Span/instant events (metadata and counters excluded). *)

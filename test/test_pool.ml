@@ -212,6 +212,154 @@ let test_map_result_bad_retries () =
     (Invalid_argument "Pool.map_result: retries must be >= 0") (fun () ->
       ignore (Pool.map_result ~retries:(-1) (fun x -> x) [| 1 |]))
 
+(* ---- scheduler properties ---- *)
+
+(* Deterministic busy work so element costs can be skewed without
+   sleeping; returns a value so the loop cannot be optimized away. *)
+let spin budget =
+  let acc = ref 0 in
+  for i = 1 to budget do
+    acc := !acc + (i * i)
+  done;
+  Sys.opaque_identity !acc
+
+(* Heavily skewed when asked: every eighth element costs ~100x the
+   rest, the shape that makes a bad schedule visible. *)
+let cost_of ~skew x = if skew && x land 7 = 0 then 2_000 else 20
+
+let arb_shape =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun (n, jobs, chunk, skew, ws) -> (n, jobs, chunk, skew, ws))
+        (tup5 (int_bound 300) (int_range 1 8) (int_range 1 50) bool bool))
+  in
+  QCheck.make
+    ~print:(fun (n, jobs, chunk, skew, ws) ->
+      Printf.sprintf "n=%d jobs=%d chunk=%d skew=%b ws=%b" n jobs chunk skew
+        ws)
+    gen
+
+let strategy_of ws = if ws then Pool.Work_stealing else Pool.Fixed_chunk
+
+let prop_map_matches_sequential =
+  QCheck.Test.make ~count:60 ~name:"map = Array.map across random shapes"
+    arb_shape
+    (fun (n, jobs, chunk, skew, ws) ->
+      let input = Array.init n (fun i -> i) in
+      let f x =
+        ignore (spin (cost_of ~skew x));
+        (x * 7) + 3
+      in
+      Pool.map ~strategy:(strategy_of ws) ~jobs ~chunk f input
+      = Array.map f input)
+
+(* Structural comparison of supervised outcomes: values, error
+   messages and attempt counts — everything the caller can observe. *)
+let observe r =
+  Array.map
+    (function
+      | Ok v -> Ok v
+      | Error (e : Pool.exn_info) ->
+          Error (Printexc.to_string e.Pool.exn, e.Pool.attempts))
+    r
+
+let prop_map_result_matches_sequential =
+  QCheck.Test.make ~count:40
+    ~name:"map_result = sequential, failures included"
+    (QCheck.pair arb_shape (QCheck.int_range 0 2))
+    (fun ((n, jobs, chunk, skew, ws), retries) ->
+      let input = Array.init n (fun i -> i) in
+      let f x =
+        ignore (spin (cost_of ~skew x));
+        if x land 15 = 5 then failwith "flaky" else x * 3
+      in
+      observe
+        (Pool.map_result ~strategy:(strategy_of ws) ~jobs ~chunk ~retries f
+           input)
+      = observe (Pool.map_result ~jobs:1 ~retries f input))
+
+let prop_map_result_under_fault =
+  QCheck.Test.make ~count:25 ~name:"map_result = sequential under GAT_FAULT"
+    (QCheck.pair arb_shape (QCheck.int_bound 1000))
+    (fun ((n, jobs, chunk, _skew, ws), seed) ->
+      let input = Array.init n (fun i -> i) in
+      let spec = Printf.sprintf "pooltest:0.3,seed:%d" seed in
+      let f x =
+        Fault.inject ~site:"pooltest" ~key:(string_of_int x);
+        x + 1
+      in
+      (* Fresh attempt counters before each run: transient injection
+         re-rolls per attempt, so identical outcomes require identical
+         attempt streams — which exactly-once scheduling guarantees. *)
+      let run jobs strategy =
+        Fault.set_spec (Some spec);
+        observe (Pool.map_result ~strategy ~jobs ~chunk ~retries:1 f input)
+      in
+      let par = run jobs (strategy_of ws) in
+      let seq = run 1 Pool.Work_stealing in
+      Fault.set_spec None;
+      par = seq)
+
+let qcheck_props =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [
+      prop_map_matches_sequential;
+      prop_map_result_matches_sequential;
+      prop_map_result_under_fault;
+    ]
+
+let test_steals_recorded () =
+  (* First half heavy: workers seeded with the light tail drain fast
+     and must steal from the loaded ones. *)
+  let input = Array.init 64 (fun i -> i) in
+  let s0 = Pool.scheduler_stats () in
+  let out =
+    Pool.map ~strategy:Pool.Work_stealing ~jobs:4
+      (fun x ->
+        ignore (spin (if x < 32 then 500_000 else 10));
+        x)
+      input
+  in
+  let s1 = Pool.scheduler_stats () in
+  Alcotest.(check (array int)) "result intact" input out;
+  Alcotest.(check bool) "steals recorded" true (s1.Pool.steals > s0.Pool.steals);
+  Alcotest.(check bool) "splits recorded" true (s1.Pool.splits > s0.Pool.splits)
+
+let test_counter_dump_deterministic () =
+  (* Two traced skewed runs must produce byte-identical outcome
+     counters.  The scheduler-internal counters (steals, steal_fails,
+     splits) depend on runtime interleaving by design and are filtered
+     out — DESIGN.md 5.6 documents the split. *)
+  let scheduler_internal line =
+    List.exists
+      (fun p -> String.starts_with ~prefix:p line)
+      [ "gat_pool_steals"; "gat_pool_steal_fails"; "gat_pool_splits" ]
+  in
+  let run () =
+    Metrics.reset ();
+    Trace.enable ();
+    let f x =
+      ignore (spin (if x land 7 = 0 then 50_000 else 100));
+      if x = 13 then failwith "boom" else x
+    in
+    ignore (Pool.map_result ~jobs:4 ~retries:1 f (Array.init 128 (fun i -> i)));
+    let trace, _ = Trace.render () in
+    Trace.disable ();
+    Trace.clear ();
+    (match Trace.validate_string ~require:[ "pool.steals" ] trace with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "trace invalid: %s" e);
+    String.concat "\n"
+      (List.filter
+         (fun l -> not (scheduler_internal l))
+         (String.split_on_char '\n' (Metrics.render_counters ())))
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "byte-identical filtered counter dumps" a b
+
 let test_with_lock () =
   let m = Mutex.create () in
   Alcotest.(check int) "returns the value" 5 (Pool.with_lock m (fun () -> 5));
@@ -248,6 +396,14 @@ let () =
           Alcotest.test_case "negative retries rejected" `Quick
             test_map_result_bad_retries;
         ] );
+      ( "scheduler",
+        qcheck_props
+        @ [
+            Alcotest.test_case "skewed run records steals" `Quick
+              test_steals_recorded;
+            Alcotest.test_case "traced counter dumps deterministic" `Quick
+              test_counter_dump_deterministic;
+          ] );
       ( "config",
         [
           Alcotest.test_case "GAT_JOBS and override" `Quick test_env_and_override;

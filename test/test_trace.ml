@@ -172,6 +172,34 @@ let test_validator_negatives () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing required counter accepted"
 
+let test_require_thresholds () =
+  let counter_trace v =
+    Printf.sprintf
+      {|{"traceEvents": [{"name": "pool.steals", "ph": "C", "ts": 0, "tid": 0, "args": {"value": %d}}]}|}
+      v
+  in
+  let expect ~require body = function
+    | `Ok -> (
+        match Trace.validate_string ~require body with
+        | Ok _ -> ()
+        | Error e ->
+            Alcotest.failf "%s rejected: %s" (String.concat "," require) e)
+    | `Err -> (
+        match Trace.validate_string ~require body with
+        | Error _ -> ()
+        | Ok _ ->
+            Alcotest.failf "%s accepted" (String.concat "," require))
+  in
+  expect ~require:[ "pool.steals>0" ] (counter_trace 3) `Ok;
+  expect ~require:[ "pool.steals>2" ] (counter_trace 3) `Ok;
+  expect ~require:[ "pool.steals>3" ] (counter_trace 3) `Err;
+  expect ~require:[ "pool.steals>0" ] (counter_trace 0) `Err;
+  expect ~require:[ "absent>0" ] (counter_trace 3) `Err;
+  (* Malformed bound: rejected loudly, not treated as a name. *)
+  expect ~require:[ "pool.steals>many" ] (counter_trace 3) `Err;
+  (* Bare name still means presence, whatever the value. *)
+  expect ~require:[ "pool.steals" ] (counter_trace 0) `Ok
+
 let test_write_file_and_validate () =
   let path = Filename.temp_file "gat-trace" ".json" in
   Trace.clear ();
@@ -279,11 +307,19 @@ let test_render_line () =
   Alcotest.(check string) "mid-sweep"
     "atax/k20 50/100 50%  5 pts/s  ETA 10.0 s  cache 87%  failed 2"
     (Progress.render_line ~label:"atax/k20" ~total:100 ~done_:50 ~failures:2
-       ~cache_hit_pct:(Some 87) ~elapsed_s:10.0);
+       ~cache_hit_pct:(Some 87) ~steals:None ~elapsed_s:10.0);
   Alcotest.(check string) "start, no cache figure"
     "k 0/10 0%  0 pts/s  ETA --  failed 0"
     (Progress.render_line ~label:"k" ~total:10 ~done_:0 ~failures:0
-       ~cache_hit_pct:None ~elapsed_s:0.0)
+       ~cache_hit_pct:None ~steals:None ~elapsed_s:0.0);
+  Alcotest.(check string) "steals shown once positive"
+    "k 5/10 50%  1 pts/s  ETA 5.0 s  steals 12 (2/s)  failed 0"
+    (Progress.render_line ~label:"k" ~total:10 ~done_:5 ~failures:0
+       ~cache_hit_pct:None ~steals:(Some 12) ~elapsed_s:5.0);
+  Alcotest.(check string) "zero steals stays hidden"
+    "k 5/10 50%  1 pts/s  ETA 5.0 s  failed 0"
+    (Progress.render_line ~label:"k" ~total:10 ~done_:5 ~failures:0
+       ~cache_hit_pct:None ~steals:(Some 0) ~elapsed_s:5.0)
 
 let test_progress_non_tty () =
   let path = Filename.temp_file "gat-progress" ".log" in
@@ -323,6 +359,8 @@ let () =
           Alcotest.test_case "span transparency" `Quick test_span_transparency;
           Alcotest.test_case "sweep roundtrip validates" `Quick
             test_trace_roundtrip;
+          Alcotest.test_case "require thresholds" `Quick
+            test_require_thresholds;
           Alcotest.test_case "validator negatives" `Quick
             test_validator_negatives;
           Alcotest.test_case "write file" `Quick test_write_file_and_validate;
