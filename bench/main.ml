@@ -535,12 +535,64 @@ let calibrate_scheduler () =
     ws_ok = ws_s <= fixed_s +. 0.05;
   }
 
-let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~timings
-    ~total_s =
+(* ---- verifier calibration: safety-analysis cost and verdict reuse ---- *)
+
+type verify_calibration = {
+  vc_programs : int;  (** Compiled variants pushed through the verifier. *)
+  vc_all_safe : bool;
+  vc_cold_s : float;  (** Fresh analyses (verdict cache empty). *)
+  vc_warm_s : float;  (** Same code shapes at a different BC (all hits). *)
+  vc_hits : int;
+  vc_misses : int;
+}
+
+let calibrate_verifier () =
+  let kernels = if fast_mode then [ atax ] else Gat_workloads.Workloads.all in
+  let gpus = if fast_mode then [ gpu ] else Gat_arch.Gpu.all in
+  let params bc =
+    Gat_compiler.Params.make ~threads_per_block:128 ~block_count:bc ~staging:2
+      ()
+  in
+  let compile_all bc =
+    List.concat_map
+      (fun k ->
+        List.map (fun g -> Gat_compiler.Driver.compile_exn k g (params bc)) gpus)
+      kernels
+  in
+  let cold = compile_all 32 in
+  (* Same code shape at a different BC: the verdict cache must answer
+     these without re-running the analysis. *)
+  let warm = compile_all 64 in
+  Gat_tuner.Verdict_cache.clear ();
+  let all_safe = ref true in
+  let cold_s =
+    timed (fun () ->
+        List.iter
+          (fun c ->
+            if not (Gat_analysis.Verify.safe (Gat_tuner.Verdict_cache.get c))
+            then all_safe := false)
+          cold)
+  in
+  let warm_s =
+    timed (fun () ->
+        List.iter (fun c -> ignore (Gat_tuner.Verdict_cache.get c)) warm)
+  in
+  let s = Gat_tuner.Verdict_cache.stats () in
+  {
+    vc_programs = List.length cold + List.length warm;
+    vc_all_safe = !all_safe;
+    vc_cold_s = cold_s;
+    vc_warm_s = warm_s;
+    vc_hits = s.Gat_tuner.Verdict_cache.hits;
+    vc_misses = s.Gat_tuner.Verdict_cache.misses;
+  }
+
+let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
+    ~timings ~total_s =
   let b = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"gat-bench-sweep/4\",\n";
+  add "  \"schema\": \"gat-bench-sweep/5\",\n";
   add "  \"jobs\": %d,\n" (Gat_util.Pool.jobs ());
   add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   add "  \"fast_mode\": %b,\n" fast_mode;
@@ -600,6 +652,15 @@ let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~timings
   add "    \"fixed_busy_ratio\": %.3f,\n" sc.fixed_busy_ratio;
   add "    \"ws_busy_ratio\": %.3f,\n" sc.ws_busy_ratio;
   add "    \"ws_beats_fixed\": %b\n" sc.ws_ok;
+  add "  },\n";
+  let vc = verify_cal in
+  add "  \"verify\": {\n";
+  add "    \"programs\": %d,\n" vc.vc_programs;
+  add "    \"all_safe\": %b,\n" vc.vc_all_safe;
+  add "    \"cold_seconds\": %.3f,\n" vc.vc_cold_s;
+  add "    \"warm_seconds\": %.3f,\n" vc.vc_warm_s;
+  add "    \"cache_hits\": %d,\n" vc.vc_hits;
+  add "    \"cache_misses\": %d\n" vc.vc_misses;
   add "  },\n";
   add "  \"experiments\": [\n";
   List.iteri
@@ -671,6 +732,14 @@ let () =
     (100.0 *. sched_cal.ws_busy_ratio)
     (if sched_cal.ws_s > 0.0 then sched_cal.fixed_s /. sched_cal.ws_s else 0.0)
     sched_cal.sc_steals sched_cal.sc_splits;
+  let verify_cal = calibrate_verifier () in
+  Printf.printf
+    "Verifier calibration (%d programs):\n\
+    \  all safe: %b\n\
+    \  cold:     %.3f s  (%d analyses)\n\
+    \  warm:     %.3f s  (%d verdict-cache hits across BC)\n\n"
+    verify_cal.vc_programs verify_cal.vc_all_safe verify_cal.vc_cold_s
+    verify_cal.vc_misses verify_cal.vc_warm_s verify_cal.vc_hits;
   (* Experiments, twice: a cold pass computing every sweep, and a warm
      pass that must satisfy them from the persistent cache alone. *)
   ignore (Gat_tuner.Disk_cache.clear ());
@@ -682,8 +751,8 @@ let () =
   ignore (run_experiments ~record:timings ());
   print_newline ();
   let total_s = Unix.gettimeofday () -. t0 in
-  write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~timings
-    ~total_s;
+  write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
+    ~timings ~total_s;
   Printf.printf "wrote BENCH_sweep.json (jobs=%d, %.1f s total)\n\n"
     (Gat_util.Pool.jobs ()) total_s;
   run_microbenches ()

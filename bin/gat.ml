@@ -174,25 +174,103 @@ let cfg_cmd =
 
 (* ---- lint ---- *)
 
-let lint kernel gpu params =
+let lint kernel gpu params strict =
   let c = compile_or_die kernel gpu params in
   let log = c.Gat_compiler.Driver.log in
-  print_string
-    (Gat_analysis.Lint.render ~gpu
-       ~threads_per_block:params.Gat_compiler.Params.threads_per_block
-       ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
-       ~spill_loads:log.Gat_compiler.Ptxas_info.spill_loads
-       ~spill_stores:log.Gat_compiler.Ptxas_info.spill_stores
-       ~stack_frame:log.Gat_compiler.Ptxas_info.stack_frame
-       c.Gat_compiler.Driver.program)
+  let r =
+    Gat_analysis.Lint.report ~gpu
+      ~threads_per_block:params.Gat_compiler.Params.threads_per_block
+      ~regs_per_thread:log.Gat_compiler.Ptxas_info.registers
+      ~spill_loads:log.Gat_compiler.Ptxas_info.spill_loads
+      ~spill_stores:log.Gat_compiler.Ptxas_info.spill_stores
+      ~stack_frame:log.Gat_compiler.Ptxas_info.stack_frame
+      c.Gat_compiler.Driver.program
+  in
+  print_string r.Gat_analysis.Lint.text;
+  if strict && not (Gat_analysis.Lint.clean r.Gat_analysis.Lint.findings) then (
+    (* The report is already on stdout; the strict gate names the
+       blocking findings on stderr and exits with the Verify code. *)
+    flush stdout;
+    Gat_util.Error.failf Verify "lint --strict: %s"
+      (Gat_analysis.Lint.findings_to_string r.Gat_analysis.Lint.findings))
 
 let lint_cmd =
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit with the verify code (7) when the report contains \
+             shared-memory races, divergent barriers, or register \
+             spills.  For CI gates; the report itself is unchanged.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Static diagnostics: uncoalesced accesses, bank conflicts, \
-          divergence, spills, occupancy limiter.")
-    Term.(const lint $ kernel_arg $ gpu_arg $ params_term)
+          divergence, spills, safety verdict, occupancy limiter.")
+    Term.(const lint $ kernel_arg $ gpu_arg $ params_term $ strict)
+
+(* ---- verify ---- *)
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error e -> Gat_util.Error.fail Io e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let verify kernel isa gpu params =
+  let report =
+    match (isa, kernel) with
+    | Some path, _ -> (
+        match Gat_isa.Parser.program (read_file path) with
+        | Error e ->
+            Gat_util.Error.failf Parse "%s: %s" path
+              (Gat_isa.Parser.error_to_string e)
+        | Ok program ->
+            Gat_analysis.Verify.run
+              ~threads_per_block:params.Gat_compiler.Params.threads_per_block
+              program)
+    | None, Some kernel ->
+        (* Same verdict path as the sweep engine: the memoized verifier
+           over the compiled variant's virtual-register program. *)
+        Gat_tuner.Verdict_cache.get (compile_or_die kernel gpu params)
+    | None, None ->
+        Gat_util.Error.failf Usage
+          ~hint:"gat verify atax, or gat verify --isa listing.sass"
+          "verify needs a bundled KERNEL or --isa FILE"
+  in
+  print_string (Gat_analysis.Verify.render report);
+  if not (Gat_analysis.Verify.safe report) then (
+    flush stdout;
+    Gat_util.Error.failf Verify "%s: %s"
+      report.Gat_analysis.Verify.program_name
+      (Gat_analysis.Verify.summary report))
+
+let verify_cmd =
+  let kernel =
+    Arg.(value & pos 0 (some kernel_conv) None & info [] ~docv:"KERNEL")
+  in
+  let isa =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "isa" ] ~docv:"FILE"
+          ~doc:
+            "Verify an instruction listing in the $(b,gat disasm) \
+             format instead of compiling a bundled kernel; the launch \
+             thread count is taken from $(b,--tc).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify a kernel variant's barrier and shared-memory \
+          safety: no barrier under thread-dependent control flow, no \
+          two threads touching overlapping shared bytes with a write \
+          between barriers.  Exit code 7 when unsafe.")
+    Term.(const verify $ kernel $ isa $ gpu_arg $ params_term)
 
 (* ---- occupancy ---- *)
 
@@ -612,14 +690,18 @@ let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
       (Gat_tuner.Space.cardinality space);
   let variants = report.Gat_tuner.Tuner.variants in
   let failures = report.Gat_tuner.Tuner.failures in
+  let unsafe = report.Gat_tuner.Tuner.unsafe in
   Printf.printf "sweep %s on %s (N=%d, seed %d): %d points\n"
     kernel.Gat_ir.Kernel.name gpu.Gat_arch.Gpu.name n seed
     (Gat_tuner.Space.cardinality space);
-  Printf.printf "valid variants: %d\nfailed variants: %d\n"
-    (List.length variants) (List.length failures);
+  Printf.printf "valid variants: %d\nfailed variants: %d\nunsafe variants: %d\n"
+    (List.length variants) (List.length failures) (List.length unsafe);
   List.iter
     (fun f -> Printf.printf "  failed: %s\n" (Gat_tuner.Variant.failure_summary f))
     failures;
+  List.iter
+    (fun u -> Printf.printf "  %s\n" (Gat_tuner.Variant.unsafe_summary u))
+    unsafe;
   let ranked = List.sort Gat_tuner.Variant.compare_time variants in
   let rec take k = function
     | [] -> []
@@ -918,7 +1000,8 @@ let () =
   let group =
     Cmd.group info
       [
-        analyze_cmd; disasm_cmd; cfg_cmd; lint_cmd; occupancy_cmd;
+        analyze_cmd; disasm_cmd; cfg_cmd; lint_cmd; verify_cmd;
+        occupancy_cmd;
         suggest_cmd;
         simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
         sweep_cmd;

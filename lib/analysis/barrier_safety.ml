@@ -1,0 +1,75 @@
+open Gat_isa
+
+module Int_set = Set.Make (Int)
+
+type finding = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;
+  branch_indices : int list;
+  branch_labels : string list;
+}
+
+module Open_lattice = struct
+  type t = Int_set.t
+
+  let bottom = Int_set.empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+end
+
+module Solver = Gat_cfg.Dataflow.Make (Open_lattice)
+
+let check (cfg : Gat_cfg.Cfg.t) =
+  let divergence = Gat_cfg.Divergence.compute cfg in
+  let divergent =
+    Int_set.of_list (Gat_cfg.Divergence.divergent_branches divergence)
+  in
+  if Int_set.is_empty divergent then []
+  else begin
+    let pdom = Gat_cfg.Postdominators.compute cfg in
+    (* A branch [d] is still open at block [b] unless [b] post-dominates
+       [d] — then every lane that left [d] must pass through [b], so the
+       warp has reconverged (the [ipdom] closes it, and so does every
+       later block on the unique path to the exit).  [b = d] itself
+       stays open: the branch's own block ends in the divergent jump. *)
+    let closes b d =
+      b <> d && Gat_cfg.Postdominators.postdominates pdom b d
+    in
+    let effective b incoming = Int_set.filter (fun d -> not (closes b d)) incoming in
+    let result =
+      Solver.solve cfg ~transfer:(fun b _block incoming ->
+          let s = effective b incoming in
+          if Int_set.mem b divergent then Int_set.add b s else s)
+    in
+    let findings = ref [] in
+    Array.iteri
+      (fun bi (block : Basic_block.t) ->
+        let open_set = effective bi result.Solver.before.(bi) in
+        if not (Int_set.is_empty open_set) then
+          List.iteri
+            (fun ii (ins : Instruction.t) ->
+              if Opcode.is_barrier ins.Instruction.op then
+                let branch_indices = Int_set.elements open_set in
+                findings :=
+                  {
+                    block_index = bi;
+                    block_label = block.Basic_block.label;
+                    instr_index = ii;
+                    branch_indices;
+                    branch_labels =
+                      List.map
+                        (fun d -> cfg.Gat_cfg.Cfg.labels.(d))
+                        branch_indices;
+                  }
+                  :: !findings)
+            block.Basic_block.body)
+      cfg.Gat_cfg.Cfg.blocks;
+    List.rev !findings
+  end
+
+let finding_to_string f =
+  Printf.sprintf "BAR at %s+%d under divergent branch%s %s" f.block_label
+    f.instr_index
+    (if List.length f.branch_labels = 1 then "" else "es")
+    (String.concat " " f.branch_labels)

@@ -1,0 +1,33 @@
+(** Barrier-divergence checking.
+
+    Executing [BAR] (__syncthreads) under thread-dependent control
+    flow is undefined behavior on real GPUs: lanes that took the other
+    side of a divergent branch never arrive and the barrier deadlocks
+    or releases early.  The check is a forward dataflow over the CFG
+    whose facts are the {e open divergent branches}: a divergent
+    conditional branch (from {!Gat_cfg.Divergence}) opens at its block
+    and stays open along every path until a block that post-dominates
+    it — its reconvergence point — closes it.  A [BAR] in a block with
+    a non-empty open set is flagged.
+
+    Uniform branches (loop trip counts derived from [N], block-uniform
+    conditions) never open, so barriers inside sequential loops or
+    straight-line staging prologues pass.  A barrier inside the
+    grid-stride parallel loop always fails: its latch compares a
+    tid-derived induction variable. *)
+
+type finding = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;  (** Position of the [BAR] within the block body. *)
+  branch_indices : int list;
+      (** Node indices of the divergent branches still open, sorted. *)
+  branch_labels : string list;  (** Their block labels, same order. *)
+}
+
+val check : Gat_cfg.Cfg.t -> finding list
+(** All divergent barriers, in block/program order.  Empty list =
+    every barrier (if any) executes under uniform control flow. *)
+
+val finding_to_string : finding -> string
+(** One stable line naming the barrier site and the open branches. *)

@@ -2,7 +2,36 @@ open Gat_isa
 
 let kind_to_string = function `Load -> "load" | `Store -> "store"
 
-let render ~gpu ?(threads_per_block = 128) ?regs_per_thread ?(spill_loads = 0)
+type findings = {
+  races : int;
+  divergent_barriers : int;
+  spill_instructions : int;
+}
+
+let clean f = f.races = 0 && f.divergent_barriers = 0 && f.spill_instructions = 0
+
+let findings_to_string f =
+  let parts = [] in
+  let parts =
+    if f.spill_instructions > 0 then
+      Printf.sprintf "%d spill instructions" f.spill_instructions :: parts
+    else parts
+  in
+  let parts =
+    if f.divergent_barriers > 0 then
+      Printf.sprintf "%d divergent barriers" f.divergent_barriers :: parts
+    else parts
+  in
+  let parts =
+    if f.races > 0 then
+      Printf.sprintf "%d shared-memory races" f.races :: parts
+    else parts
+  in
+  if parts = [] then "clean" else String.concat ", " parts
+
+type t = { text : string; findings : findings }
+
+let report ~gpu ~threads_per_block ?regs_per_thread ?(spill_loads = 0)
     ?(spill_stores = 0) ?(stack_frame = 0) (program : Program.t) =
   let regs_per_thread =
     Option.value ~default:program.Program.regs_per_thread regs_per_thread
@@ -14,6 +43,7 @@ let render ~gpu ?(threads_per_block = 128) ?regs_per_thread ?(spill_loads = 0)
   let shared = Bank_conflicts.of_sites gpu sites in
   let divergence = Gat_cfg.Divergence.compute cfg in
   let reachable = Gat_cfg.Cfg.reachable cfg in
+  let verify = Verify.run ~threads_per_block program in
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let header =
@@ -86,6 +116,19 @@ let render ~gpu ?(threads_per_block = 128) ?regs_per_thread ?(spill_loads = 0)
     line "  %d spill loads, %d spill stores, %dB stack frame" spill_loads
       spill_stores stack_frame;
   line "";
+  line "verify (TC=%d):" threads_per_block;
+  line "  barriers: %d (%d interval%s), shared accesses: %d"
+    verify.Verify.barrier_count verify.Verify.interval_count
+    (if verify.Verify.interval_count = 1 then "" else "s")
+    verify.Verify.shared_accesses;
+  List.iter
+    (fun f -> line "  %s" (Barrier_safety.finding_to_string f))
+    verify.Verify.divergent_barriers;
+  List.iter
+    (fun f -> line "  %s" (Races.finding_to_string ~threads_per_block f))
+    verify.Verify.races;
+  line "  verdict: %s" (Verify.verdict verify);
+  line "";
   line "occupancy:";
   let occ =
     Gat_core.Occupancy.calculate gpu
@@ -104,4 +147,18 @@ let render ~gpu ?(threads_per_block = 128) ?regs_per_thread ?(spill_loads = 0)
     reachable;
   if !dead = [] then line "  none"
   else line "  %s" (String.concat " " (List.rev !dead));
-  Buffer.contents buf
+  {
+    text = Buffer.contents buf;
+    findings =
+      {
+        races = List.length verify.Verify.races;
+        divergent_barriers = List.length verify.Verify.divergent_barriers;
+        spill_instructions = spill_loads + spill_stores;
+      };
+  }
+
+let render ~gpu ~threads_per_block ?regs_per_thread ?spill_loads ?spill_stores
+    ?stack_frame program =
+  (report ~gpu ~threads_per_block ?regs_per_thread ?spill_loads ?spill_stores
+     ?stack_frame program)
+    .text

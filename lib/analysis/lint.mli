@@ -4,20 +4,52 @@
     suitable for golden tests: global-memory coalescing (per access:
     pattern, per-lane stride, segments and 128-byte transactions per
     warp), shared-memory bank conflicts (replay factors), divergent
-    branches, register-spill traffic, the occupancy limiter, and blocks
-    unreachable from the entry.
+    branches, register-spill traffic, the safety verifier's verdict
+    ({!Verify}: divergent barriers and shared-memory races), the
+    occupancy limiter, and blocks unreachable from the entry.
 
     Spill counts come from the compile log and are passed in by the
-    caller, keeping this library independent of the compiler. *)
+    caller, keeping this library independent of the compiler.
+    [threads_per_block] is required: the report depends on the actual
+    launch configuration (occupancy and the verifier's thread-pair
+    witnesses), so callers must plumb the variant's TC through rather
+    than rely on a default. *)
+
+type findings = {
+  races : int;  (** Potential shared-memory races ({!Races}). *)
+  divergent_barriers : int;  (** [BAR]s under divergence ({!Barrier_safety}). *)
+  spill_instructions : int;  (** Spill loads plus stores. *)
+}
+(** The conditions [gat lint --strict] gates on. *)
+
+val clean : findings -> bool
+(** No findings of any kind. *)
+
+val findings_to_string : findings -> string
+(** One line naming the non-zero counts (for the strict-mode error). *)
+
+type t = { text : string; findings : findings }
+
+val report :
+  gpu:Gat_arch.Gpu.t ->
+  threads_per_block:int ->
+  ?regs_per_thread:int ->
+  ?spill_loads:int ->
+  ?spill_stores:int ->
+  ?stack_frame:int ->
+  Gat_isa.Program.t ->
+  t
+(** The full report plus the strict-mode finding counts.
+    [regs_per_thread] defaults to the program's own count; spill
+    statistics default to 0. *)
 
 val render :
   gpu:Gat_arch.Gpu.t ->
-  ?threads_per_block:int ->
+  threads_per_block:int ->
   ?regs_per_thread:int ->
   ?spill_loads:int ->
   ?spill_stores:int ->
   ?stack_frame:int ->
   Gat_isa.Program.t ->
   string
-(** [threads_per_block] defaults to 128; [regs_per_thread] defaults to
-    the program's own count; spill statistics default to 0. *)
+(** [(report ...).text]. *)

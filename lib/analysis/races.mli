@@ -1,0 +1,55 @@
+(** Shared-memory race detection: the two-thread abstraction.
+
+    Within each barrier interval ({!Gat_cfg.Intervals}), every pair of
+    [LDS]/[STS] accesses with at least one write is checked for a pair
+    of {e distinct} symbolic threads [t1 <> t2] in [[0, TC)] that can
+    touch overlapping 4-byte shared addresses.  Addresses come from
+    the {!Affine} per-lane summaries: [base + tid_stride·t +
+    iter_stride·j].  When both accesses resolve to known constant
+    bases and per-lane strides, the checker searches for an exact
+    thread-pair witness (linear in TC); loop-carried iteration strides
+    are handled by a gcd congruence over the iteration lattice; and
+    anything the affine domain cannot resolve (unknown strides,
+    unknown uniform bases) is conservatively reported as a potential
+    race — the analysis is a may-analysis, sound for race freedom but
+    not complete.
+
+    One benign exception: two stores whose stored values are both the
+    {e same known constant} cannot produce an observable race (every
+    interleaving leaves the same bytes), which admits the compiler's
+    own staging prologue — all threads store literal zero to the same
+    staging slots before the barrier. *)
+
+type access = {
+  block_index : int;
+  block_label : string;
+  instr_index : int;  (** Position within the block body. *)
+  op : Gat_isa.Opcode.t;  (** [LDS] or [STS]. *)
+  address : Affine.value;  (** Abstract byte address. *)
+  stored : Affine.value option;  (** The value stored, for [STS]. *)
+  predicated : bool;  (** Guarded accesses are assumed executed. *)
+}
+
+type kind = Write_write | Read_write
+
+type witness =
+  | Exact of int * int
+      (** Two distinct thread indices that touch overlapping bytes. *)
+  | May of string
+      (** Conservative: why the pair could not be proved disjoint. *)
+
+type finding = { first : access; second : access; kind : kind; witness : witness }
+
+val shared_accesses : Gat_cfg.Cfg.t -> access list
+(** Every shared-memory access, in block/program order. *)
+
+val check : threads_per_block:int -> Gat_cfg.Cfg.t -> finding list
+(** All racing pairs, ordered by (first, second) program position.
+    [threads_per_block] bounds the symbolic thread indices — the TC
+    condition under which an exact witness fires. *)
+
+val address_to_string : Affine.value -> string
+(** Stable rendering, e.g. ["0 + 4·t"], ["u + 4n·t + 4·j"]. *)
+
+val access_to_string : access -> string
+val finding_to_string : threads_per_block:int -> finding -> string

@@ -1,0 +1,45 @@
+(** The static kernel safety verifier ([gat verify]).
+
+    Aggregates the two safety passes over one compiled program:
+    {!Barrier_safety} (no [BAR] under thread-dependent control flow)
+    and {!Races} (no two distinct threads can touch overlapping
+    shared-memory bytes with at least one write inside a barrier
+    interval).  A program with no findings is {e verified safe} under
+    the analyses' abstractions; findings make it unsafe and the sweep
+    engine classifies the variant accordingly
+    ({!Gat_tuner.Variant.unsafe}).
+
+    The verdict depends only on the instruction structure and the
+    launch's thread count — never on block weights, block count, or
+    the problem size — which is what makes per-variant verdict caching
+    ({!Gat_tuner} [Verdict_cache]) sound across the (BC, N) axes.
+
+    Observability: each run increments [verify.checked] plus
+    [verify.unsafe] / [verify.divergent_barriers] / [verify.races]
+    counters and runs inside a [verify.run] trace span. *)
+
+type report = {
+  program_name : string;
+  threads_per_block : int;
+  barrier_count : int;
+  interval_count : int;  (** Barrier intervals = barriers + 1. *)
+  shared_accesses : int;  (** LDS/STS instructions inspected. *)
+  divergent_barriers : Barrier_safety.finding list;
+  races : Races.finding list;
+}
+
+val run : threads_per_block:int -> Gat_isa.Program.t -> report
+
+val safe : report -> bool
+(** No findings of either kind. *)
+
+val verdict : report -> string
+(** ["SAFE"] or ["UNSAFE"]. *)
+
+val summary : report -> string
+(** One line: verdict plus finding counts, e.g.
+    ["UNSAFE: 1 divergent barrier, 2 shared-memory races"]. *)
+
+val render : report -> string
+(** The stable plain-text report printed by [gat verify] and golden
+    tests. *)

@@ -1,0 +1,110 @@
+open Gat_isa
+
+module Int_set = Set.Make (Int)
+
+type barrier = {
+  id : int;
+  block_index : int;
+  block_label : string;
+  instr_index : int;
+}
+
+type t = {
+  barrier_list : barrier list;
+  entry_phases : Int_set.t array;  (** Reaching phases at block entry. *)
+  body_phases : Int_set.t array array;
+      (** Per block, the reaching set just before each body
+          instruction. *)
+}
+
+(* Number the barriers in block/program order so phase ids are stable
+   across runs and reports. *)
+let find_barriers (cfg : Cfg.t) =
+  let next = ref 0 in
+  let barriers = ref [] in
+  Array.iteri
+    (fun bi (b : Basic_block.t) ->
+      List.iteri
+        (fun ii (ins : Instruction.t) ->
+          if Opcode.is_barrier ins.Instruction.op then begin
+            incr next;
+            barriers :=
+              {
+                id = !next;
+                block_index = bi;
+                block_label = b.Basic_block.label;
+                instr_index = ii;
+              }
+              :: !barriers
+          end)
+        b.Basic_block.body)
+    cfg.Cfg.blocks;
+  List.rev !barriers
+
+module Phase_lattice = struct
+  type t = Int_set.t
+
+  let bottom = Int_set.empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+end
+
+module Solver = Dataflow.Make (Phase_lattice)
+
+let compute (cfg : Cfg.t) =
+  let barrier_list = find_barriers cfg in
+  (* barrier id by (block, instr) for the transfer function. *)
+  let ids : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun b -> Hashtbl.replace ids (b.block_index, b.instr_index) b.id)
+    barrier_list;
+  let transfer bi (block : Basic_block.t) incoming =
+    let s = ref incoming in
+    List.iteri
+      (fun ii (ins : Instruction.t) ->
+        if Opcode.is_barrier ins.Instruction.op then
+          s := Int_set.singleton (Hashtbl.find ids (bi, ii)))
+      block.Basic_block.body;
+    !s
+  in
+  let result =
+    Solver.solve ~init:(Int_set.singleton 0) cfg ~transfer:(fun i b v ->
+        transfer i b v)
+  in
+  let entry_phases = result.Solver.before in
+  let body_phases =
+    Array.mapi
+      (fun bi (block : Basic_block.t) ->
+        let s = ref entry_phases.(bi) in
+        let per_instr =
+          List.mapi
+            (fun ii (ins : Instruction.t) ->
+              let here = !s in
+              if Opcode.is_barrier ins.Instruction.op then
+                s := Int_set.singleton (Hashtbl.find ids (bi, ii));
+              here)
+            block.Basic_block.body
+        in
+        Array.of_list per_instr)
+      cfg.Cfg.blocks
+  in
+  { barrier_list; entry_phases; body_phases }
+
+let barrier_count t = List.length t.barrier_list
+let barriers t = t.barrier_list
+let block_entry_phases t i = Int_set.elements t.entry_phases.(i)
+
+let instr_phase_set t ~block ~instr =
+  let per_block = t.body_phases.(block) in
+  if instr < 0 || instr >= Array.length per_block then
+    invalid_arg "Intervals.instr_phases: instruction index out of range";
+  per_block.(instr)
+
+let instr_phases t ~block ~instr =
+  Int_set.elements (instr_phase_set t ~block ~instr)
+
+let may_share_phase t (b1, i1) (b2, i2) =
+  not
+    (Int_set.disjoint
+       (instr_phase_set t ~block:b1 ~instr:i1)
+       (instr_phase_set t ~block:b2 ~instr:i2))

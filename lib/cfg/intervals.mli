@@ -1,0 +1,41 @@
+(** Barrier intervals: the program regions between synchronizations.
+
+    Every [BAR] instruction opens a new {e phase}; phase 0 is the
+    virtual barrier before the entry block.  A reaching-barriers
+    forward dataflow assigns each instruction the set of phases it can
+    execute in: on loop back edges an instruction after a [BAR] can
+    also re-execute before the next dynamic barrier, so its phase set
+    contains every barrier whose interval may contain it.  Two
+    shared-memory accesses can interleave without an ordering barrier
+    exactly when their phase sets intersect — the gating fact the race
+    detector ({!Gat_analysis}) builds on. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val barrier_count : t -> int
+(** Number of [BAR] instructions in the program. *)
+
+type barrier = {
+  id : int;  (** Phase id opened by this barrier ([>= 1]). *)
+  block_index : int;
+  block_label : string;
+  instr_index : int;  (** Position within the block body. *)
+}
+
+val barriers : t -> barrier list
+(** All barriers, in block/program order. *)
+
+val block_entry_phases : t -> int -> int list
+(** Sorted phase ids reaching a block's entry ([[]] when the block is
+    unreachable from the entry). *)
+
+val instr_phases : t -> block:int -> instr:int -> int list
+(** Sorted phase ids in which body instruction [instr] of block
+    [block] can execute (the reaching set just before it). *)
+
+val may_share_phase : t -> int * int -> int * int -> bool
+(** [may_share_phase t (b1, i1) (b2, i2)] — can the two body
+    instructions execute within the same barrier interval?  True when
+    their phase sets intersect. *)

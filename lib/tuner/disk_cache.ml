@@ -16,8 +16,11 @@
    killed run can resume instead of starting over. *)
 
 let model_version = "gat-sim/3"
-let magic = "gat-sweep-cache 3"
-let ckpt_magic = "gat-sweep-ckpt 1"
+
+(* Format 4 adds the unsafe-variant section (verifier rejections);
+   older files fail the magic check and read as misses. *)
+let magic = "gat-sweep-cache 4"
+let ckpt_magic = "gat-sweep-ckpt 2"
 
 (* ---- location ---- *)
 
@@ -213,6 +216,20 @@ let emit_failure buf (f : Variant.failure) =
        p.Gat_compiler.Params.staging
        (if p.Gat_compiler.Params.fast_math then 1 else 0)
        f.Variant.attempts (one_line f.Variant.message))
+
+let emit_unsafe buf (u : Variant.unsafe) =
+  let p = u.Variant.unsafe_params in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %d %d %s\n"
+       p.Gat_compiler.Params.threads_per_block p.Gat_compiler.Params.block_count
+       p.Gat_compiler.Params.unroll p.Gat_compiler.Params.l1_pref_kb
+       p.Gat_compiler.Params.staging
+       (if p.Gat_compiler.Params.fast_math then 1 else 0)
+       (one_line u.Variant.reason))
+
+let emit_unsafe_section buf unsafe =
+  Buffer.add_string buf (Printf.sprintf "unsafe %d\n" (List.length unsafe));
+  List.iter (emit_unsafe buf) unsafe
 
 (* The mix dictionary plus the variant lines — shared by entry and
    checkpoint files. *)
@@ -517,6 +534,34 @@ let read_failure cur =
     attempts;
   }
 
+let read_unsafe cur =
+  let stop = line_end cur in
+  let threads_per_block = int_field cur stop in
+  let block_count = int_field cur stop in
+  let unroll = int_field cur stop in
+  let l1_pref_kb = int_field cur stop in
+  let staging = int_field cur stop in
+  let fast_math = int_field cur stop <> 0 in
+  let reason = rest_of_line cur stop in
+  cur.pos <- stop + 1;
+  {
+    Variant.unsafe_params =
+      {
+        Gat_compiler.Params.threads_per_block;
+        block_count;
+        unroll;
+        l1_pref_kb;
+        staging;
+        fast_math;
+      };
+    reason;
+  }
+
+let read_unsafe_section cur =
+  let n = counted cur "unsafe " in
+  if n > 1_000_000 then raise Bad_entry;
+  List.init n (fun _ -> read_unsafe cur)
+
 let read_variants_section cur =
   let n_mixes = counted cur "mixes " in
   if n_mixes > 1_000_000 then raise Bad_entry;
@@ -554,9 +599,10 @@ let read_file path =
   let cur = { s; pos = 0 } in
   expect_line cur magic;
   expect_line cur ("model " ^ model_version);
+  let unsafe = read_unsafe_section cur in
   let variants = read_variants_section cur in
   read_trailer cur;
-  variants
+  (variants, unsafe)
 
 (* ---- store / find ---- *)
 
@@ -577,13 +623,14 @@ let publish ~path buf =
   Sys.rename tmp path;
   Gat_util.Metrics.incr ~by:(Buffer.length buf) m_bytes_written
 
-let store space kernel gpu ~n ~seed variants =
+let store space kernel gpu ~n ~seed variants unsafe =
   if writable () then
     try
       let buf = Buffer.create 4096 in
       Buffer.add_string buf magic;
       Buffer.add_char buf '\n';
       Buffer.add_string buf ("model " ^ model_version ^ "\n");
+      emit_unsafe_section buf unsafe;
       emit_variants_section buf variants;
       emit_trailer buf;
       publish ~path:(file_of_key (key space kernel gpu ~n ~seed)) buf;
@@ -602,9 +649,9 @@ let find space kernel gpu ~n ~seed =
     end
     else
       match read_file path with
-      | variants ->
+      | entry ->
           hit ();
-          Some variants
+          Some entry
       | exception _ ->
           (* Corrupted, truncated or foreign content: a miss, and the
              stale file will be overwritten by the next store. *)
@@ -617,6 +664,7 @@ type checkpoint = {
   done_points : int;  (** Completed prefix of [Space.points]. *)
   variants : Variant.t list;
   failures : Variant.failure list;
+  unsafe : Variant.unsafe list;
 }
 
 let checkpoint_store space kernel gpu ~n ~seed ckpt =
@@ -630,6 +678,7 @@ let checkpoint_store space kernel gpu ~n ~seed ckpt =
       Buffer.add_string buf
         (Printf.sprintf "failures %d\n" (List.length ckpt.failures));
       List.iter (emit_failure buf) ckpt.failures;
+      emit_unsafe_section buf ckpt.unsafe;
       emit_variants_section buf ckpt.variants;
       emit_trailer buf;
       publish ~path:(ckpt_of_key (key space kernel gpu ~n ~seed)) buf;
@@ -656,9 +705,10 @@ let checkpoint_find space kernel gpu ~n ~seed =
         let n_failures = counted cur "failures " in
         if n_failures > 1_000_000 then raise Bad_entry;
         let failures = List.init n_failures (fun _ -> read_failure cur) in
+        let unsafe = read_unsafe_section cur in
         let variants = read_variants_section cur in
         read_trailer cur;
-        { done_points; variants; failures }
+        { done_points; variants; failures; unsafe }
       in
       (* Like entries: damaged checkpoints read as "no checkpoint" and
          the sweep restarts from scratch, which is always safe. *)

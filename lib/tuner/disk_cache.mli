@@ -84,8 +84,9 @@ val find :
   Gat_arch.Gpu.t ->
   n:int ->
   seed:int ->
-  Variant.t list option
-(** Look up a finished sweep.  [None] on any failure whatsoever. *)
+  (Variant.t list * Variant.unsafe list) option
+(** Look up a finished sweep: its valid variants plus the points the
+    safety verifier rejected.  [None] on any failure whatsoever. *)
 
 val store :
   Space.t ->
@@ -94,6 +95,7 @@ val store :
   n:int ->
   seed:int ->
   Variant.t list ->
+  Variant.unsafe list ->
   unit
 (** Persist a finished sweep.  Never raises: I/O failures (read-only
     filesystem, no space) are silently dropped — the cache is an
@@ -112,6 +114,7 @@ type checkpoint = {
   done_points : int;  (** Completed prefix length of [Space.points]. *)
   variants : Variant.t list;  (** Outcomes of that prefix, in order. *)
   failures : Variant.failure list;  (** Failed points of that prefix. *)
+  unsafe : Variant.unsafe list;  (** Verifier-rejected points of it. *)
 }
 
 val checkpoint_store :

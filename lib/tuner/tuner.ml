@@ -12,7 +12,13 @@ let eval_point kernel gpu ~n ~seed params =
   let rng = Gat_util.Rng.create (point_seed kernel gpu ~seed params) in
   match Compile_cache.get kernel gpu params with
   | Error _ -> None
-  | Ok compiled -> Some (Measure.evaluate_compiled compiled ~n ~rng)
+  | Ok compiled ->
+      (* Unsafe variants evaluate to None, exactly like invalid ones:
+         no search strategy can ever rank a variant the verifier
+         rejected, however fast the simulator says it would be. *)
+      if Gat_analysis.Verify.safe (Verdict_cache.get compiled) then
+        Some (Measure.evaluate_compiled compiled ~n ~rng)
+      else None
 
 let objective kernel gpu ~n ~seed =
   Search.memoized_objective (fun params ->
@@ -23,6 +29,7 @@ let objective kernel gpu ~n ~seed =
 type report = {
   variants : Variant.t list;
   failures : Variant.failure list;
+  unsafe : Variant.unsafe list;
   restored_points : int;
 }
 
@@ -32,6 +39,7 @@ let sweep_cache : (string, report) Hashtbl.t = Hashtbl.create 16
 let clear_cache () =
   Gat_util.Pool.with_lock sweep_lock (fun () -> Hashtbl.reset sweep_cache);
   Compile_cache.clear ();
+  Verdict_cache.clear ();
   Gat_compiler.Codegen_cache.clear ()
 
 let sweep_key space kernel gpu ~n ~seed =
@@ -83,6 +91,7 @@ let m_blocks = Gat_util.Metrics.counter "sweep.blocks"
 let m_fail_compile = Gat_util.Metrics.counter "sweep.failures.compile"
 let m_fail_simulate = Gat_util.Metrics.counter "sweep.failures.simulate"
 let m_restored = Gat_util.Metrics.counter "sweep.restored_points"
+let m_unsafe = Gat_util.Metrics.counter "sweep.unsafe"
 
 (* Evaluation order over [Space.points] is fixed, so the accumulated
    variant and failure lists depend only on (space, kernel, gpu, n,
@@ -101,6 +110,9 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
      size-independent and recorded against every size; simulate
      failures only against theirs. *)
   let acc = List.map (fun n -> (n, ref [], ref [])) ns in
+  (* Unsafe verdicts, like compile failures, are size-independent:
+     recorded once per point for the whole sweep. *)
+  let unsafe_rev = ref [] in
   let failed_global = ref 0 in
   let budget_left () =
     Option.map (fun b -> max 0 (b - !failed_global)) max_failures
@@ -117,6 +129,7 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
             | [ (_, variants_rev, failures_rev) ] ->
                 variants_rev := List.rev c.Disk_cache.variants;
                 failures_rev := List.rev c.Disk_cache.failures;
+                unsafe_rev := List.rev c.Disk_cache.unsafe;
                 failed_global := List.length c.Disk_cache.failures;
                 start := c.Disk_cache.done_points;
                 restored := c.Disk_cache.done_points
@@ -149,7 +162,12 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
             Gat_util.Fault.inject ~site:"compile"
               ~key:(fault_key kernel gpu params);
             ( Gat_util.Rng.create (point_seed kernel gpu ~seed params),
-              Compile_cache.get kernel gpu params ))
+              (* Verify right after compiling, while the block's
+                 workers are already fanned out; the verdict cache
+                 collapses the (BC, N) axes to one analysis each. *)
+              Result.map
+                (fun c -> (c, Verdict_cache.get c))
+                (Compile_cache.get kernel gpu params) ))
           blk
       with Gat_util.Pool.Budget_exceeded { failed; last; _ } ->
         budget_exceeded
@@ -159,6 +177,15 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
     Array.iteri
       (fun i entry ->
         match entry with
+        | Ok (_, Ok (_, verdict))
+          when not (Gat_analysis.Verify.safe verdict) ->
+            Gat_util.Metrics.incr m_unsafe;
+            unsafe_rev :=
+              {
+                Variant.unsafe_params = blk.(i);
+                reason = Gat_analysis.Verify.summary verdict;
+              }
+              :: !unsafe_rev
         | Ok _ -> ()
         | Error (info : Gat_util.Pool.exn_info) ->
             incr failed_global;
@@ -188,7 +215,10 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
                 match compiled.(i) with
                 | Error _ -> None (* already recorded as a compile failure *)
                 | Ok (_, Error _) -> None (* invalid variant *)
-                | Ok (rng, Ok c) ->
+                | Ok (_, Ok (_, verdict))
+                  when not (Gat_analysis.Verify.safe verdict) ->
+                    None (* unsafe variant: never simulated or ranked *)
+                | Ok (rng, Ok (c, _)) ->
                     Gat_util.Fault.inject ~site:"simulate"
                       ~key:
                         (Printf.sprintf "%s/n=%d"
@@ -236,6 +266,7 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
               Disk_cache.done_points = !start;
               variants = List.rev !variants_rev;
               failures = List.rev !failures_rev;
+              unsafe = List.rev !unsafe_rev;
             }
       | _ -> ()
   done;
@@ -247,6 +278,7 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
       (fun (n, variants_rev, failures_rev) ->
         (n, (List.rev !variants_rev, List.rev !failures_rev)))
       acc,
+    List.rev !unsafe_rev,
     !restored )
 
 (* A sweep missing from the in-process cache may still be on disk from
@@ -256,13 +288,18 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
    must never masquerade as the complete sweep in a later process. *)
 let restore_from_disk space kernel gpu ~n ~seed key =
   match Disk_cache.find space kernel gpu ~n ~seed with
-  | Some variants ->
-      Some (store_sweep key { variants; failures = []; restored_points = 0 })
+  | Some (variants, unsafe) ->
+      Some
+        (store_sweep key { variants; failures = []; unsafe; restored_points = 0 })
   | None -> None
 
-let finish_sweep space kernel gpu ~n ~seed key (variants, failures) ~restored =
-  let r = store_sweep key { variants; failures; restored_points = restored } in
-  if r.failures = [] then Disk_cache.store space kernel gpu ~n ~seed r.variants;
+let finish_sweep space kernel gpu ~n ~seed key (variants, failures) ~unsafe
+    ~restored =
+  let r =
+    store_sweep key { variants; failures; unsafe; restored_points = restored }
+  in
+  if r.failures = [] then
+    Disk_cache.store space kernel gpu ~n ~seed r.variants r.unsafe;
   r
 
 let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
@@ -278,8 +315,9 @@ let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
             run_sweeps ?jobs ?retries ?max_failures ?checkpoint ?resume ?block
               ?progress kernel gpu ~space ~ns:[ n ] ~seed
           with
-          | [ (_, outcome) ], restored ->
-              finish_sweep space kernel gpu ~n ~seed key outcome ~restored
+          | [ (_, outcome) ], unsafe, restored ->
+              finish_sweep space kernel gpu ~n ~seed key outcome ~unsafe
+                ~restored
           | _ -> assert false))
 
 let sweep ?space ?jobs kernel gpu ~n ~seed =
@@ -297,13 +335,15 @@ let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
   (match missing with
   | [] -> ()
   | _ ->
-      let results, _ = run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed in
+      let results, unsafe, _ =
+        run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed
+      in
       List.iter
         (fun (n, outcome) ->
           ignore
             (finish_sweep space kernel gpu ~n ~seed
                (sweep_key space kernel gpu ~n ~seed)
-               outcome ~restored:0))
+               outcome ~unsafe ~restored:0))
         results);
   List.map (fun n -> (n, sweep ~space ?jobs kernel gpu ~n ~seed)) ns
 

@@ -64,6 +64,15 @@ type report = {
       (** Successful evaluations, in space-point order. *)
   failures : Variant.failure list;
       (** Points whose evaluation raised even after retry, in order. *)
+  unsafe : Variant.unsafe list;
+      (** Points the static safety verifier rejected
+          ({!Gat_analysis.Verify}), in space-point order.  Unsafe
+          variants are never simulated, never appear in [variants],
+          and never get ranked by any search strategy; like compile
+          failures they are size-independent.  Verdicts are memoized
+          per code shape ([Verdict_cache]), counted under
+          [sweep.unsafe], and — unlike failures — persisted with the
+          sweep, since they are part of the complete result. *)
   restored_points : int;
       (** Points restored from a checkpoint (0 unless resumed). *)
 }

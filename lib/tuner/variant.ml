@@ -13,6 +13,8 @@ type failure = {
   attempts : int;
 }
 
+type unsafe = { unsafe_params : Gat_compiler.Params.t; reason : string }
+
 let compare_time a b = compare a.time_ms b.time_ms
 
 let failure_summary f =
@@ -21,6 +23,11 @@ let failure_summary f =
     f.attempts
     (if f.attempts = 1 then "" else "s")
     f.message
+
+let unsafe_summary u =
+  Printf.sprintf "%s  UNSAFE: %s"
+    (Gat_compiler.Params.to_string u.unsafe_params)
+    u.reason
 
 let summary t =
   Printf.sprintf "%s  time=%.4f ms  occ=%.2f  regs=%d"

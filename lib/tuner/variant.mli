@@ -25,9 +25,23 @@ type failure = {
     skips.  Failures are first-class sweep outcomes: recorded,
     reported, checkpointed, never fatal below the failure budget. *)
 
+type unsafe = {
+  unsafe_params : Gat_compiler.Params.t;
+      (** The parameter point whose compiled code failed verification. *)
+  reason : string;
+      (** The verifier's one-line summary ({!Gat_analysis.Verify}). *)
+}
+(** A variant the static safety verifier rejected: its code compiles
+    but can race on shared memory or execute a barrier under divergent
+    control flow.  Unsafe variants are never simulated, never ranked
+    and never persisted as results — a third first-class sweep outcome
+    next to valid variants and failures. *)
+
 val compare_time : t -> t -> int
 (** Ascending measured time. *)
 
 val failure_summary : failure -> string
+
+val unsafe_summary : unsafe -> string
 
 val summary : t -> string

@@ -1,0 +1,68 @@
+open Gat_isa
+
+type entry = { in_blocks : Basic_block.t list; report : Gat_analysis.Verify.report }
+
+type stats = { classes : int; hits : int; misses : int }
+
+let table : (string * string * int * int * int * int * bool, entry) Hashtbl.t =
+  Hashtbl.create 64
+
+let lock = Mutex.create ()
+let hit_count = ref 0
+let miss_count = ref 0
+let m_hits = Gat_util.Metrics.counter "cache.verdict.hits"
+let m_misses = Gat_util.Metrics.counter "cache.verdict.misses"
+
+let stats () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      { classes = Hashtbl.length table; hits = !hit_count; misses = !miss_count })
+
+let clear () =
+  Gat_util.Pool.with_lock lock (fun () ->
+      Hashtbl.reset table;
+      hit_count := 0;
+      miss_count := 0)
+
+(* Weight-free structural equality, exactly the codegen cache's
+   soundness check: labels, bodies and terminators, but not the
+   per-block weights — the only lowered artifact that depends on BC,
+   which the verifier never reads. *)
+let same_code (a : Basic_block.t) (b : Basic_block.t) =
+  String.equal a.Basic_block.label b.Basic_block.label
+  && a.Basic_block.body = b.Basic_block.body
+  && a.Basic_block.term = b.Basic_block.term
+
+let same_program_code xs ys =
+  List.length xs = List.length ys && List.for_all2 same_code xs ys
+
+let get (c : Gat_compiler.Driver.compiled) =
+  let params = c.Gat_compiler.Driver.params in
+  let vp = c.Gat_compiler.Driver.ptx in
+  let key =
+    ( vp.Program.name,
+      c.Gat_compiler.Driver.gpu.Gat_arch.Gpu.name,
+      params.Gat_compiler.Params.threads_per_block,
+      params.Gat_compiler.Params.unroll,
+      params.Gat_compiler.Params.l1_pref_kb,
+      params.Gat_compiler.Params.staging,
+      params.Gat_compiler.Params.fast_math )
+  in
+  let cached =
+    Gat_util.Pool.with_lock lock (fun () -> Hashtbl.find_opt table key)
+  in
+  match cached with
+  | Some e when same_program_code e.in_blocks vp.Program.blocks ->
+      Gat_util.Pool.with_lock lock (fun () -> incr hit_count);
+      Gat_util.Metrics.incr m_hits;
+      e.report
+  | _ ->
+      let report =
+        Gat_analysis.Verify.run
+          ~threads_per_block:params.Gat_compiler.Params.threads_per_block vp
+      in
+      Gat_util.Metrics.incr m_misses;
+      Gat_util.Pool.with_lock lock (fun () ->
+          incr miss_count;
+          Hashtbl.replace table key
+            { in_blocks = vp.Program.blocks; report });
+      report

@@ -1,0 +1,24 @@
+(** Per-variant safety-verdict memoization, keyed like
+    {!Gat_compiler.Codegen_cache}.
+
+    The verifier's verdict reads only the instruction structure of the
+    lowered (virtual-register) program and the thread count — never
+    the per-block execution weights, which are the only part of the
+    code that depends on BC — so one verification is shared across
+    every BC point of a sweep once the code-shaping parameters and TC
+    are fixed.  Like the codegen cache, reuse is sound by
+    construction: a stored verdict is returned only after a
+    weight-free structural comparison of the incoming blocks against
+    the blocks that produced it; any mismatch recomputes.
+
+    Thread-safe; sweeps verify variants from parallel pool workers.
+    Counters: [cache.verdict.hits] / [cache.verdict.misses]. *)
+
+val get : Gat_compiler.Driver.compiled -> Gat_analysis.Verify.report
+(** The verifier's report for this compiled variant's virtual-register
+    program at its TC, memoized. *)
+
+type stats = { classes : int; hits : int; misses : int }
+
+val stats : unit -> stats
+val clear : unit -> unit

@@ -3,6 +3,7 @@ type stage =
   | Parse
   | Typecheck
   | Compile
+  | Verify
   | Tune
   | Io
   | Interrupted
@@ -17,6 +18,7 @@ let stage_name = function
   | Parse -> "parse"
   | Typecheck -> "typecheck"
   | Compile -> "compile"
+  | Verify -> "verify"
   | Tune -> "tuning"
   | Io -> "i/o"
   | Interrupted -> "interrupted"
@@ -32,6 +34,7 @@ let exit_code = function
   | Compile -> 4
   | Tune -> 5
   | Io -> 6
+  | Verify -> 7
   | Interrupted -> 130
   | Internal -> 125
 

@@ -14,6 +14,7 @@ type stage =
   | Parse  (** Unparseable kernel source, journal, or annotation. *)
   | Typecheck  (** Input parsed but is ill-typed. *)
   | Compile  (** The compiler driver rejected a variant. *)
+  | Verify  (** The static safety verifier found the code unsafe. *)
   | Tune  (** An autotuning run aborted (e.g. failure budget). *)
   | Io  (** File system or serialization failure. *)
   | Interrupted  (** Cooperative stop after SIGINT. *)
@@ -26,7 +27,7 @@ exception Error of t
 val stage_name : stage -> string
 
 val exit_code : stage -> int
-(** Usage 2, Parse/Typecheck 3, Compile 4, Tune 5, Io 6,
+(** Usage 2, Parse/Typecheck 3, Compile 4, Tune 5, Io 6, Verify 7,
     Interrupted 130, Internal 125.  0 is success; 1 is left to
     [Cmdliner]'s own conventions. *)
 

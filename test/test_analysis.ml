@@ -283,6 +283,10 @@ let atax_m2050_golden =
       "spills:";
       "  none";
       "";
+      "verify (TC=128):";
+      "  barriers: 0 (1 interval), shared accesses: 0";
+      "  verdict: SAFE";
+      "";
       "occupancy:";
       "  66.7% (32/48 warps), limited by warps";
       "";
@@ -311,6 +315,10 @@ let matvec2d_k20_golden =
       "";
       "spills:";
       "  none";
+      "";
+      "verify (TC=128):";
+      "  barriers: 0 (1 interval), shared accesses: 0";
+      "  verdict: SAFE";
       "";
       "occupancy:";
       "  100.0% (64/64 warps), limited by warps";

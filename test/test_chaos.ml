@@ -69,7 +69,15 @@ let check_report_eq (a : Tuner.report) (b : Tuner.report) =
         (Params.compare x.Variant.failed_params y.Variant.failed_params);
       Alcotest.(check string) "message" x.Variant.message y.Variant.message;
       Alcotest.(check int) "attempts" x.Variant.attempts y.Variant.attempts)
-    a.Tuner.failures b.Tuner.failures
+    a.Tuner.failures b.Tuner.failures;
+  Alcotest.(check int) "unsafe count" (List.length a.Tuner.unsafe)
+    (List.length b.Tuner.unsafe);
+  List.iter2
+    (fun (x : Variant.unsafe) (y : Variant.unsafe) ->
+      Alcotest.(check int) "unsafe params" 0
+        (Params.compare x.Variant.unsafe_params y.Variant.unsafe_params);
+      Alcotest.(check string) "reason" x.Variant.reason y.Variant.reason)
+    a.Tuner.unsafe b.Tuner.unsafe
 
 let clean_report () =
   reset ();
@@ -217,6 +225,10 @@ let test_resume_equivalence () =
         List.filter
           (fun (f : Variant.failure) -> in_prefix f.Variant.failed_params)
           reference.Tuner.failures;
+      unsafe =
+        List.filter
+          (fun (u : Variant.unsafe) -> in_prefix u.Variant.unsafe_params)
+          reference.Tuner.unsafe;
     };
   Tuner.clear_cache ();
   let resumed =

@@ -67,6 +67,16 @@ let sample_variants =
     };
   ]
 
+let sample_unsafe =
+  [
+    {
+      Variant.unsafe_params =
+        Params.make ~threads_per_block:256 ~block_count:64 ~unroll:4
+          ~l1_pref_kb:16 ~staging:4 ~fast_math:false ();
+      reason = "UNSAFE: 1 divergent barrier, 2 shared-memory races";
+    };
+  ]
+
 let check_bits label a b =
   Alcotest.(check int64) label (Int64.bits_of_float a) (Int64.bits_of_float b)
 
@@ -89,6 +99,15 @@ let check_variants_identical stored loaded =
         [ b.Variant.dynamic_mix; b.Variant.est_mix ])
     stored loaded
 
+let check_unsafe_identical stored loaded =
+  Alcotest.(check int) "unsafe count" (List.length stored) (List.length loaded);
+  List.iter2
+    (fun (a : Variant.unsafe) (b : Variant.unsafe) ->
+      Alcotest.(check int) "unsafe params" 0
+        (Params.compare a.Variant.unsafe_params b.Variant.unsafe_params);
+      Alcotest.(check string) "reason" a.Variant.reason b.Variant.reason)
+    stored loaded
+
 (* ---- basics ---- *)
 
 let test_scratch_dir () =
@@ -104,18 +123,21 @@ let test_miss_on_empty () =
 
 let test_store_find_roundtrip () =
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   match Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 with
   | None -> Alcotest.fail "stored entry not found"
-  | Some loaded ->
+  | Some (loaded, unsafe_loaded) ->
       check_variants_identical sample_variants loaded;
+      check_unsafe_identical sample_unsafe unsafe_loaded;
       let s = Disk_cache.stats () in
       Alcotest.(check int) "one store" 1 s.Disk_cache.stores;
       Alcotest.(check int) "one hit" 1 s.Disk_cache.hits
 
 let test_key_sensitivity () =
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   Alcotest.(check bool) "different size misses" true
     (Disk_cache.find small_space kernel gpu ~n:128 ~seed:42 = None);
   Alcotest.(check bool) "different seed misses" true
@@ -135,7 +157,8 @@ let entry_path () =
 
 let test_version_invalidation () =
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   (* Pretend the entry was written by an older simulator: rewrite its
      model stamp.  The payload check must reject it. *)
   let path = entry_path () in
@@ -153,7 +176,8 @@ let test_version_invalidation () =
 
 let corrupt content =
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   Out_channel.with_open_text (entry_path ()) (fun oc ->
       Out_channel.output_string oc content);
   Disk_cache.find small_space kernel gpu ~n:64 ~seed:42
@@ -165,7 +189,8 @@ let test_corruption_tolerated () =
     (corrupt "gat-sweep-cache 1\nmodel gat-sim/3\nvariants 999\nend\n" = None);
   (* Truncation: drop the trailing "end" marker and half a line. *)
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   let whole = In_channel.with_open_text (entry_path ()) In_channel.input_all in
   Out_channel.with_open_text (entry_path ()) (fun oc ->
       Out_channel.output_string oc
@@ -176,7 +201,8 @@ let test_corruption_tolerated () =
 let test_disabled_is_inert () =
   reset ();
   Disk_cache.set_enabled false;
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   Alcotest.(check bool) "no find when disabled" true
     (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
   let entries, _ = Disk_cache.disk_usage () in
@@ -188,8 +214,10 @@ let test_disabled_is_inert () =
 
 let test_usage_and_clear () =
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
-  Disk_cache.store small_space kernel gpu ~n:128 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
+  Disk_cache.store small_space kernel gpu ~n:128 ~seed:42 sample_variants
+    sample_unsafe;
   (* A foreign file in the cache directory must survive [clear]. *)
   let foreign = Filename.concat scratch "keep.txt" in
   Out_channel.with_open_text foreign (fun oc ->
@@ -215,7 +243,8 @@ let test_usage_and_clear () =
 
 let written_entry () =
   reset ();
-  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+  Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
   In_channel.with_open_bin (entry_path ()) In_channel.input_all
 
 let find_mutated whole mutated =
@@ -225,8 +254,9 @@ let find_mutated whole mutated =
   | exception e ->
       Alcotest.failf "find raised on corrupted entry: %s" (Printexc.to_string e)
   | None -> String.compare mutated whole <> 0
-  | Some loaded ->
+  | Some (loaded, unsafe_loaded) ->
       check_variants_identical sample_variants loaded;
+      check_unsafe_identical sample_unsafe unsafe_loaded;
       String.compare mutated whole = 0
 
 let test_truncation_property =
@@ -272,15 +302,17 @@ let test_unwritable_dir_degrades () =
       Disk_cache.reset_degraded ();
       Alcotest.(check bool) "healthy before" false (Disk_cache.degraded ());
       (* Must not raise, must latch, must keep misses working. *)
-      Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants;
+      Disk_cache.store small_space kernel gpu ~n:64 ~seed:42 sample_variants
+    sample_unsafe;
       Alcotest.(check bool) "degraded after failed write" true
         (Disk_cache.degraded ());
       Alcotest.(check bool) "reads behave as misses" true
         (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
       (* Later stores are skipped silently, still no raise. *)
-      Disk_cache.store small_space kernel gpu ~n:128 ~seed:42 sample_variants;
+      Disk_cache.store small_space kernel gpu ~n:128 ~seed:42 sample_variants
+    sample_unsafe;
       Disk_cache.checkpoint_store small_space kernel gpu ~n:64 ~seed:42
-        { Disk_cache.done_points = 1; variants = []; failures = [] };
+        { Disk_cache.done_points = 1; variants = []; failures = []; unsafe = [] };
       let s = Disk_cache.stats () in
       Alcotest.(check int) "nothing counted as stored" 0 s.Disk_cache.stores);
   Alcotest.(check bool) "latch cleared for later tests" false
@@ -321,6 +353,7 @@ let test_checkpoint_roundtrip () =
       Disk_cache.done_points = 3;
       variants = sample_variants;
       failures = sample_failures;
+      unsafe = sample_unsafe;
     }
   in
   Alcotest.(check bool) "no checkpoint initially" true
@@ -331,7 +364,8 @@ let test_checkpoint_roundtrip () =
   | Some c ->
       Alcotest.(check int) "done_points" 3 c.Disk_cache.done_points;
       check_variants_identical sample_variants c.Disk_cache.variants;
-      check_failures_identical sample_failures c.Disk_cache.failures);
+      check_failures_identical sample_failures c.Disk_cache.failures;
+      check_unsafe_identical sample_unsafe c.Disk_cache.unsafe);
   (* A checkpoint is not a cache entry. *)
   Alcotest.(check bool) "entry lookup unaffected" true
     (Disk_cache.find small_space kernel gpu ~n:64 ~seed:42 = None);
@@ -356,6 +390,7 @@ let test_checkpoint_corruption () =
       Disk_cache.done_points = 2;
       variants = sample_variants;
       failures = sample_failures;
+      unsafe = sample_unsafe;
     };
   let whole = In_channel.with_open_bin (ckpt_path ()) In_channel.input_all in
   Out_channel.with_open_bin (ckpt_path ()) (fun oc ->
