@@ -543,8 +543,9 @@ let no_cache_arg =
     value & flag
     & info [ "no-cache" ]
         ~doc:
-          "Skip the persistent sweep cache under $(b,GAT_CACHE_DIR): \
-           neither read nor write it.")
+          "Skip the persistent caches under $(b,GAT_CACHE_DIR) — the \
+           sweep cache and the compile artifact store: neither read \
+           nor write them.")
 
 let jobs_arg =
   Arg.(
@@ -568,7 +569,10 @@ let t_autotune = Gat_util.Metrics.timer "cli.autotune"
 let t_sweep = Gat_util.Metrics.timer "cli.sweep"
 
 let autotune kernel gpu n seed strategy journal_path no_cache trace =
-  if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  if no_cache then begin
+    Gat_tuner.Disk_cache.set_enabled false;
+    Gat_tuner.Artifact_store.set_enabled false
+  end;
   set_trace trace;
   let n = size_of kernel n in
   let journal =
@@ -639,7 +643,10 @@ let codegen_cache_hit_pct () =
 
 let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
     block no_cache top show_progress trace =
-  if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  if no_cache then begin
+    Gat_tuner.Disk_cache.set_enabled false;
+    Gat_tuner.Artifact_store.set_enabled false
+  end;
   set_trace trace;
   set_jobs jobs;
   if retries < 0 then
@@ -836,7 +843,10 @@ let replay_cmd =
 (* ---- experiment ---- *)
 
 let experiment jobs no_cache trace id =
-  if no_cache then Gat_tuner.Disk_cache.set_enabled false;
+  if no_cache then begin
+    Gat_tuner.Disk_cache.set_enabled false;
+    Gat_tuner.Artifact_store.set_enabled false
+  end;
   set_trace trace;
   set_jobs jobs;
   if String.lowercase_ascii id = "all" then
@@ -868,27 +878,61 @@ let human_bytes b =
   else if b >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1024.0)
   else Printf.sprintf "%d B" b
 
-let cache action =
+let cache action max_bytes =
   match action with
   | "stats" ->
       let entries, bytes = Gat_tuner.Disk_cache.disk_usage () in
       let s = Gat_tuner.Disk_cache.stats () in
+      let a_entries, a_bytes = Gat_tuner.Artifact_store.disk_usage () in
+      let a = Gat_tuner.Artifact_store.stats () in
       Printf.printf
         "directory: %s\nmodel:     %s\nentries:   %d (%s)\n\
          session:   %d hits, %d misses, %d stores, %d degraded writes\n\
-         checkpoints: %d stored, %d resumed\n"
+         checkpoints: %d stored, %d resumed\n\
+         artifacts: %d (%s) under %s\n\
+         artifact session: %d hits, %d misses, %d stores, %d degraded \
+         writes\n"
         (Gat_tuner.Disk_cache.dir ())
         Gat_tuner.Disk_cache.model_version entries (human_bytes bytes)
         s.Gat_tuner.Disk_cache.hits s.Gat_tuner.Disk_cache.misses
         s.Gat_tuner.Disk_cache.stores s.Gat_tuner.Disk_cache.degraded_writes
         s.Gat_tuner.Disk_cache.ckpt_stores s.Gat_tuner.Disk_cache.ckpt_resumes
+        a_entries (human_bytes a_bytes)
+        (Gat_tuner.Artifact_store.dir ())
+        a.Gat_tuner.Artifact_store.hits a.Gat_tuner.Artifact_store.misses
+        a.Gat_tuner.Artifact_store.stores
+        a.Gat_tuner.Artifact_store.degraded_writes
   | "clear" ->
-      let removed = Gat_tuner.Disk_cache.clear () in
+      let removed =
+        Gat_tuner.Disk_cache.clear () + Gat_tuner.Artifact_store.clear ()
+      in
       Printf.printf "removed %d cache entr%s from %s\n" removed
         (if removed = 1 then "y" else "ies")
         (Gat_tuner.Disk_cache.dir ())
+  | "gc" ->
+      let max_bytes =
+        match max_bytes with
+        | Some b when b >= 0 -> b
+        | Some b ->
+            Gat_util.Error.failf Usage "--max-bytes must be >= 0 (got %d)" b
+        | None ->
+            Gat_util.Error.failf Usage
+              ~hint:"e.g. gat cache gc --max-bytes 104857600"
+              "cache gc needs --max-bytes"
+      in
+      let r = Gat_tuner.Artifact_store.gc ~max_bytes in
+      Printf.printf
+        "%d files (%s) examined; evicted %d (%s), %s kept under %s\n"
+        r.Gat_tuner.Artifact_store.files
+        (human_bytes r.Gat_tuner.Artifact_store.bytes)
+        r.Gat_tuner.Artifact_store.removed_files
+        (human_bytes r.Gat_tuner.Artifact_store.removed_bytes)
+        (human_bytes
+           (r.Gat_tuner.Artifact_store.bytes
+           - r.Gat_tuner.Artifact_store.removed_bytes))
+        (Gat_tuner.Disk_cache.dir ())
   | _ ->
-      Gat_util.Error.failf Usage ~hint:"expected: stats, clear"
+      Gat_util.Error.failf Usage ~hint:"expected: stats, clear, gc"
         "unknown cache action %S" action
 
 let cache_cmd =
@@ -897,14 +941,27 @@ let cache_cmd =
       value & pos 0 string "stats"
       & info [] ~docv:"ACTION"
           ~doc:"$(b,stats) prints entry count, size and session counters; \
-                $(b,clear) removes every entry.")
+                $(b,clear) removes every entry (sweeps and artifacts); \
+                $(b,gc) evicts least-recently-used entries down to \
+                $(b,--max-bytes).")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Byte budget for $(b,gc): sweep entries, checkpoints and \
+             compile artifacts are evicted coldest-first (by access \
+             time) until the cache fits.")
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:
-         "Inspect or clear the persistent sweep cache (location: \
-          $(b,GAT_CACHE_DIR), default ~/.cache/gat).")
-    Term.(const cache $ action)
+         "Inspect, clear or bound the persistent caches — sweep results \
+          and the compile artifact store (location: $(b,GAT_CACHE_DIR), \
+          default ~/.cache/gat).")
+    Term.(const cache $ action $ max_bytes)
 
 (* ---- stats ---- *)
 

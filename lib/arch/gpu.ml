@@ -141,3 +141,18 @@ let of_name name =
 
 let of_cc cc = List.find (fun gpu -> gpu.cc = cc) all
 let family t = Compute_capability.family t.cc
+
+(* Every model-relevant hardware limit, one line: cache keys built over
+   this string change whenever a device description is edited, so no
+   persistent entry can outlive the hardware model that produced it.
+   The exact historical Disk_cache rendering — existing sweep-cache
+   keys survive the move here. *)
+let identity g =
+  Printf.sprintf "%s/%s/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%h/%h"
+    g.name
+    (Compute_capability.to_string g.cc)
+    g.multiprocessors g.cores_per_mp g.gpu_clock_mhz g.mem_clock_mhz
+    g.l2_cache_kb g.smem_per_block g.smem_per_mp g.reg_file_size g.warp_size
+    g.threads_per_mp g.threads_per_block g.blocks_per_mp g.warps_per_mp
+    g.reg_alloc_unit g.regs_per_thread g.threads_per_warp g.mem_latency_cycles
+    g.l2_latency_cycles

@@ -59,3 +59,8 @@ val of_cc : Compute_capability.t -> t
 
 val family : t -> string
 (** Family name of the device's capability. *)
+
+val identity : t -> string
+(** Every model-relevant hardware limit rendered into one stable line.
+    Persistent cache keys (sweep entries, compile artifacts) hash this
+    string, so editing a device description invalidates its entries. *)

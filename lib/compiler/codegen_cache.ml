@@ -1,3 +1,26 @@
+(* Backend memoization across the launch-geometry axes of a sweep.
+
+   Schedule, register allocation and the static coalescing analysis
+   depend only on the instruction streams, which TC and BC never
+   shape; lowering bakes the launch geometry exclusively into the
+   per-block execution weights.  The cache key is therefore the
+   weight-free structural digest of the virtual program
+   ([Fingerprint.program]) plus the device identity: every variant in
+   the TC×BC plane of a sweep keys identically and compiles the
+   backend exactly once per process.
+
+   Two tiers.  The in-memory table gives same-process sharing at
+   hashtable speed.  A memory miss then consults the persistent
+   artifact store ({!Artifacts}) — scheduling per block body, register
+   allocation and coalescing per program — which shares the results
+   across runs and processes, and makes a one-block kernel edit
+   recompile O(delta): the unchanged blocks' scheduled bodies still
+   hit, only the edited block is rescheduled.
+
+   The digest subsumes the old structural-equality walk: two programs
+   with equal digests have equal labels, bodies and terminators, so
+   re-attaching the current variant's weights is a positional zip. *)
+
 open Gat_isa
 
 type outcome = {
@@ -7,7 +30,6 @@ type outcome = {
 }
 
 type entry = {
-  in_blocks : Basic_block.t list;
   out_blocks : Basic_block.t list;
   out_stats : Regalloc.stats;
   out_summary : (string * Gat_analysis.Coalescing.access list) list;
@@ -15,9 +37,7 @@ type entry = {
 
 type stats = { classes : int; hits : int; misses : int }
 
-let table : (string * string * int * int * int * bool, entry) Hashtbl.t =
-  Hashtbl.create 64
-
+let table : (string * string, entry) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
 let hit_count = ref 0
 let miss_count = ref 0
@@ -34,19 +54,8 @@ let clear () =
       hit_count := 0;
       miss_count := 0)
 
-(* Weight-free structural equality: labels, bodies and terminators, but
-   not the per-block execution weights, which are the only part of the
-   lowered code that depends on TC and BC. *)
-let same_code (a : Basic_block.t) (b : Basic_block.t) =
-  String.equal a.Basic_block.label b.Basic_block.label
-  && a.Basic_block.body = b.Basic_block.body
-  && a.Basic_block.term = b.Basic_block.term
-
-let same_program_code xs ys =
-  List.length xs = List.length ys && List.for_all2 same_code xs ys
-
 (* Re-attach the current variant's weights to the cached output blocks.
-   Labels and layout order are identical by [same_program_code], and the
+   Equal digests guarantee equal labels and layout order, and the
    backend passes preserve both, so a positional zip is exact. *)
 let reweight vp_blocks out_blocks =
   List.map2
@@ -56,34 +65,85 @@ let reweight vp_blocks out_blocks =
         o.Basic_block.body o.Basic_block.term)
     vp_blocks out_blocks
 
+(* Per-block scheduling through the artifact store: each body is its
+   own content-addressed unit, so after a one-block edit every other
+   block's scheduled body is served from disk.  Single-instruction
+   bodies are a fixed point of the scheduler — not worth a file. *)
+let schedule_block (b : Basic_block.t) =
+  match b.Basic_block.body with
+  | [] | [ _ ] -> Schedule.block b
+  | body -> (
+      let key = Artifacts.sched_key body in
+      match Artifacts.find_sched ~key with
+      | Some scheduled ->
+          Basic_block.make ~weight:b.Basic_block.weight
+            ~active_frac:b.Basic_block.active_frac b.Basic_block.label
+            scheduled b.Basic_block.term
+      | None ->
+          let sb = Schedule.block b in
+          Artifacts.store_sched ~key sb.Basic_block.body;
+          sb)
+
+let schedule_program (vp : Program.t) =
+  let blocks = List.map schedule_block vp.Program.blocks in
+  Program.make ~name:vp.Program.name ~target:vp.Program.target
+    ~regs_per_thread:vp.Program.regs_per_thread
+    ~smem_static:vp.Program.smem_static ~smem_dynamic:vp.Program.smem_dynamic
+    blocks
+
+let regalloc gpu scheduled =
+  let key = Artifacts.ra_key ~gpu scheduled in
+  match Artifacts.find_ra ~key with
+  | Some (blocks, st) ->
+      let blocks = reweight scheduled.Program.blocks blocks in
+      let program =
+        Program.make ~name:scheduled.Program.name
+          ~target:scheduled.Program.target
+          ~regs_per_thread:st.Regalloc.regs_used
+          ~smem_static:scheduled.Program.smem_static
+          ~smem_dynamic:scheduled.Program.smem_dynamic blocks
+      in
+      (program, st)
+  | None ->
+      let program, st = Regalloc.run gpu scheduled in
+      Artifacts.store_ra ~key program st;
+      (program, st)
+
+let coalescing gpu vp =
+  let key = Artifacts.coal_key ~gpu vp in
+  match Artifacts.find_coal ~key with
+  | Some summary -> summary
+  | None ->
+      let summary =
+        Gat_analysis.Coalescing.block_transactions gpu
+          (Gat_cfg.Cfg.of_program vp)
+      in
+      Artifacts.store_coal ~key summary;
+      summary
+
 let compute gpu vp =
   let scheduled =
-    Gat_util.Trace.span "compile.schedule" (fun () -> Schedule.program vp)
+    Gat_util.Trace.span "compile.schedule" (fun () -> schedule_program vp)
   in
   let program, alloc_stats =
-    Gat_util.Trace.span "compile.regalloc" (fun () -> Regalloc.run gpu scheduled)
+    Gat_util.Trace.span "compile.regalloc" (fun () -> regalloc gpu scheduled)
   in
   let mem_summary =
-    Gat_util.Trace.span "compile.coalescing" (fun () ->
-        Gat_analysis.Coalescing.block_transactions gpu
-          (Gat_cfg.Cfg.of_program vp))
+    Gat_util.Trace.span "compile.coalescing" (fun () -> coalescing gpu vp)
   in
   { program; alloc_stats; mem_summary }
 
 let run ~(gpu : Gat_arch.Gpu.t) ~(params : Params.t) (vp : Program.t) =
-  let key =
-    ( vp.Program.name,
-      gpu.Gat_arch.Gpu.name,
-      params.Params.unroll,
-      params.Params.l1_pref_kb,
-      params.Params.staging,
-      params.Params.fast_math )
-  in
+  ignore params;
+  (* The digest covers everything the backend reads — the params that
+     shape code (unroll, staging, fast_math) already shaped [vp], so
+     they need no separate key component. *)
+  let key = (Gat_arch.Gpu.identity gpu, Fingerprint.program vp) in
   let cached =
     Gat_util.Pool.with_lock lock (fun () -> Hashtbl.find_opt table key)
   in
   match cached with
-  | Some e when same_program_code e.in_blocks vp.Program.blocks ->
+  | Some e ->
       Gat_util.Pool.with_lock lock (fun () -> incr hit_count);
       Gat_util.Metrics.incr m_hits;
       let blocks = reweight vp.Program.blocks e.out_blocks in
@@ -94,14 +154,13 @@ let run ~(gpu : Gat_arch.Gpu.t) ~(params : Params.t) (vp : Program.t) =
           ~smem_dynamic:vp.Program.smem_dynamic blocks
       in
       { program; alloc_stats = e.out_stats; mem_summary = e.out_summary }
-  | _ ->
+  | None ->
       let r = compute gpu vp in
       Gat_util.Metrics.incr m_misses;
       Gat_util.Pool.with_lock lock (fun () ->
           incr miss_count;
           Hashtbl.replace table key
             {
-              in_blocks = vp.Program.blocks;
               out_blocks = r.program.Program.blocks;
               out_stats = r.alloc_stats;
               out_summary = r.mem_summary;

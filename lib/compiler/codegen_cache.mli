@@ -7,15 +7,24 @@
     and the static coalescing analysis read only the instruction
     streams, so their results can be shared across all of those points.
 
-    The cache is sound by construction, not by assumption: a stored
-    result is reused only after a weight-free structural comparison of
-    the incoming virtual blocks against the blocks that produced it.
-    Any kernel that did bake launch geometry into its code simply
-    misses and is recompiled — never answered incorrectly.  Reused
-    outputs get the current variant's weights re-attached, so the
-    result is bit-identical to a fresh compile.
+    The key is the weight-free structural digest of the virtual
+    program ({!Gat_isa.Fingerprint.program}) plus the device identity
+    — the shared content-addressed key of the whole backend.  Sound by
+    construction: equal digests mean equal labels, bodies and
+    terminators, so any kernel that did bake launch geometry into its
+    code digests differently and recompiles, never answers
+    incorrectly.  Reused outputs get the current variant's weights
+    re-attached, so the result is bit-identical to a fresh compile.
 
-    Thread-safe; sweeps compile variants from parallel pool workers. *)
+    Two tiers: the in-memory table (same-process, hashtable speed),
+    then the persistent {!Artifacts} store — per-block scheduling
+    entries plus per-program register-allocation and coalescing
+    entries — which shares results across runs and processes and makes
+    a one-block kernel edit recompile O(delta).
+
+    Thread-safe; sweeps compile variants from parallel pool workers.
+    Counters: [cache.codegen.hits] / [cache.codegen.misses] (in-memory
+    tier), [artifact.{sched,ra,coal}.*] (persistent tier). *)
 
 type outcome = {
   program : Gat_isa.Program.t;  (** Physical-register form. *)
@@ -26,10 +35,16 @@ type outcome = {
 val run :
   gpu:Gat_arch.Gpu.t -> params:Params.t -> Gat_isa.Program.t -> outcome
 (** [run ~gpu ~params vp] schedules, register-allocates and
-    coalescing-analyzes the lowered program [vp], reusing a previous
-    result when the instruction streams match modulo block weights. *)
+    coalescing-analyzes the lowered program [vp], reusing any previous
+    result whose structural digest matches.  [params] is accepted for
+    interface stability only: every parameter that shapes the
+    backend's input already shaped [vp], so the digest subsumes it. *)
 
 type stats = { classes : int; hits : int; misses : int }
 
 val stats : unit -> stats
+(** In-memory tier only; the persistent tier reports through
+    {!Artifacts.stats}. *)
+
 val clear : unit -> unit
+(** Drop the in-memory tier (persistent artifacts survive). *)

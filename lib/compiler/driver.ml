@@ -52,11 +52,28 @@ let compile kernel gpu params =
               let alloc_stats = backend.Codegen_cache.alloc_stats in
               let mem_summary = backend.Codegen_cache.mem_summary in
               let log = Ptxas_info.of_program program alloc_stats in
+              (* The simulator table is content-addressed on the
+                 virtual program (the whole backend downstream of it is
+                 deterministic) plus the occupancy-relevant scalars, so
+                 BC-only and N-only variants — and re-runs in other
+                 processes — serve it from the artifact store. *)
               let block_table =
                 Gat_util.Trace.span "compile.block_table" (fun () ->
-                    Block_table.build ~gpu ~params
-                      ~regs_per_thread:log.Ptxas_info.registers ~mem_summary
-                      program)
+                    let key =
+                      Artifacts.bt_key ~gpu ~params
+                        ~regs_per_thread:log.Ptxas_info.registers
+                        virtual_program
+                    in
+                    match Artifacts.find_bt ~key with
+                    | Some bt -> bt
+                    | None ->
+                        let bt =
+                          Block_table.build ~gpu ~params
+                            ~regs_per_thread:log.Ptxas_info.registers
+                            ~mem_summary program
+                        in
+                        Artifacts.store_bt ~key bt;
+                        bt)
               in
               Ok
                 {

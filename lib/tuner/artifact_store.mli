@@ -1,0 +1,40 @@
+(** Management facade over gat's persistent cache tree — the sweep
+    cache ([.sweep]/[.ckpt] under [Gat_util.Cache_dir.root]) plus the
+    content-addressed artifact store ([artifacts/*.art]) — for the
+    [gat cache] subcommands.
+
+    The stage-level read/write API lives in
+    {!Gat_compiler.Artifacts}; this module adds the cross-store
+    maintenance the CLI needs, most importantly {!gc}: bound the whole
+    tree to a byte budget by evicting least-recently-used files
+    first. *)
+
+type gc_result = {
+  files : int;  (** Candidate files examined. *)
+  bytes : int;  (** Their total size before eviction. *)
+  removed_files : int;
+  removed_bytes : int;
+}
+
+val gc : max_bytes:int -> gc_result
+(** Evict least-recently-used cache files (sweep entries, checkpoints,
+    stage artifacts, orphaned temp files) until the total is at most
+    [max_bytes].  Recency is [max(atime, mtime)] — honest under
+    relatime mounts — with the path as a stable tiebreak.  Removal
+    errors are skipped, never fatal. *)
+
+(** {1 Artifact-store pass-throughs} *)
+
+type stats = Gat_compiler.Artifacts.stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  degraded_writes : int;
+}
+
+val dir : unit -> string
+val stats : unit -> stats
+val disk_usage : unit -> int * int
+val clear : unit -> int
+val set_enabled : bool -> unit
+val enabled : unit -> bool

@@ -24,24 +24,7 @@ let ckpt_magic = "gat-sweep-ckpt 2"
 
 (* ---- location ---- *)
 
-let dir () =
-  match Sys.getenv_opt "GAT_CACHE_DIR" with
-  | Some d when d <> "" -> d
-  | _ -> (
-      match Sys.getenv_opt "XDG_CACHE_HOME" with
-      | Some d when d <> "" -> Filename.concat d "gat"
-      | _ -> (
-          match Sys.getenv_opt "HOME" with
-          | Some h when h <> "" ->
-              Filename.concat (Filename.concat h ".cache") "gat"
-          | _ -> Filename.concat (Filename.get_temp_dir_name ()) "gat-cache"))
-
-let rec ensure_dir d =
-  if not (Sys.file_exists d) then begin
-    let parent = Filename.dirname d in
-    if parent <> d then ensure_dir parent;
-    try Sys.mkdir d 0o755 with Sys_error _ -> ()
-  end
+let dir () = Gat_util.Cache_dir.root ()
 
 (* ---- switch, health and statistics ---- *)
 
@@ -145,21 +128,9 @@ let ckpt_resumed () =
 
 (* ---- keys ---- *)
 
-let gpu_identity (g : Gat_arch.Gpu.t) =
-  (* Every model-relevant hardware limit: editing a device description
-     invalidates its entries. *)
-  Printf.sprintf "%s/%s/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%d/%h/%h"
-    g.Gat_arch.Gpu.name
-    (Gat_arch.Compute_capability.to_string g.Gat_arch.Gpu.cc)
-    g.Gat_arch.Gpu.multiprocessors g.Gat_arch.Gpu.cores_per_mp
-    g.Gat_arch.Gpu.gpu_clock_mhz g.Gat_arch.Gpu.mem_clock_mhz
-    g.Gat_arch.Gpu.l2_cache_kb g.Gat_arch.Gpu.smem_per_block
-    g.Gat_arch.Gpu.smem_per_mp g.Gat_arch.Gpu.reg_file_size
-    g.Gat_arch.Gpu.warp_size g.Gat_arch.Gpu.threads_per_mp
-    g.Gat_arch.Gpu.threads_per_block g.Gat_arch.Gpu.blocks_per_mp
-    g.Gat_arch.Gpu.warps_per_mp g.Gat_arch.Gpu.reg_alloc_unit
-    g.Gat_arch.Gpu.regs_per_thread g.Gat_arch.Gpu.threads_per_warp
-    g.Gat_arch.Gpu.mem_latency_cycles g.Gat_arch.Gpu.l2_latency_cycles
+(* Every model-relevant hardware limit: editing a device description
+   invalidates its entries.  Shared with the artifact store. *)
+let gpu_identity = Gat_arch.Gpu.identity
 
 let key space kernel gpu ~n ~seed =
   let payload =
@@ -265,14 +236,11 @@ let emit_variants_section buf variants =
     (fun v (dyn_idx, est_idx) -> emit_variant buf v ~dyn_idx ~est_idx)
     variants refs
 
-(* Close the payload: terminator plus an MD5 of every byte so far, so
-   any truncation or byte flip — including inside a hex-float literal,
+(* Close the payload with the shared sealed-entry trailer: any
+   truncation or byte flip — including inside a hex-float literal,
    where it would otherwise still parse — fails verification and reads
    as a miss instead of a wrong hit. *)
-let emit_trailer buf =
-  Buffer.add_string buf "end\n";
-  Buffer.add_string buf
-    ("md5 " ^ Digest.to_hex (Digest.string (Buffer.contents buf)) ^ "\n")
+let emit_trailer = Gat_util.Sealed_file.seal
 
 (* ---- serialization: parse ---- *)
 
@@ -569,34 +537,27 @@ let read_variants_section cur =
   let count = counted cur "variants " in
   List.init count (fun _ -> read_variant cur mixes)
 
-(* "end" then "md5 <hex of everything before this line>", then EOF.
-   Verification makes corruption detection exact instead of
-   best-effort: without it a flipped digit inside a float literal
-   still parses and silently yields a wrong variant. *)
+(* Open a sealed entry: verify the MD5 trailer ({!Gat_util.Sealed_file})
+   and hand the parser a cursor over the payload alone.  Verification
+   makes corruption detection exact instead of best-effort: without it
+   a flipped digit inside a float literal still parses and silently
+   yields a wrong variant. *)
+let open_sealed path =
+  Gat_util.Fault.inject ~site:"cache-read" ~key:(Filename.basename path);
+  let s = Gat_util.Sealed_file.read_raw path in
+  Gat_util.Metrics.incr ~by:(String.length s) m_bytes_read;
+  match Gat_util.Sealed_file.unseal s with
+  | Some payload -> { s = payload; pos = 0 }
+  | None -> raise Bad_entry
+
 let read_trailer cur =
-  expect_line cur "end";
-  let digest_at = cur.pos in
-  let nl = line_end cur in
-  if nl - cur.pos <> 4 + 32 then raise Bad_entry;
-  if not (String.equal (String.sub cur.s cur.pos 4) "md5 ") then
-    raise Bad_entry;
-  let want = String.sub cur.s (cur.pos + 4) 32 in
-  if
-    not
-      (String.equal want
-         (Digest.to_hex (Digest.substring cur.s 0 digest_at)))
-  then raise Bad_entry;
-  cur.pos <- nl + 1;
   if cur.pos <> String.length cur.s then raise Bad_entry
 
 let read_file path =
   Gat_util.Trace.span "cache.read"
     ~args:[ ("file", Gat_util.Trace.S (Filename.basename path)) ]
   @@ fun () ->
-  Gat_util.Fault.inject ~site:"cache-read" ~key:(Filename.basename path);
-  let s = In_channel.with_open_bin path In_channel.input_all in
-  Gat_util.Metrics.incr ~by:(String.length s) m_bytes_read;
-  let cur = { s; pos = 0 } in
+  let cur = open_sealed path in
   expect_line cur magic;
   expect_line cur ("model " ^ model_version);
   let unsafe = read_unsafe_section cur in
@@ -614,13 +575,8 @@ let publish ~path buf =
   Gat_util.Trace.span "cache.write"
     ~args:[ ("file", Gat_util.Trace.S (Filename.basename path)) ]
   @@ fun () ->
-  let d = dir () in
-  ensure_dir d;
   Gat_util.Fault.inject ~site:"cache-write" ~key:(Filename.basename path);
-  let tmp = Filename.temp_file ~temp_dir:d "gat" ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  Sys.rename tmp path;
+  Gat_util.Sealed_file.publish ~path buf;
   Gat_util.Metrics.incr ~by:(Buffer.length buf) m_bytes_written
 
 let store space kernel gpu ~n ~seed variants unsafe =
@@ -694,11 +650,7 @@ let checkpoint_find space kernel gpu ~n ~seed =
     if not (Sys.file_exists path) then None
     else
       let read () =
-        Gat_util.Fault.inject ~site:"cache-read"
-          ~key:(Filename.basename path);
-        let s = In_channel.with_open_bin path In_channel.input_all in
-        Gat_util.Metrics.incr ~by:(String.length s) m_bytes_read;
-        let cur = { s; pos = 0 } in
+        let cur = open_sealed path in
         expect_line cur ckpt_magic;
         expect_line cur ("model " ^ model_version);
         let done_points = counted cur "done " in

@@ -1,10 +1,23 @@
-open Gat_isa
+(* Per-variant safety-verdict memoization on the shared structural key.
 
-type entry = { in_blocks : Basic_block.t list; report : Gat_analysis.Verify.report }
+   The verifier reads only the instruction structure of the lowered
+   (virtual-register) program and the thread count — never the
+   per-block weights (the only BC-dependent part of the code), the
+   device, or the problem size.  The key is therefore the weight-free
+   structural digest of the virtual program plus TC: one verification
+   per code class per TC, shared across every BC and N point of a
+   sweep, with the digest subsuming the structural-equality walk this
+   cache used to carry.
+
+   Two tiers, like the codegen cache: the in-memory table for
+   same-process sharing, then the persistent artifact store for
+   sharing across runs and processes. *)
+
+open Gat_isa
 
 type stats = { classes : int; hits : int; misses : int }
 
-let table : (string * string * int * int * int * int * bool, entry) Hashtbl.t =
+let table : (string * int, Gat_analysis.Verify.report) Hashtbl.t =
   Hashtbl.create 64
 
 let lock = Mutex.create ()
@@ -23,46 +36,32 @@ let clear () =
       hit_count := 0;
       miss_count := 0)
 
-(* Weight-free structural equality, exactly the codegen cache's
-   soundness check: labels, bodies and terminators, but not the
-   per-block weights — the only lowered artifact that depends on BC,
-   which the verifier never reads. *)
-let same_code (a : Basic_block.t) (b : Basic_block.t) =
-  String.equal a.Basic_block.label b.Basic_block.label
-  && a.Basic_block.body = b.Basic_block.body
-  && a.Basic_block.term = b.Basic_block.term
-
-let same_program_code xs ys =
-  List.length xs = List.length ys && List.for_all2 same_code xs ys
-
 let get (c : Gat_compiler.Driver.compiled) =
-  let params = c.Gat_compiler.Driver.params in
   let vp = c.Gat_compiler.Driver.ptx in
-  let key =
-    ( vp.Program.name,
-      c.Gat_compiler.Driver.gpu.Gat_arch.Gpu.name,
-      params.Gat_compiler.Params.threads_per_block,
-      params.Gat_compiler.Params.unroll,
-      params.Gat_compiler.Params.l1_pref_kb,
-      params.Gat_compiler.Params.staging,
-      params.Gat_compiler.Params.fast_math )
+  let tc =
+    c.Gat_compiler.Driver.params.Gat_compiler.Params.threads_per_block
   in
+  let key = (Fingerprint.program vp, tc) in
   let cached =
     Gat_util.Pool.with_lock lock (fun () -> Hashtbl.find_opt table key)
   in
   match cached with
-  | Some e when same_program_code e.in_blocks vp.Program.blocks ->
+  | Some report ->
       Gat_util.Pool.with_lock lock (fun () -> incr hit_count);
       Gat_util.Metrics.incr m_hits;
-      e.report
-  | _ ->
+      report
+  | None ->
       let report =
-        Gat_analysis.Verify.run
-          ~threads_per_block:params.Gat_compiler.Params.threads_per_block vp
+        let akey = Gat_compiler.Artifacts.verdict_key ~threads_per_block:tc vp in
+        match Gat_compiler.Artifacts.find_verdict ~key:akey with
+        | Some report -> report
+        | None ->
+            let report = Gat_analysis.Verify.run ~threads_per_block:tc vp in
+            Gat_compiler.Artifacts.store_verdict ~key:akey report;
+            report
       in
       Gat_util.Metrics.incr m_misses;
       Gat_util.Pool.with_lock lock (fun () ->
           incr miss_count;
-          Hashtbl.replace table key
-            { in_blocks = vp.Program.blocks; report });
+          Hashtbl.replace table key report);
       report

@@ -2,6 +2,14 @@
    and bank-conflict models, the generic dataflow solver they ride on,
    and the lint report (golden output for the paper's kernels). *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 open Gat_isa
 open Gat_analysis
 

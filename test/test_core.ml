@@ -2,6 +2,14 @@
    mixes, the Eq. 6 predictor, pipeline utilization, parameter
    suggestion (Table VII) and the rule-based heuristic. *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 open Gat_core
 module Gpu = Gat_arch.Gpu
 

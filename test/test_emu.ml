@@ -3,6 +3,14 @@
    against the IR reference interpreter, and its dynamic counts
    cross-check the compile-time execution profiles. *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 open Gat_ir
 open Gat_compiler
 module Emu = Gat_emu.Emulator

@@ -1,6 +1,14 @@
 (* Tests for gat_isa: registers, opcodes, operands, instructions,
    weights, blocks, programs, and the disassembler/parser round trip. *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 open Gat_isa
 
 (* ---- Register ---- *)

@@ -1,5 +1,13 @@
 (* Tests for gat_sim: the memory model and the SM-level timing engine. *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 open Gat_sim
 module Gpu = Gat_arch.Gpu
 module Params = Gat_compiler.Params

@@ -6,6 +6,14 @@
    function of the parameters) so they are fast and their optimum is
    known exactly. *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 module Params = Gat_compiler.Params
 module Space = Gat_tuner.Space
 module Search = Gat_tuner.Search

@@ -3,6 +3,14 @@
    abstraction, the stable verify report, and the sweep integration
    (unsafe variants classified, persisted, and never ranked). *)
 
+(* Compiles persist backend artifacts; keep test runs out of the
+   user's real cache (CI may pre-set its own scratch directory). *)
+let () =
+  if Sys.getenv_opt "GAT_CACHE_DIR" = None then
+    Unix.putenv "GAT_CACHE_DIR"
+      (Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "gat-test-%d" (Unix.getpid ())))
+
 open Gat_analysis
 module Params = Gat_compiler.Params
 module Space = Gat_tuner.Space
