@@ -763,12 +763,105 @@ let calibrate_incremental () =
     ic_ok = recompiled > 0 && recompiled < total_blocks;
   }
 
+(* ---- sharded-sweep calibration ----
+
+   The distributed coordination must cost little when it buys nothing:
+   a coordinator with no workers attached degrades to an in-process
+   sweep plus lease/manifest bookkeeping, and its merged report must be
+   bit-identical to the direct sweep — the same guarantee the chaos CI
+   job checks across processes and SIGKILLs, measured here in-process. *)
+
+type shard_calibration = {
+  sh_kernel : string;
+  sh_variants : int;
+  sh_shards : int;
+  direct_s : float;  (** Plain in-process sweep. *)
+  sharded_s : float;  (** Same sweep through Shard.coordinate. *)
+  sh_parts : int;  (** Parts merged by the coordinator. *)
+  sh_identical : bool;  (** Reports are bit-identical. *)
+}
+
+let calibrate_sharding () =
+  let seed = Gat_report.Context.seed in
+  let n, space =
+    if fast_mode then
+      ( 64,
+        {
+          Gat_tuner.Space.tc = [ 64; 128; 256 ];
+          bc = [ 32; 64 ];
+          uif = [ 1; 2 ];
+          pl = [ 16; 48 ];
+          sc = [ 1 ];
+          cflags = [ false; true ];
+        } )
+    else (Gat_workloads.Workloads.default_size atax, Gat_tuner.Space.paper)
+  in
+  let gpu = Gat_arch.Gpu.k20 in
+  let shards = 4 in
+  Gat_tuner.Disk_cache.set_enabled false;
+  Gat_tuner.Tuner.clear_cache ();
+  let direct = ref None in
+  let direct_s =
+    timed (fun () ->
+        direct :=
+          Some (Gat_tuner.Tuner.sweep_report ~space ~jobs:1 atax gpu ~n ~seed))
+  in
+  Gat_tuner.Tuner.clear_cache ();
+  ignore (Gat_tuner.Shard.clear ());
+  let parts0 =
+    Option.value ~default:0
+      (List.assoc_opt "shard.parts_merged"
+         (Gat_util.Metrics.counters_snapshot ()))
+  in
+  let sharded = ref None in
+  let sharded_s =
+    timed (fun () ->
+        sharded :=
+          Some
+            (Gat_tuner.Shard.coordinate ~jobs:1 ~shards space atax gpu ~n
+               ~seed))
+  in
+  let parts1 =
+    Option.value ~default:0
+      (List.assoc_opt "shard.parts_merged"
+         (Gat_util.Metrics.counters_snapshot ()))
+  in
+  ignore (Gat_tuner.Shard.clear ());
+  Gat_tuner.Tuner.clear_cache ();
+  Gat_tuner.Disk_cache.set_enabled true;
+  let identical =
+    match (!direct, !sharded) with
+    | Some a, Some b ->
+        let open Gat_tuner in
+        List.length a.Tuner.variants = List.length b.Tuner.variants
+        && List.for_all2
+             (fun (x : Variant.t) (y : Variant.t) ->
+               Gat_compiler.Params.compare x.Variant.params y.Variant.params
+               = 0
+               && Int64.bits_of_float x.Variant.time_ms
+                  = Int64.bits_of_float y.Variant.time_ms
+               && x.Variant.registers = y.Variant.registers)
+             a.Tuner.variants b.Tuner.variants
+        && List.length a.Tuner.failures = List.length b.Tuner.failures
+        && List.length a.Tuner.unsafe = List.length b.Tuner.unsafe
+    | _ -> false
+  in
+  {
+    sh_kernel = atax.Gat_ir.Kernel.name;
+    sh_variants = Gat_tuner.Space.cardinality space;
+    sh_shards = shards;
+    direct_s;
+    sharded_s;
+    sh_parts = parts1 - parts0;
+    sh_identical = identical;
+  }
+
 let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
-    ~incr_cal ~timings ~total_s =
+    ~incr_cal ~shard_cal ~timings ~total_s =
   let b = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"gat-bench-sweep/6\",\n";
+  add "  \"schema\": \"gat-bench-sweep/7\",\n";
   add "  \"jobs\": %d,\n" (Gat_util.Pool.jobs ());
   add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   add "  \"fast_mode\": %b,\n" fast_mode;
@@ -849,6 +942,20 @@ let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
   add "    \"artifact_hits\": %d,\n" ic.ic_hits;
   add "    \"artifact_misses\": %d,\n" ic.ic_misses;
   add "    \"incremental_ok\": %b\n" ic.ic_ok;
+  add "  },\n";
+  let sh = shard_cal in
+  add "  \"sharding\": {\n";
+  add "    \"kernel\": \"%s\",\n" sh.sh_kernel;
+  add "    \"variants\": %d,\n" sh.sh_variants;
+  add "    \"shards\": %d,\n" sh.sh_shards;
+  add "    \"direct_seconds\": %.3f,\n" sh.direct_s;
+  add "    \"sharded_seconds\": %.3f,\n" sh.sharded_s;
+  add "    \"overhead_pct\": %.2f,\n"
+    (if sh.direct_s > 0.0 then
+       100.0 *. ((sh.sharded_s /. sh.direct_s) -. 1.0)
+     else 0.0);
+  add "    \"parts_merged\": %d,\n" sh.sh_parts;
+  add "    \"shard_identical\": %b\n" sh.sh_identical;
   add "  },\n";
   add "  \"experiments\": [\n";
   List.iteri
@@ -937,6 +1044,14 @@ let () =
     incr_cal.ic_kernel incr_cal.ic_variants incr_cal.ic_full_s
     incr_cal.ic_incr_s incr_cal.ic_recompiled incr_cal.ic_total_blocks
     incr_cal.ic_hits incr_cal.ic_ok;
+  let shard_cal = calibrate_sharding () in
+  Printf.printf
+    "Sharding calibration (%s, %d variants, %d shards, coordinator only):\n\
+    \  direct sweep:      %.3f s\n\
+    \  sharded (merged):  %.3f s  (%d parts; bit-identical: %b)\n\n"
+    shard_cal.sh_kernel shard_cal.sh_variants shard_cal.sh_shards
+    shard_cal.direct_s shard_cal.sharded_s shard_cal.sh_parts
+    shard_cal.sh_identical;
   (* Experiments, twice: a cold pass computing every sweep, and a warm
      pass that must satisfy them from the persistent cache alone. *)
   ignore (Gat_tuner.Disk_cache.clear ());
@@ -950,7 +1065,7 @@ let () =
   print_newline ();
   let total_s = Unix.gettimeofday () -. t0 in
   write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
-    ~incr_cal ~timings ~total_s;
+    ~incr_cal ~shard_cal ~timings ~total_s;
   Printf.printf "wrote BENCH_sweep.json (jobs=%d, %.1f s total)\n\n"
     (Gat_util.Pool.jobs ()) total_s;
   run_microbenches ()

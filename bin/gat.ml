@@ -641,60 +641,13 @@ let codegen_cache_hit_pct () =
   if looked > 0 then Some (100 * cs.Gat_compiler.Codegen_cache.hits / looked)
   else None
 
-let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
-    block no_cache top show_progress trace =
-  if no_cache then begin
-    Gat_tuner.Disk_cache.set_enabled false;
-    Gat_tuner.Artifact_store.set_enabled false
-  end;
-  set_trace trace;
-  set_jobs jobs;
-  if retries < 0 then
-    Gat_util.Error.failf Usage "--retries must be >= 0 (got %d)" retries;
-  if block < 1 then
-    Gat_util.Error.failf Usage "--checkpoint-every must be >= 1 (got %d)" block;
-  Gat_util.Cancel.install ();
-  let n = size_of kernel n in
-  let space = Gat_tuner.Space.paper in
-  let progress =
-    if not show_progress then None
-    else begin
-      let label =
-        Printf.sprintf "%s/%s" kernel.Gat_ir.Kernel.name gpu.Gat_arch.Gpu.name
-      in
-      let p =
-        Gat_util.Progress.create ~label
-          ~total:(Gat_tuner.Space.cardinality space)
-          ()
-      in
-      (* Baseline so the line shows steals for this sweep only, not
-         whatever earlier maps in the process accumulated. *)
-      let steals0 = (Gat_util.Pool.scheduler_stats ()).Gat_util.Pool.steals in
-      Some
-        (fun ~done_ ~total ~failures ->
-          let render =
-            if done_ >= total then Gat_util.Progress.finish
-            else Gat_util.Progress.update
-          in
-          let steals =
-            (Gat_util.Pool.scheduler_stats ()).Gat_util.Pool.steals - steals0
-          in
-          render p ~done_ ~failures ?cache_hit_pct:(codegen_cache_hit_pct ())
-            ~steals ())
-    end
-  in
-  let report, dt =
-    Gat_util.Metrics.timed t_sweep (fun () ->
-        Gat_tuner.Tuner.sweep_report ~space ~retries ?max_failures
-          ~checkpoint:(not no_checkpoint) ~resume ~block ?progress kernel gpu
-          ~n ~seed)
-  in
-  (* Timings and resume notes go to stderr so stdout is byte-identical
-     across job counts, interruptions and resumptions. *)
-  if report.Gat_tuner.Tuner.restored_points > 0 then
-    Printf.eprintf "gat: resumed from checkpoint: %d/%d points\n%!"
-      report.Gat_tuner.Tuner.restored_points
-      (Gat_tuner.Space.cardinality space);
+(* The stdout side of a sweep, shared verbatim by the single-process
+   and sharded paths: the byte-identity guarantee across job counts,
+   resumption and sharding is a guarantee about exactly this output.
+   Anything run-shaped (timings, resume notes, coordination hints)
+   goes to stderr. *)
+let print_sweep_report kernel gpu ~n ~seed ~space ~top
+    (report : Gat_tuner.Tuner.report) =
   let variants = report.Gat_tuner.Tuner.variants in
   let failures = report.Gat_tuner.Tuner.failures in
   let unsafe = report.Gat_tuner.Tuner.unsafe in
@@ -715,16 +668,123 @@ let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
     | _ when k = 0 -> []
     | x :: rest -> x :: take (k - 1) rest
   in
-  (match ranked with
+  match ranked with
   | [] -> print_endline "no valid variant found"
   | _ ->
       Printf.printf "top %d variants:\n" (min top (List.length ranked));
       List.iteri
         (fun i v ->
           Printf.printf "  %2d. %s\n" (i + 1) (Gat_tuner.Variant.summary v))
-        (take top ranked));
-  Printf.eprintf "gat: sweep finished in %s\n%!"
-    (Gat_util.Metrics.pp_duration dt)
+        (take top ranked)
+
+let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
+    block no_cache top show_progress trace shards coordinator lease_ttl =
+  if no_cache then begin
+    Gat_tuner.Disk_cache.set_enabled false;
+    Gat_tuner.Artifact_store.set_enabled false
+  end;
+  set_trace trace;
+  set_jobs jobs;
+  if retries < 0 then
+    Gat_util.Error.failf Usage "--retries must be >= 0 (got %d)" retries;
+  if block < 1 then
+    Gat_util.Error.failf Usage "--checkpoint-every must be >= 1 (got %d)" block;
+  if lease_ttl <= 0.0 then
+    Gat_util.Error.failf Usage "--lease-ttl must be > 0 (got %g)" lease_ttl;
+  (match shards with
+  | Some k when k < 1 ->
+      Gat_util.Error.failf Usage "--shards must be >= 1 (got %d)" k
+  | _ -> ());
+  Gat_util.Cancel.install ();
+  let n = size_of kernel n in
+  let space = Gat_tuner.Space.paper in
+  let label =
+    Printf.sprintf "%s/%s" kernel.Gat_ir.Kernel.name gpu.Gat_arch.Gpu.name
+  in
+  match (shards, coordinator) with
+  | None, None ->
+      let progress =
+        if not show_progress then None
+        else begin
+          let p =
+            Gat_util.Progress.create ~label
+              ~total:(Gat_tuner.Space.cardinality space)
+              ()
+          in
+          (* Baseline so the line shows steals for this sweep only, not
+             whatever earlier maps in the process accumulated. *)
+          let steals0 =
+            (Gat_util.Pool.scheduler_stats ()).Gat_util.Pool.steals
+          in
+          Some
+            (fun ~done_ ~total ~failures ->
+              let render =
+                if done_ >= total then Gat_util.Progress.finish
+                else Gat_util.Progress.update
+              in
+              let steals =
+                (Gat_util.Pool.scheduler_stats ()).Gat_util.Pool.steals
+                - steals0
+              in
+              render p ~done_ ~failures
+                ?cache_hit_pct:(codegen_cache_hit_pct ())
+                ~steals ())
+        end
+      in
+      let report, dt =
+        Gat_util.Metrics.timed t_sweep (fun () ->
+            Gat_tuner.Tuner.sweep_report ~space ~retries ?max_failures
+              ~checkpoint:(not no_checkpoint) ~resume ~block ?progress kernel
+              gpu ~n ~seed)
+      in
+      if report.Gat_tuner.Tuner.restored_points > 0 then
+        Printf.eprintf "gat: resumed from checkpoint: %d/%d points\n%!"
+          report.Gat_tuner.Tuner.restored_points
+          (Gat_tuner.Space.cardinality space);
+      print_sweep_report kernel gpu ~n ~seed ~space ~top report;
+      Printf.eprintf "gat: sweep finished in %s\n%!"
+        (Gat_util.Metrics.pp_duration dt)
+  | _ ->
+      (* Sharded coordination: --shards and/or --coordinator given. *)
+      let k = Option.value shards ~default:4 in
+      let dir =
+        match coordinator with
+        | Some d -> d
+        | None -> Gat_tuner.Shard.default_dir space kernel gpu ~n ~seed
+      in
+      Printf.eprintf
+        "gat: coordinating %d-shard sweep under %s\n\
+         gat: attach workers with: gat sweep-worker %s\n\
+         %!"
+        k dir dir;
+      let progress =
+        if not show_progress then None
+        else begin
+          let p =
+            Gat_util.Progress.create ~label
+              ~total:(Gat_tuner.Space.cardinality space)
+              ()
+          in
+          Some
+            (fun ~done_ ~total ~failures ~workers ~reclaimed ->
+              let render =
+                if done_ >= total then Gat_util.Progress.finish
+                else Gat_util.Progress.update
+              in
+              render p ~done_ ~failures
+                ?cache_hit_pct:(codegen_cache_hit_pct ())
+                ~workers ~reclaimed ())
+        end
+      in
+      let report, dt =
+        Gat_util.Metrics.timed t_sweep (fun () ->
+            Gat_tuner.Shard.coordinate ~retries ?max_failures ~block
+              ~ttl:lease_ttl ?progress ~dir ~shards:k space kernel gpu ~n
+              ~seed)
+      in
+      print_sweep_report kernel gpu ~n ~seed ~space ~top report;
+      Printf.eprintf "gat: sharded sweep finished in %s\n%!"
+        (Gat_util.Metrics.pp_duration dt)
 
 let sweep_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
@@ -784,17 +844,161 @@ let sweep_cmd =
              rate, failure count.  Redraws in place on a TTY; degrades \
              to periodic full lines otherwise.  Never touches stdout.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Run the sweep as a $(docv)-shard coordination: the space is \
+             partitioned into $(docv) contiguous ranges claimed through \
+             lease files under the coordination directory.  Workers \
+             started with $(b,gat sweep-worker) share the work; with \
+             none attached the coordinator computes everything itself.  \
+             The report is byte-identical to an unsharded sweep.")
+  in
+  let coordinator =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coordinator" ] ~docv:"DIR"
+          ~doc:
+            "Coordinate the sharded sweep under $(docv) instead of the \
+             content-keyed default below the cache root.  Implies \
+             $(b,--shards) 4 unless given.")
+  in
+  let lease_ttl =
+    Arg.(
+      value & opt float 30.0
+      & info [ "lease-ttl" ] ~docv:"SECS"
+          ~doc:
+            "Shard lease time-to-live.  A worker renews its lease after \
+             every checkpointed block; a lease older than $(docv) \
+             seconds is treated as dead and its shard is reassigned, \
+             resuming from the dead worker's last checkpoint.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:
          "Exhaustively evaluate the paper's 5,120-variant space with \
           supervision: per-variant failures are recorded (not fatal), \
-          progress is checkpointed, and an interrupted sweep can \
-          $(b,--resume) with byte-identical results.")
+          progress is checkpointed, an interrupted sweep can \
+          $(b,--resume), and the work can be sharded across processes \
+          and machines ($(b,--shards), $(b,gat sweep-worker)) — all \
+          with byte-identical results.")
     Term.(
       const sweep $ kernel_arg $ gpu_arg $ n_arg $ seed $ jobs_arg $ retries
       $ max_failures $ resume $ no_checkpoint $ block $ no_cache_arg $ top
-      $ progress $ trace_arg)
+      $ progress $ trace_arg $ shards $ coordinator $ lease_ttl)
+
+(* ---- sweep-worker ---- *)
+
+let sweep_worker dir jobs retries no_cache show_progress trace =
+  if no_cache then begin
+    Gat_tuner.Disk_cache.set_enabled false;
+    Gat_tuner.Artifact_store.set_enabled false
+  end;
+  set_trace trace;
+  set_jobs jobs;
+  if retries < 0 then
+    Gat_util.Error.failf Usage "--retries must be >= 0 (got %d)" retries;
+  Gat_util.Cancel.install ();
+  match Gat_tuner.Shard.read_manifest dir with
+  | None ->
+      if Sys.file_exists (Gat_tuner.Shard.done_file dir) then
+        (* The coordinator finished and its state was cleaned up to the
+           done marker: nothing left to help with — a clean success. *)
+        print_endline "coordinator already finished; nothing to do"
+      else
+        Gat_util.Error.failf Shard
+          ~hint:
+            "start a coordinator first: gat sweep KERNEL --shards K \
+             --coordinator DIR"
+          "no shard manifest under %s" dir
+  | Some m -> (
+      match
+        (Gat_workloads.Workloads.find m.Gat_tuner.Shard.kernel,
+         Gat_arch.Gpu.of_name m.Gat_tuner.Shard.gpu)
+      with
+      | Some kernel, Some gpu ->
+          let progress =
+            if not show_progress then None
+            else begin
+              (* One bar per claimed shard; a new shard index starts a
+                 fresh bar. *)
+              let cur = ref None in
+              Some
+                (fun ~shard ~done_ ~total ~failures ->
+                  let p =
+                    match !cur with
+                    | Some (s, p) when s = shard -> p
+                    | _ ->
+                        let p =
+                          Gat_util.Progress.create
+                            ~label:(Printf.sprintf "shard %d" shard)
+                            ~total ()
+                        in
+                        cur := Some (shard, p);
+                        p
+                  in
+                  let render =
+                    if done_ >= total then Gat_util.Progress.finish
+                    else Gat_util.Progress.update
+                  in
+                  render p ~done_ ~failures
+                    ?cache_hit_pct:(codegen_cache_hit_pct ())
+                    ())
+            end
+          in
+          let r =
+            Gat_tuner.Shard.work ~retries ?progress ~dir m ~kernel ~gpu ()
+          in
+          if r.Gat_tuner.Shard.stale then
+            print_endline "coordinator already finished; nothing to do"
+          else
+            Printf.printf "worker done: %d shard%s, %d points\n"
+              r.Gat_tuner.Shard.shards
+              (if r.Gat_tuner.Shard.shards = 1 then "" else "s")
+              r.Gat_tuner.Shard.points
+      | _ ->
+          Gat_util.Error.failf Shard
+            "shard manifest references an unknown kernel or GPU (%s on %s)"
+            m.Gat_tuner.Shard.kernel m.Gat_tuner.Shard.gpu)
+
+let sweep_worker_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "The coordination directory printed by the coordinator \
+             (shared via $(b,GAT_CACHE_DIR) or any common filesystem).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Extra in-place attempts for a variant whose evaluation \
+             raises before it is recorded as failed.")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Live per-shard progress on stderr; never touches stdout.")
+  in
+  Cmd.v
+    (Cmd.info "sweep-worker"
+       ~doc:
+         "Attach to a sharded sweep and evaluate shards until none \
+          remain.  Exits 0 when the coordinator already finished \
+          (stale-but-done); crashes are tolerated — an expired lease is \
+          reassigned and resumes from the worker's last checkpoint.")
+    Term.(
+      const sweep_worker $ dir $ jobs_arg $ retries $ no_cache_arg $ progress
+      $ trace_arg)
 
 (* ---- replay ---- *)
 
@@ -901,10 +1105,23 @@ let cache action max_bytes =
         (Gat_tuner.Artifact_store.dir ())
         a.Gat_tuner.Artifact_store.hits a.Gat_tuner.Artifact_store.misses
         a.Gat_tuner.Artifact_store.stores
-        a.Gat_tuner.Artifact_store.degraded_writes
+        a.Gat_tuner.Artifact_store.degraded_writes;
+      let sh = Gat_tuner.Shard.usage () in
+      Printf.printf
+        "shards:    %d director%s, %d files (%s); %d live lease%s (%s \
+         pinned)\n"
+        sh.Gat_tuner.Shard.dirs
+        (if sh.Gat_tuner.Shard.dirs = 1 then "y" else "ies")
+        sh.Gat_tuner.Shard.files
+        (human_bytes sh.Gat_tuner.Shard.bytes)
+        sh.Gat_tuner.Shard.live_leases
+        (if sh.Gat_tuner.Shard.live_leases = 1 then "" else "s")
+        (human_bytes sh.Gat_tuner.Shard.pinned_bytes)
   | "clear" ->
       let removed =
-        Gat_tuner.Disk_cache.clear () + Gat_tuner.Artifact_store.clear ()
+        Gat_tuner.Disk_cache.clear ()
+        + Gat_tuner.Artifact_store.clear ()
+        + Gat_tuner.Shard.clear ()
       in
       Printf.printf "removed %d cache entr%s from %s\n" removed
         (if removed = 1 then "y" else "ies")
@@ -1062,6 +1279,7 @@ let () =
         suggest_cmd;
         simulate_cmd; emulate_cmd; dynamics_cmd; parse_cmd; autotune_cmd;
         sweep_cmd;
+        sweep_worker_cmd;
         replay_cmd;
         experiment_cmd;
         cache_cmd;

@@ -33,6 +33,11 @@ let candidate_files () =
   in
   with_suffixes (root ()) [ ".sweep"; ".ckpt"; ".tmp" ]
   @ with_suffixes (Gat_compiler.Artifacts.dir ()) [ ".art"; ".tmp" ]
+  (* Shard coordination state joins the budget too — but only from
+     directories with no live lease: gc must never yank a manifest,
+     lease or in-flight partial checkpoint from under a running
+     coordination. *)
+  @ Shard.gc_candidates ()
 
 type entry = { path : string; size : int; used : float }
 

@@ -623,21 +623,52 @@ type checkpoint = {
   unsafe : Variant.unsafe list;
 }
 
+(* Path-addressed checkpoint I/O: the exact serialization of keyed
+   checkpoints, but writable to any path.  This is the partial-entry
+   layout of the distributed sweep — per-shard [.ckpt] heartbeats and
+   finished [.part] files are ordinary checkpoints whose [done_points]
+   is relative to the shard's range.  Unlike {!checkpoint_store},
+   {!checkpoint_write} is coordination state, not a cache optimization:
+   it ignores the enabled/degraded latches and raises on failure so
+   the shard layer can apply its own retry policy. *)
+let checkpoint_write ~path ckpt =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ckpt_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ("model " ^ model_version ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "done %d\n" ckpt.done_points);
+  Buffer.add_string buf
+    (Printf.sprintf "failures %d\n" (List.length ckpt.failures));
+  List.iter (emit_failure buf) ckpt.failures;
+  emit_unsafe_section buf ckpt.unsafe;
+  emit_variants_section buf ckpt.variants;
+  emit_trailer buf;
+  publish ~path buf
+
+let checkpoint_read path =
+  if not (Sys.file_exists path) then None
+  else
+    let read () =
+      let cur = open_sealed path in
+      expect_line cur ckpt_magic;
+      expect_line cur ("model " ^ model_version);
+      let done_points = counted cur "done " in
+      let n_failures = counted cur "failures " in
+      if n_failures > 1_000_000 then raise Bad_entry;
+      let failures = List.init n_failures (fun _ -> read_failure cur) in
+      let unsafe = read_unsafe_section cur in
+      let variants = read_variants_section cur in
+      read_trailer cur;
+      { done_points; variants; failures; unsafe }
+    in
+    (* Damaged checkpoints read as "no checkpoint" — restarting the
+       covered range from scratch is always a safe answer. *)
+    (match read () with c -> Some c | exception _ -> None)
+
 let checkpoint_store space kernel gpu ~n ~seed ckpt =
   if writable () then
     try
-      let buf = Buffer.create 4096 in
-      Buffer.add_string buf ckpt_magic;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf ("model " ^ model_version ^ "\n");
-      Buffer.add_string buf (Printf.sprintf "done %d\n" ckpt.done_points);
-      Buffer.add_string buf
-        (Printf.sprintf "failures %d\n" (List.length ckpt.failures));
-      List.iter (emit_failure buf) ckpt.failures;
-      emit_unsafe_section buf ckpt.unsafe;
-      emit_variants_section buf ckpt.variants;
-      emit_trailer buf;
-      publish ~path:(ckpt_of_key (key space kernel gpu ~n ~seed)) buf;
+      checkpoint_write ~path:(ckpt_of_key (key space kernel gpu ~n ~seed)) ckpt;
       ckpt_stored ()
     with
     | Sys_error e -> degrade e
@@ -646,29 +677,11 @@ let checkpoint_store space kernel gpu ~n ~seed ckpt =
 let checkpoint_find space kernel gpu ~n ~seed =
   if not (enabled ()) then None
   else
-    let path = ckpt_of_key (key space kernel gpu ~n ~seed) in
-    if not (Sys.file_exists path) then None
-    else
-      let read () =
-        let cur = open_sealed path in
-        expect_line cur ckpt_magic;
-        expect_line cur ("model " ^ model_version);
-        let done_points = counted cur "done " in
-        let n_failures = counted cur "failures " in
-        if n_failures > 1_000_000 then raise Bad_entry;
-        let failures = List.init n_failures (fun _ -> read_failure cur) in
-        let unsafe = read_unsafe_section cur in
-        let variants = read_variants_section cur in
-        read_trailer cur;
-        { done_points; variants; failures; unsafe }
-      in
-      (* Like entries: damaged checkpoints read as "no checkpoint" and
-         the sweep restarts from scratch, which is always safe. *)
-      (match read () with
-      | c ->
-          ckpt_resumed ();
-          Some c
-      | exception _ -> None)
+    match checkpoint_read (ckpt_of_key (key space kernel gpu ~n ~seed)) with
+    | Some c ->
+        ckpt_resumed ();
+        Some c
+    | None -> None
 
 let checkpoint_clear space kernel gpu ~n ~seed =
   let path = ckpt_of_key (key space kernel gpu ~n ~seed) in

@@ -143,6 +143,21 @@ val checkpoint_clear :
   Space.t -> Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> n:int -> seed:int -> unit
 (** Remove the sweep's checkpoint, if any. *)
 
+val checkpoint_write : path:string -> checkpoint -> unit
+(** Atomically publish a checkpoint to an explicit path — the
+    partial-entry layout of the distributed sweep (per-shard [.ckpt]
+    heartbeats and finished [.part] files, whose [done_points] is
+    relative to the shard's range).  Unlike {!checkpoint_store} this
+    is coordination state, not a cache optimization: it ignores the
+    enabled/degraded latches and raises [Sys_error] (or
+    {!Gat_util.Fault.Injected}, site [cache-write]) on failure so the
+    caller can apply its own retry policy. *)
+
+val checkpoint_read : string -> checkpoint option
+(** Read a checkpoint from an explicit path; [None] when absent,
+    damaged, sealed with a different model version, or under an
+    injected [cache-read] fault.  Never raises. *)
+
 val disk_usage : unit -> int * int
 (** [(entries, bytes)] currently on disk. *)
 

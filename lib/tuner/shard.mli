@@ -1,0 +1,172 @@
+(** Distributed fault-tolerant sweep sharding.
+
+    One sweep's variant space, partitioned into K contiguous ranges
+    coordinated through a shared directory (by default content-keyed
+    under [<cache-root>/shards/]): a {e coordinator}
+    ([gat sweep --shards K]) writes the sealed manifest, supervises
+    shards to completion and merges the parts; {e workers}
+    ([gat sweep-worker DIR]) — any process on any machine sharing
+    [GAT_CACHE_DIR] — claim shards through atomic lease files and
+    publish finished ranges as sealed partial checkpoints.
+
+    Directory layout ([DESIGN.md] §5.9):
+    {v
+    manifest         sealed: kernel/gpu/n/seed/ttl, space axes, ranges
+    shard-<i>.lease  Gat_util.Lease — who owns shard i, until when
+    shard-<i>.ckpt   flushed prefix of an in-flight shard (heartbeat)
+    shard-<i>.part   finished shard — a range-relative checkpoint
+    done             coordinator finished; workers exit 0
+    v}
+
+    Invariants:
+    - every shared file is published by atomic rename and MD5-sealed,
+      so SIGKILL at any instant leaves whole files or nothing;
+    - the lease is renewed by the same per-block callback that flushes
+      the [.ckpt], so a live lease implies fresh progress and a dead
+      worker is detected within one TTL;
+    - evaluation is deterministic per point, so a reclaimed shard —
+      even one briefly evaluated by two holders — publishes a
+      byte-identical part, and the merged report equals the
+      single-process sweep byte for byte.
+
+    Metrics: [shard.planned], [shard.claimed], [shard.completed],
+    [shard.parts_merged], [shard.leases_reclaimed],
+    [shard.salvaged_points], [shard.stale_done]; trace spans
+    [shard.eval] / [shard.merge] and instants [shard.reclaim]. *)
+
+type manifest = {
+  kernel : string;  (** Kernel name (resolved by the CLI on attach). *)
+  gpu : string;  (** Device name. *)
+  n : int;
+  seed : int;
+  ttl : float;  (** Lease time-to-live, seconds. *)
+  space : Space.t;
+  ranges : (int * int) array;  (** Per-shard [(first, len)] ranges. *)
+}
+
+exception Lease_lost of int
+(** Raised inside a shard evaluation when the per-block lease renewal
+    discovers the lease was broken and taken by someone else; the
+    holder abandons the shard (its flushed prefix survives for the new
+    holder to salvage). *)
+
+val default_dir :
+  Space.t -> Gat_ir.Kernel.t -> Gat_arch.Gpu.t -> n:int -> seed:int -> string
+(** The content-keyed coordination directory for this sweep:
+    [<cache-root>/shards/<Disk_cache.key>]. *)
+
+val plan : total:int -> shards:int -> (int * int) array
+(** Partition [total] points into at most [shards] contiguous
+    [(first, len)] ranges differing in length by at most one; clamps
+    to at least one shard and at most one shard per point. *)
+
+val read_manifest : string -> manifest option
+(** The sealed manifest under this directory, or [None] when absent,
+    torn, corrupt, or sealed by a different {!Disk_cache.model_version}. *)
+
+val write_manifest : dir:string -> manifest -> unit
+(** Atomically publish the sealed manifest (normally the coordinator's
+    job; exposed for tests and external orchestration).
+    @raise Sys_error on I/O failure. *)
+
+val done_file : string -> string
+(** The completion marker's path (the CLI checks it for the
+    stale-but-done worker exit). *)
+
+val coordinate :
+  ?jobs:int ->
+  ?retries:int ->
+  ?max_failures:int ->
+  ?block:int ->
+  ?shard_retries:int ->
+  ?ttl:float ->
+  ?progress:
+    (done_:int ->
+    total:int ->
+    failures:int ->
+    workers:int ->
+    reclaimed:int ->
+    unit) ->
+  ?dir:string ->
+  shards:int ->
+  Space.t ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  Tuner.report
+(** Run one sweep to completion as a sharded coordination.  Serves a
+    finished sweep straight from {!Disk_cache} when one exists;
+    otherwise writes (or adopts — same kernel/gpu/n/seed/space, else
+    stage [Shard]) the manifest, then loops: merge any published
+    part (validated against its seal and range length; damaged parts
+    are discarded and redone), reclaim expired leases
+    ([shard.leases_reclaimed]), and claim + evaluate shards locally —
+    so a coordinator with no workers degrades gracefully to an
+    ordinary in-process sweep.  Each shard failure (lost lease,
+    damaged part, reclaim) costs one attempt from its
+    [shard_retries] budget (default 5) with capped exponential
+    backoff; an exhausted budget aborts with stage [Shard].
+
+    The merged report is byte-identical to {!Tuner.sweep_report} of
+    the same sweep; when it has no failures it is stored to
+    {!Disk_cache} exactly like a single-process sweep, and the [done]
+    marker is published so late workers exit cleanly.
+
+    [max_failures] is enforced per shard (each range fails fast past
+    the budget, stage [Tune]).  [progress] additionally reports the
+    number of live foreign worker leases and leases reclaimed so far.
+    @raise Gat_util.Error.Error (stage [Interrupted]) between blocks
+    and between shards when {!Gat_util.Cancel.requested} fires; all
+    flushed shard state survives for a later re-run. *)
+
+type worker_report = {
+  shards : int;  (** Shards this worker completed. *)
+  points : int;  (** Points those shards contained. *)
+  stale : bool;  (** The coordinator had already finished on attach. *)
+}
+
+val work :
+  ?jobs:int ->
+  ?retries:int ->
+  ?block:int ->
+  ?progress:(shard:int -> done_:int -> total:int -> failures:int -> unit) ->
+  dir:string ->
+  manifest ->
+  kernel:Gat_ir.Kernel.t ->
+  gpu:Gat_arch.Gpu.t ->
+  unit ->
+  worker_report
+(** Attach to a coordination directory and evaluate shards until none
+    remain unclaimed-and-unfinished, or until the [done] marker
+    appears ([stale = true] — the stale-but-done race is a clean
+    success, exit 0).  The caller resolves [kernel]/[gpu] from the
+    manifest's names and must pass the same objects the coordinator
+    used.  [progress] reports the in-flight shard's index and
+    range-relative progress ([total] is that shard's length).
+    @raise Gat_util.Error.Error (stage [Interrupted]) on cancel. *)
+
+(** {1 Maintenance} — [gat cache stats] / [gc] / [clear].
+
+    Shard directories holding at least one live lease are {e pinned}:
+    their lease files and in-flight partial checkpoints are invisible
+    to {!gc_candidates}, so [gat cache gc] never yanks state from
+    under a running coordination.  Directories with no live lease
+    (finished or crashed-and-expired runs) are evictable. *)
+
+val gc_candidates : unit -> string list
+(** Every file of every unpinned shard directory. *)
+
+type usage = {
+  dirs : int;
+  files : int;
+  bytes : int;
+  live_leases : int;
+  pinned_bytes : int;  (** Bytes in directories with a live lease. *)
+}
+
+val usage : unit -> usage
+
+val clear : unit -> int
+(** Remove every shard directory (pinned or not) and the files inside;
+    returns the number of files removed. *)

@@ -95,17 +95,28 @@ let m_unsafe = Gat_util.Metrics.counter "sweep.unsafe"
 
 (* Evaluation order over [Space.points] is fixed, so the accumulated
    variant and failure lists depend only on (space, kernel, gpu, n,
-   seed) — never on the job count, the block size, or whether the run
-   was interrupted and resumed from a checkpointed prefix.  Resume
-   correctness rides entirely on that invariant. *)
-let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
-    ?(resume = false) ?(block = default_block_size) ?progress kernel gpu
-    ~space ~ns ~seed =
-  let points = Array.of_list (Space.points space) in
-  let total = Array.length points in
+   seed) — never on the job count, the block size, whether the run
+   was interrupted and resumed from a checkpointed prefix, or how the
+   space was partitioned into shard ranges.  Resume and distributed
+   merge correctness both ride entirely on that invariant.
+
+   The core walks the half-open point range [first, first + range_len)
+   of the space.  [init] restores an already-evaluated prefix of the
+   range (its [done_points] is range-relative); [flush] is invoked
+   after every completed block with the accumulated range-relative
+   checkpoint — the hook under both local checkpointing and per-shard
+   heartbeats. *)
+let run_range ?jobs ?(retries = 1) ?max_failures
+    ?(block = default_block_size) ?progress ?flush ?init
+    ?(interrupt_note = "") kernel gpu ~space ~first ~range_len ~ns ~seed =
+  let all_points = Array.of_list (Space.points space) in
+  if first < 0 || range_len < 0 || first + range_len > Array.length all_points
+  then invalid_arg "Tuner.run_range: range outside the space";
+  let points = Array.sub all_points first range_len in
+  let total = range_len in
   let block_size = max 1 block in
-  if (checkpoint || resume) && List.length ns <> 1 then
-    invalid_arg "Tuner.run_sweeps: checkpointing supports exactly one size";
+  if (Option.is_some flush || Option.is_some init) && List.length ns <> 1 then
+    invalid_arg "Tuner.run_range: checkpointing supports exactly one size";
   (* Per size: reversed variants and failures.  Compile failures are
      size-independent and recorded against every size; simulate
      failures only against theirs. *)
@@ -119,24 +130,20 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
   in
   let start = ref 0 in
   let restored = ref 0 in
-  if resume then
-    (match ns with
-    | [ n ] -> (
-        match Disk_cache.checkpoint_find space kernel gpu ~n ~seed with
-        | Some c when c.Disk_cache.done_points > 0
-                      && c.Disk_cache.done_points <= total -> (
-            match acc with
-            | [ (_, variants_rev, failures_rev) ] ->
-                variants_rev := List.rev c.Disk_cache.variants;
-                failures_rev := List.rev c.Disk_cache.failures;
-                unsafe_rev := List.rev c.Disk_cache.unsafe;
-                failed_global := List.length c.Disk_cache.failures;
-                start := c.Disk_cache.done_points;
-                restored := c.Disk_cache.done_points
-            | _ -> ())
-        | _ -> ())
-    | _ -> ());
-  Gat_util.Metrics.incr ~by:!restored m_restored;
+  (match init with
+  | Some c
+    when c.Disk_cache.done_points > 0 && c.Disk_cache.done_points <= total
+    -> (
+      match acc with
+      | [ (_, variants_rev, failures_rev) ] ->
+          variants_rev := List.rev c.Disk_cache.variants;
+          failures_rev := List.rev c.Disk_cache.failures;
+          unsafe_rev := List.rev c.Disk_cache.unsafe;
+          failed_global := List.length c.Disk_cache.failures;
+          start := c.Disk_cache.done_points;
+          restored := c.Disk_cache.done_points
+      | _ -> ())
+  | _ -> ());
   (match progress with
   | Some f -> f ~done_:!start ~total ~failures:!failed_global
   | None -> ());
@@ -145,9 +152,7 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
        on disk, so stopping here loses nothing. *)
     if Gat_util.Cancel.requested () then
       Gat_util.Error.failf Interrupted
-        "sweep interrupted at %d/%d points%s" !start total
-        (if checkpoint then "; checkpoint saved — re-run with --resume"
-         else "");
+        "sweep interrupted at %d/%d points%s" !start total interrupt_note;
     let len = min block_size (total - !start) in
     let blk = Array.sub points !start len in
     let block_args =
@@ -258,22 +263,20 @@ let run_sweeps ?jobs ?(retries = 1) ?max_failures ?(checkpoint = false)
     (match progress with
     | Some f -> f ~done_:!start ~total ~failures:!failed_global
     | None -> ());
-    if checkpoint then
-      match acc with
-      | [ (n, variants_rev, failures_rev) ] ->
-          Disk_cache.checkpoint_store space kernel gpu ~n ~seed
-            {
-              Disk_cache.done_points = !start;
-              variants = List.rev !variants_rev;
-              failures = List.rev !failures_rev;
-              unsafe = List.rev !unsafe_rev;
-            }
-      | _ -> ()
+    (match flush with
+    | Some f -> (
+        match acc with
+        | [ (_, variants_rev, failures_rev) ] ->
+            f
+              {
+                Disk_cache.done_points = !start;
+                variants = List.rev !variants_rev;
+                failures = List.rev !failures_rev;
+                unsafe = List.rev !unsafe_rev;
+              }
+        | _ -> ())
+    | None -> ())
   done;
-  if checkpoint then
-    (match ns with
-    | [ n ] -> Disk_cache.checkpoint_clear space kernel gpu ~n ~seed
-    | _ -> ());
   ( List.map
       (fun (n, variants_rev, failures_rev) ->
         (n, (List.rev !variants_rev, List.rev !failures_rev)))
@@ -303,7 +306,8 @@ let finish_sweep space kernel gpu ~n ~seed key (variants, failures) ~unsafe
   r
 
 let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
-    ?checkpoint ?resume ?block ?progress kernel gpu ~n ~seed =
+    ?(checkpoint = false) ?(resume = false) ?block ?progress kernel gpu ~n
+    ~seed =
   let key = sweep_key space kernel gpu ~n ~seed in
   match find_sweep key with
   | Some r -> r
@@ -311,14 +315,55 @@ let sweep_report ?(space = Space.paper) ?jobs ?retries ?max_failures
       match restore_from_disk space kernel gpu ~n ~seed key with
       | Some r -> r
       | None -> (
+          let total = Space.cardinality space in
+          let init =
+            if resume then Disk_cache.checkpoint_find space kernel gpu ~n ~seed
+            else None
+          in
+          let restored =
+            match init with
+            | Some c when c.Disk_cache.done_points > 0
+                          && c.Disk_cache.done_points <= total ->
+                c.Disk_cache.done_points
+            | _ -> 0
+          in
+          Gat_util.Metrics.incr ~by:restored m_restored;
+          let flush =
+            if checkpoint then
+              Some (Disk_cache.checkpoint_store space kernel gpu ~n ~seed)
+            else None
+          in
+          let interrupt_note =
+            if checkpoint then "; checkpoint saved — re-run with --resume"
+            else ""
+          in
           match
-            run_sweeps ?jobs ?retries ?max_failures ?checkpoint ?resume ?block
-              ?progress kernel gpu ~space ~ns:[ n ] ~seed
+            run_range ?jobs ?retries ?max_failures ?block ?progress ?flush
+              ?init ~interrupt_note kernel gpu ~space ~first:0 ~range_len:total
+              ~ns:[ n ] ~seed
           with
-          | [ (_, outcome) ], unsafe, restored ->
+          | [ (_, outcome) ], unsafe, _ ->
+              if checkpoint then
+                Disk_cache.checkpoint_clear space kernel gpu ~n ~seed;
               finish_sweep space kernel gpu ~n ~seed key outcome ~unsafe
                 ~restored
           | _ -> assert false))
+
+(* The distributed-sweep entry point: evaluate one contiguous range of
+   the space and return it as a range-relative checkpoint — exactly
+   the payload a shard worker publishes as its [.part] file.  [flush]
+   fires after every block (the shard layer's checkpoint-and-heartbeat
+   hook); [init] salvages a previously flushed prefix of the same
+   range. *)
+let sweep_range ?jobs ?retries ?max_failures ?block ?flush ?init
+    ?interrupt_note ~space ~first ~len kernel gpu ~n ~seed =
+  match
+    run_range ?jobs ?retries ?max_failures ?block ?flush ?init ?interrupt_note
+      kernel gpu ~space ~first ~range_len:len ~ns:[ n ] ~seed
+  with
+  | [ (_, (variants, failures)) ], unsafe, _ ->
+      { Disk_cache.done_points = len; variants; failures; unsafe }
+  | _ -> assert false
 
 let sweep ?space ?jobs kernel gpu ~n ~seed =
   (sweep_report ?space ?jobs kernel gpu ~n ~seed).variants
@@ -336,7 +381,8 @@ let sweep_multi ?(space = Space.paper) ?jobs kernel gpu ~ns ~seed =
   | [] -> ()
   | _ ->
       let results, unsafe, _ =
-        run_sweeps ?jobs kernel gpu ~space ~ns:missing ~seed
+        run_range ?jobs kernel gpu ~space ~first:0
+          ~range_len:(Space.cardinality space) ~ns:missing ~seed
       in
       List.iter
         (fun (n, outcome) ->

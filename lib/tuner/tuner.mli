@@ -110,6 +110,40 @@ val sweep_report :
     @raise Gat_util.Error.Error (stage [Interrupted]) when
     {!Gat_util.Cancel.requested} fires between blocks. *)
 
+val sweep_range :
+  ?jobs:int ->
+  ?retries:int ->
+  ?max_failures:int ->
+  ?block:int ->
+  ?flush:(Disk_cache.checkpoint -> unit) ->
+  ?init:Disk_cache.checkpoint ->
+  ?interrupt_note:string ->
+  space:Space.t ->
+  first:int ->
+  len:int ->
+  Gat_ir.Kernel.t ->
+  Gat_arch.Gpu.t ->
+  n:int ->
+  seed:int ->
+  Disk_cache.checkpoint
+(** Evaluate one contiguous range [\[first, first+len)] of
+    [Space.points space] and return it as a range-relative
+    {!Disk_cache.checkpoint} with [done_points = len] — the building
+    block of the distributed sharded sweep ({!Shard}).  Point seeds
+    depend only on the point itself, so concatenating the checkpoints
+    of any partition of the space in range order reproduces the
+    uninterrupted {!sweep_report} byte for byte.
+
+    [flush] is invoked after every completed block with the checkpoint
+    of the range prefix evaluated so far (the shard layer persists it
+    and renews its lease there); [init] resumes from such a prefix.
+    Neither consults the sweep caches — range results are coordination
+    state owned by the caller.
+    @raise Invalid_argument when the range falls outside the space.
+    @raise Gat_util.Error.Error (stage [Interrupted]) when
+    {!Gat_util.Cancel.requested} fires between blocks; [interrupt_note]
+    is appended to the message. *)
+
 val sweep :
   ?space:Space.t ->
   ?jobs:int ->

@@ -6,6 +6,7 @@ type stage =
   | Verify
   | Tune
   | Io
+  | Shard
   | Interrupted
   | Internal
 
@@ -21,6 +22,7 @@ let stage_name = function
   | Verify -> "verify"
   | Tune -> "tuning"
   | Io -> "i/o"
+  | Shard -> "shard"
   | Interrupted -> "interrupted"
   | Internal -> "internal"
 
@@ -35,6 +37,7 @@ let exit_code = function
   | Tune -> 5
   | Io -> 6
   | Verify -> 7
+  | Shard -> 8
   | Interrupted -> 130
   | Internal -> 125
 

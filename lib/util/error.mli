@@ -17,6 +17,10 @@ type stage =
   | Verify  (** The static safety verifier found the code unsafe. *)
   | Tune  (** An autotuning run aborted (e.g. failure budget). *)
   | Io  (** File system or serialization failure. *)
+  | Shard
+      (** Distributed-sweep coordination failure: unusable shard
+          directory, incompatible manifest, or a shard that exhausted
+          its retry budget. *)
   | Interrupted  (** Cooperative stop after SIGINT. *)
   | Internal  (** A bug: should never be user-reachable. *)
 
@@ -28,8 +32,8 @@ val stage_name : stage -> string
 
 val exit_code : stage -> int
 (** Usage 2, Parse/Typecheck 3, Compile 4, Tune 5, Io 6, Verify 7,
-    Interrupted 130, Internal 125.  0 is success; 1 is left to
-    [Cmdliner]'s own conventions. *)
+    Shard 8, Interrupted 130, Internal 125.  0 is success; 1 is left
+    to [Cmdliner]'s own conventions. *)
 
 val to_string : t -> string
 (** One line, no backtrace: ["<stage> error: <message>"]. *)

@@ -17,7 +17,15 @@
       key fails every attempt — exercising the failure-recording path.
 
     Decisions depend only on the spec and the call's identity, never on
-    timing or worker count: a chaos run is exactly reproducible. *)
+    timing or worker count: a chaos run is exactly reproducible.
+
+    Instrumented sites: [compile] and [simulate] (per-variant
+    evaluation), [cache-read] and [cache-write] (the persistent sweep
+    cache and checkpoints), [artifact-read] / [artifact-write] (the
+    stage artifact store), and the distributed-sweep sites
+    [lease-acquire], [lease-renew] ({!Lease}) and [shard-merge]
+    (validation of per-shard partial results at merge).  Sites are
+    plain strings, so new call sites need no registration here. *)
 
 exception Injected of string
 (** Raised by {!inject}; the message names site, key and attempt. *)

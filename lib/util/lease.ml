@@ -1,0 +1,154 @@
+(* Atomic filesystem leases for multi-process coordination.
+
+   A lease is a small MD5-sealed file created with O_EXCL, so exactly
+   one process can hold it however many race for the create: the
+   filesystem is the arbiter, and it works on any shared directory
+   (including one mounted from several machines).  The body names the
+   owner (host, pid, a per-acquisition token) and carries an absolute
+   expiry deadline; holders renew the deadline as a heartbeat, and
+   anyone observing an expired lease may break it and take over.
+
+   Clock model: deadlines are wall-clock ([Unix.gettimeofday]) because
+   they must be meaningful across processes and machines; a lease TTL
+   should therefore be generous (seconds, not milliseconds) relative
+   to plausible clock skew.  Breaking a lease is advisory — between
+   the expiry check and the [unlink] another process may have broken
+   and re-acquired it, in which case two holders can briefly coexist.
+   Coordination layers built on leases must therefore tolerate
+   duplicate work; the sweep sharding layer does, because duplicate
+   shard evaluations produce byte-identical parts. *)
+
+let magic = "gat-lease 1"
+
+let m_acquired = Metrics.counter "lease.acquired"
+let m_acquire_lost = Metrics.counter "lease.acquire_lost"
+let m_renewals = Metrics.counter "lease.renewals"
+let m_renew_soft = Metrics.counter "lease.renew_soft_failures"
+let m_lost = Metrics.counter "lease.lost"
+let m_released = Metrics.counter "lease.released"
+let m_broken = Metrics.counter "lease.broken"
+
+type info = { owner : string; pid : int; host : string; deadline : float }
+
+let now () = Unix.gettimeofday ()
+let hostname () = try Unix.gethostname () with Unix.Unix_error _ -> "unknown"
+
+let make_owner () =
+  (* Unique per acquisition context: host and pid identify the
+     process, the monotonic-clock nonce separates successive owners
+     from a recycled pid. *)
+  Printf.sprintf "%s:%d:%Lx" (hostname ()) (Unix.getpid ()) (Metrics.now_ns ())
+
+let body ~owner ~pid ~host ~deadline =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  Printf.bprintf buf "owner %s\npid %d\nhost %s\ndeadline %h\n" owner pid host
+    deadline;
+  Sealed_file.seal buf;
+  buf
+
+let strip prefix line =
+  let p = String.length prefix in
+  if String.length line > p && String.equal (String.sub line 0 p) prefix then
+    String.sub line p (String.length line - p)
+  else raise Exit
+
+let parse payload =
+  match String.split_on_char '\n' payload with
+  | m :: o :: p :: h :: d :: _ when String.equal m magic -> (
+      try
+        let owner = strip "owner " o in
+        let pid = int_of_string (strip "pid " p) in
+        let host = strip "host " h in
+        (* [%h] output round-trips exactly through [float_of_string]. *)
+        let deadline = float_of_string (strip "deadline " d) in
+        Some { owner; pid; host; deadline }
+      with Exit | Failure _ -> None)
+  | _ -> None
+
+let read path = Option.bind (Sealed_file.read path) parse
+
+let acquire ~path ~owner ~ttl =
+  Cache_dir.ensure (Filename.dirname path);
+  match
+    Fault.inject ~site:"lease-acquire" ~key:(Filename.basename path);
+    Unix.openfile path
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL; Unix.O_CLOEXEC ]
+      0o644
+  with
+  | exception Unix.Unix_error _ ->
+      (* EEXIST: someone else holds it.  Other errors (unwritable
+         directory) also read as "not acquired" — the caller treats a
+         lost race and an unusable directory the same way. *)
+      Metrics.incr m_acquire_lost;
+      false
+  | exception Fault.Injected _ ->
+      Metrics.incr m_acquire_lost;
+      false
+  | fd ->
+      let buf = body ~owner ~pid:(Unix.getpid ()) ~host:(hostname ())
+          ~deadline:(now () +. ttl)
+      in
+      let s = Buffer.contents buf in
+      (try
+         let pos = ref 0 in
+         while !pos < String.length s do
+           pos := !pos + Unix.write_substring fd s !pos (String.length s - !pos)
+         done
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Metrics.incr m_acquired;
+      true
+
+let renew ~path ~owner ~ttl =
+  match read path with
+  | Some i when String.equal i.owner owner -> (
+      let buf = body ~owner ~pid:i.pid ~host:i.host ~deadline:(now () +. ttl) in
+      match
+        Fault.inject ~site:"lease-renew" ~key:(Filename.basename path);
+        Sealed_file.publish ~path buf
+      with
+      | () ->
+          Metrics.incr m_renewals;
+          true
+      | exception (Sys_error _ | Fault.Injected _) ->
+          (* Soft failure: still the owner, the old deadline stands.
+             The holder keeps working; it only loses the lease if the
+             deadline actually lapses and someone breaks it. *)
+          Metrics.incr m_renew_soft;
+          true)
+  | Some _ | None ->
+      (* Someone else owns it, it was broken, or the body is torn by a
+         racing acquire: either way this holder must stand down. *)
+      Metrics.incr m_lost;
+      false
+
+let release ~path ~owner =
+  match read path with
+  | Some i when String.equal i.owner owner -> (
+      try
+        Sys.remove path;
+        Metrics.incr m_released
+      with Sys_error _ -> ())
+  | Some _ | None -> ()
+
+let live ~ttl path =
+  match read path with
+  | Some i -> i.deadline > now ()
+  | None -> (
+      (* Unreadable but present: possibly a racing acquire mid-write.
+         Grant it a grace of one TTL from its mtime before declaring
+         it dead, so a torn write is never broken instantly. *)
+      match Unix.stat path with
+      | exception Unix.Unix_error _ -> false
+      | st -> st.Unix.st_mtime +. ttl > now ())
+
+let break_if_expired ~ttl path =
+  if Sys.file_exists path && not (live ~ttl path) then
+    match Sys.remove path with
+    | () ->
+        Metrics.incr m_broken;
+        true
+    | exception Sys_error _ -> false
+  else false

@@ -40,8 +40,8 @@ let pct ~done_ ~total =
   if total <= 0 then 100 else done_ * 100 / total
 
 (* Pure so tests can cover the formatting without a clock or a TTY. *)
-let render_line ~label ~total ~done_ ~failures ~cache_hit_pct ~steals
-    ~elapsed_s =
+let render_line ?workers ?reclaimed ~label ~total ~done_ ~failures
+    ~cache_hit_pct ~steals ~elapsed_s () =
   let rate = if elapsed_s > 0.0 then float_of_int done_ /. elapsed_s else 0.0 in
   let eta =
     if done_ > 0 && done_ < total && rate > 0.0 then
@@ -63,10 +63,23 @@ let render_line ~label ~total ~done_ ~failures ~cache_hit_pct ~steals
         else Printf.sprintf "  steals %d" s
     | _ -> ""
   in
-  Printf.sprintf "%s %d/%d %d%%  %.0f pts/s  %s%s%s  failed %d" label done_
+  (* Distributed-sweep fields, rendered only while relevant: external
+     workers attached to the coordination directory, and leases
+     reclaimed from dead ones. *)
+  let workers =
+    match workers with
+    | Some w when w > 0 -> Printf.sprintf "  workers %d" w
+    | _ -> ""
+  in
+  let reclaimed =
+    match reclaimed with
+    | Some r when r > 0 -> Printf.sprintf "  reclaimed %d" r
+    | _ -> ""
+  in
+  Printf.sprintf "%s %d/%d %d%%  %.0f pts/s  %s%s%s%s%s  failed %d" label done_
     total
     (pct ~done_ ~total)
-    rate eta cache steals failures
+    rate eta cache steals workers reclaimed failures
 
 let write t line =
   if t.tty then begin
@@ -80,19 +93,19 @@ let write t line =
 let elapsed_s t =
   Int64.to_float (Int64.sub (Metrics.now_ns ()) t.start_ns) /. 1e9
 
-let line t ~done_ ~failures ~cache_hit_pct ~steals =
-  render_line ~label:t.label ~total:t.total ~done_ ~failures ~cache_hit_pct
-    ~steals ~elapsed_s:(elapsed_s t)
+let line t ?workers ?reclaimed ~done_ ~failures ~cache_hit_pct ~steals () =
+  render_line ?workers ?reclaimed ~label:t.label ~total:t.total ~done_
+    ~failures ~cache_hit_pct ~steals ~elapsed_s:(elapsed_s t) ()
 
-let update t ~done_ ~failures ?cache_hit_pct ?steals () =
+let update t ~done_ ~failures ?cache_hit_pct ?steals ?workers ?reclaimed () =
   let now = Metrics.now_ns () in
   let due = Int64.sub now t.last_ns in
   let refresh = if t.tty then tty_refresh_ns else line_refresh_ns in
   if due >= refresh then begin
     t.last_ns <- now;
-    write t (line t ~done_ ~failures ~cache_hit_pct ~steals)
+    write t (line t ?workers ?reclaimed ~done_ ~failures ~cache_hit_pct ~steals ())
   end
 
-let finish t ~done_ ~failures ?cache_hit_pct ?steals () =
-  write t (line t ~done_ ~failures ~cache_hit_pct ~steals);
+let finish t ~done_ ~failures ?cache_hit_pct ?steals ?workers ?reclaimed () =
+  write t (line t ?workers ?reclaimed ~done_ ~failures ~cache_hit_pct ~steals ());
   if t.tty then Printf.fprintf t.out "\n%!"

@@ -20,14 +20,18 @@ val update :
   failures:int ->
   ?cache_hit_pct:int ->
   ?steals:int ->
+  ?workers:int ->
+  ?reclaimed:int ->
   unit ->
   unit
 (** Report progress; renders only when the refresh interval has
     elapsed, so callers can invoke it as often as they like.
     [?steals] is the cumulative work-steal count for this sweep
-    (typically a delta of {!Pool.scheduler_stats}); it is rendered
-    only when positive, so balanced or sequential sweeps keep the
-    short line. *)
+    (typically a delta of {!Pool.scheduler_stats}); [?workers] is the
+    number of external worker processes attached to a sharded sweep
+    and [?reclaimed] the leases reclaimed from dead ones.  Each is
+    rendered only when positive, so plain sweeps keep the short
+    line. *)
 
 val finish :
   t ->
@@ -35,12 +39,16 @@ val finish :
   failures:int ->
   ?cache_hit_pct:int ->
   ?steals:int ->
+  ?workers:int ->
+  ?reclaimed:int ->
   unit ->
   unit
 (** Render one final (unthrottled) line; on a TTY also terminates the
     in-place line with a newline. *)
 
 val render_line :
+  ?workers:int ->
+  ?reclaimed:int ->
   label:string ->
   total:int ->
   done_:int ->
@@ -48,6 +56,7 @@ val render_line :
   cache_hit_pct:int option ->
   steals:int option ->
   elapsed_s:float ->
+  unit ->
   string
 (** The pure formatter behind {!update}/{!finish}, exposed for
     tests. *)

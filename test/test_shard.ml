@@ -1,0 +1,485 @@
+(* Distributed sweep sharding: atomic lease arbitration (O_EXCL, with
+   and without injected faults), expiry and takeover, shard planning,
+   manifest round-trips, coordinator/worker end-to-end equivalence,
+   salvaged-checkpoint merges, merge-time fault injection, and the
+   gc pinning of live coordinations.
+
+   The load-bearing property throughout: a sharded sweep — however it
+   is partitioned, interrupted, salvaged or reclaimed — produces a
+   report bit-identical to the uninterrupted single-process sweep. *)
+
+module Tuner = Gat_tuner.Tuner
+module Disk_cache = Gat_tuner.Disk_cache
+module Shard = Gat_tuner.Shard
+module Variant = Gat_tuner.Variant
+module Space = Gat_tuner.Space
+module Params = Gat_compiler.Params
+module Lease = Gat_util.Lease
+module Fault = Gat_util.Fault
+module Error = Gat_util.Error
+
+(* Private scratch cache directory — never the user's real cache. *)
+let scratch =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gat-test-shard-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "GAT_CACHE_DIR" d;
+  d
+
+let kernel = Gat_workloads.Workloads.atax
+let gpu = Gat_arch.Gpu.k20
+
+let space =
+  {
+    Space.tc = [ 64; 128; 256 ];
+    bc = [ 24; 48 ];
+    uif = [ 1; 2 ];
+    pl = [ 16 ];
+    sc = [ 1 ];
+    cflags = [ false ];
+  }
+
+let total = Space.cardinality space
+
+let reset () =
+  Tuner.clear_cache ();
+  Fault.set_spec None;
+  Gat_util.Cancel.reset ();
+  Disk_cache.set_enabled false;
+  Disk_cache.reset_degraded ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d = Filename.concat scratch (Printf.sprintf "dir-%d" !n) in
+    Gat_util.Cache_dir.ensure d;
+    d
+
+let check_bits label a b =
+  Alcotest.(check int64) label (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_report_eq (a : Tuner.report) (b : Tuner.report) =
+  Alcotest.(check int) "variant count"
+    (List.length a.Tuner.variants)
+    (List.length b.Tuner.variants);
+  List.iter2
+    (fun (x : Variant.t) (y : Variant.t) ->
+      Alcotest.(check int) "params" 0
+        (Params.compare x.Variant.params y.Variant.params);
+      check_bits "time_ms" x.Variant.time_ms y.Variant.time_ms;
+      check_bits "occupancy" x.Variant.occupancy y.Variant.occupancy;
+      Alcotest.(check int) "registers" x.Variant.registers y.Variant.registers)
+    a.Tuner.variants b.Tuner.variants;
+  Alcotest.(check int) "failure count"
+    (List.length a.Tuner.failures)
+    (List.length b.Tuner.failures);
+  List.iter2
+    (fun (x : Variant.failure) (y : Variant.failure) ->
+      Alcotest.(check int) "failed params" 0
+        (Params.compare x.Variant.failed_params y.Variant.failed_params);
+      Alcotest.(check string) "message" x.Variant.message y.Variant.message)
+    a.Tuner.failures b.Tuner.failures;
+  Alcotest.(check int) "unsafe count"
+    (List.length a.Tuner.unsafe)
+    (List.length b.Tuner.unsafe);
+  List.iter2
+    (fun (x : Variant.unsafe) (y : Variant.unsafe) ->
+      Alcotest.(check int) "unsafe params" 0
+        (Params.compare x.Variant.unsafe_params y.Variant.unsafe_params);
+      Alcotest.(check string) "reason" x.Variant.reason y.Variant.reason)
+    a.Tuner.unsafe b.Tuner.unsafe
+
+let golden () =
+  reset ();
+  Tuner.sweep_report ~space ~jobs:2 kernel gpu ~n:64 ~seed:42
+
+(* ---- leases ---- *)
+
+let test_lease_roundtrip () =
+  reset ();
+  let path = Filename.concat (fresh_dir ()) "l.lease" in
+  let owner = Lease.make_owner () in
+  Alcotest.(check bool) "acquired" true (Lease.acquire ~path ~owner ~ttl:30.0);
+  (match Lease.read path with
+  | Some i ->
+      Alcotest.(check string) "owner" owner i.Lease.owner;
+      Alcotest.(check int) "pid" (Unix.getpid ()) i.Lease.pid;
+      Alcotest.(check bool) "deadline ahead" true
+        (i.Lease.deadline > Unix.gettimeofday ())
+  | None -> Alcotest.fail "lease body unreadable");
+  Alcotest.(check bool) "second acquire loses" false
+    (Lease.acquire ~path ~owner:(Lease.make_owner ()) ~ttl:30.0);
+  Alcotest.(check bool) "live" true (Lease.live ~ttl:30.0 path);
+  Alcotest.(check bool) "holder renews" true
+    (Lease.renew ~path ~owner ~ttl:30.0);
+  Alcotest.(check bool) "foreign renew refused" false
+    (Lease.renew ~path ~owner:"someone-else" ~ttl:30.0);
+  Lease.release ~path ~owner:"someone-else";
+  Alcotest.(check bool) "foreign release is a no-op" true
+    (Sys.file_exists path);
+  Lease.release ~path ~owner;
+  Alcotest.(check bool) "released" false (Sys.file_exists path)
+
+let test_lease_expiry_takeover () =
+  reset ();
+  let path = Filename.concat (fresh_dir ()) "l.lease" in
+  let owner = Lease.make_owner () in
+  Alcotest.(check bool) "acquired" true (Lease.acquire ~path ~owner ~ttl:0.05);
+  Unix.sleepf 0.1;
+  Alcotest.(check bool) "expired" false (Lease.live ~ttl:0.05 path);
+  Alcotest.(check bool) "broken" true (Lease.break_if_expired ~ttl:0.05 path);
+  Alcotest.(check bool) "gone" false (Sys.file_exists path);
+  Alcotest.(check bool) "absent lease not broken twice" false
+    (Lease.break_if_expired ~ttl:0.05 path);
+  let other = Lease.make_owner () in
+  Alcotest.(check bool) "takeover" true
+    (Lease.acquire ~path ~owner:other ~ttl:30.0);
+  Alcotest.(check bool) "dead owner renew refused" false
+    (Lease.renew ~path ~owner ~ttl:30.0)
+
+let test_lease_corrupt_grace () =
+  reset ();
+  let path = Filename.concat (fresh_dir ()) "l.lease" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "garbage, not a sealed lease");
+  (* A fresh-but-unreadable file could be a racing acquire mid-write:
+     it gets one ttl of mtime grace before reading as dead. *)
+  Alcotest.(check bool) "fresh unreadable lease gets grace" true
+    (Lease.live ~ttl:30.0 path);
+  Alcotest.(check bool) "grace lapses with the ttl" false
+    (Lease.live ~ttl:(-1.0) path);
+  Alcotest.(check bool) "lapsed garbage is breakable" true
+    (Lease.break_if_expired ~ttl:(-1.0) path)
+
+let test_renew_soft_failure_keeps_lease () =
+  reset ();
+  let path = Filename.concat (fresh_dir ()) "l.lease" in
+  let owner = Lease.make_owner () in
+  Alcotest.(check bool) "acquired" true (Lease.acquire ~path ~owner ~ttl:30.0);
+  Fault.set_spec (Some "lease-renew:1:sticky,seed:2");
+  Alcotest.(check bool) "injected renew fault is soft" true
+    (Lease.renew ~path ~owner ~ttl:30.0);
+  Fault.set_spec None;
+  Alcotest.(check bool) "lease still live on the old deadline" true
+    (Lease.live ~ttl:30.0 path)
+
+(* Two domains race the same O_EXCL create; the filesystem must grant
+   it to at most one — exactly one without faults, never both with an
+   injected transient lease-acquire fault in the mix. *)
+let race_once path =
+  let barrier = Atomic.make 0 in
+  let attempt () =
+    Atomic.incr barrier;
+    while Atomic.get barrier < 2 do
+      Domain.cpu_relax ()
+    done;
+    Lease.acquire ~path ~owner:(Lease.make_owner ()) ~ttl:30.0
+  in
+  let d1 = Domain.spawn attempt and d2 = Domain.spawn attempt in
+  let a = Domain.join d1 and b = Domain.join d2 in
+  (a, b)
+
+let test_lease_race_single_winner () =
+  reset ();
+  let dir = fresh_dir () in
+  for i = 1 to 20 do
+    let a, b =
+      race_once (Filename.concat dir (Printf.sprintf "race-%d.lease" i))
+    in
+    Alcotest.(check bool) "exactly one winner" true (a <> b)
+  done
+
+let test_lease_race_under_faults () =
+  reset ();
+  Fault.set_spec (Some "lease-acquire:0.5,seed:11");
+  let dir = fresh_dir () in
+  for i = 1 to 20 do
+    let a, b =
+      race_once (Filename.concat dir (Printf.sprintf "race-%d.lease" i))
+    in
+    Alcotest.(check bool) "never both win" false (a && b)
+  done;
+  Fault.set_spec None
+
+(* ---- planning ---- *)
+
+let test_plan_partitions () =
+  List.iter
+    (fun (total, shards) ->
+      let ranges = Shard.plan ~total ~shards in
+      let k = Array.length ranges in
+      Alcotest.(check bool) "at least one shard" true (k >= 1);
+      Alcotest.(check bool) "at most one shard per point" true
+        (k <= max 1 total);
+      let pos = ref 0 in
+      Array.iter
+        (fun (first, len) ->
+          Alcotest.(check int) "contiguous" !pos first;
+          Alcotest.(check bool) "non-negative length" true (len >= 0);
+          pos := !pos + len)
+        ranges;
+      Alcotest.(check int) "covers the space" total !pos;
+      if total > 0 then begin
+        let lens = Array.to_list (Array.map snd ranges) in
+        let mn = List.fold_left min max_int lens in
+        let mx = List.fold_left max 0 lens in
+        Alcotest.(check bool) "balanced within one point" true (mx - mn <= 1)
+      end)
+    [ (0, 1); (0, 4); (1, 4); (5, 3); (12, 5); (5120, 7); (7, 7); (7, 20) ]
+
+(* ---- manifest ---- *)
+
+let manifest ?(seed = 42) ranges =
+  {
+    Shard.kernel = "atax";
+    gpu = "K20";
+    n = 64;
+    seed;
+    ttl = 2.5;
+    space;
+    ranges;
+  }
+
+let test_manifest_roundtrip () =
+  reset ();
+  let dir = fresh_dir () in
+  let m = manifest (Shard.plan ~total ~shards:3) in
+  Shard.write_manifest ~dir m;
+  match Shard.read_manifest dir with
+  | None -> Alcotest.fail "manifest did not round-trip"
+  | Some m' ->
+      Alcotest.(check string) "kernel" m.Shard.kernel m'.Shard.kernel;
+      Alcotest.(check string) "gpu" m.Shard.gpu m'.Shard.gpu;
+      Alcotest.(check int) "n" m.Shard.n m'.Shard.n;
+      Alcotest.(check int) "seed" m.Shard.seed m'.Shard.seed;
+      check_bits "ttl" m.Shard.ttl m'.Shard.ttl;
+      Alcotest.(check bool) "space" true (m.Shard.space = m'.Shard.space);
+      Alcotest.(check bool) "ranges" true (m.Shard.ranges = m'.Shard.ranges)
+
+let test_manifest_corruption_is_a_miss () =
+  reset ();
+  let dir = fresh_dir () in
+  Shard.write_manifest ~dir (manifest (Shard.plan ~total ~shards:3));
+  let path = Filename.concat dir "manifest" in
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  let mutated = Bytes.of_string whole in
+  Bytes.set mutated (String.length whole / 2) '\255';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc mutated);
+  Alcotest.(check bool) "corrupt manifest reads as absent" true
+    (Option.is_none (Shard.read_manifest dir))
+
+(* ---- coordinator / worker end to end ---- *)
+
+let test_coordinate_local_equivalence () =
+  let clean = golden () in
+  reset ();
+  let dir = fresh_dir () in
+  let r =
+    Shard.coordinate ~jobs:2 ~dir ~shards:3 space kernel gpu ~n:64 ~seed:42
+  in
+  check_report_eq clean r;
+  (* The done marker is up, so a late worker exits stale-but-done
+     without computing anything. *)
+  match Shard.read_manifest dir with
+  | None -> Alcotest.fail "coordination left no manifest"
+  | Some m ->
+      let w = Shard.work ~jobs:2 ~dir m ~kernel ~gpu () in
+      Alcotest.(check bool) "stale-but-done" true w.Shard.stale;
+      Alcotest.(check int) "no shards computed" 0 w.Shard.shards
+
+let test_worker_does_the_work () =
+  let clean = golden () in
+  reset ();
+  let dir = fresh_dir () in
+  let m = manifest (Shard.plan ~total ~shards:4) in
+  Shard.write_manifest ~dir m;
+  let w = Shard.work ~jobs:2 ~dir m ~kernel ~gpu () in
+  Alcotest.(check bool) "worker saw no done marker" false w.Shard.stale;
+  Alcotest.(check int) "worker evaluated every point" total w.Shard.points;
+  (* The coordinator now only validates and merges the parts. *)
+  let r =
+    Shard.coordinate ~jobs:2 ~dir ~shards:4 space kernel gpu ~n:64 ~seed:42
+  in
+  check_report_eq clean r
+
+let test_incompatible_manifest_rejected () =
+  reset ();
+  let dir = fresh_dir () in
+  Shard.write_manifest ~dir (manifest ~seed:7 (Shard.plan ~total ~shards:2));
+  match
+    Shard.coordinate ~jobs:2 ~dir ~shards:2 space kernel gpu ~n:64 ~seed:42
+  with
+  | _ -> Alcotest.fail "coordinate accepted a foreign manifest"
+  | exception Error.Error e ->
+      Alcotest.(check string) "stage" "shard" (Error.stage_name e.Error.stage)
+
+(* ---- merge-time fault injection ---- *)
+
+let test_merge_fault_transient_recovers () =
+  let clean = golden () in
+  reset ();
+  Fault.set_spec (Some "shard-merge:0.5,seed:5");
+  let dir = fresh_dir () in
+  let r =
+    Shard.coordinate ~jobs:2 ~dir ~shards:3 space kernel gpu ~n:64 ~seed:42
+  in
+  Fault.set_spec None;
+  check_report_eq clean r
+
+let test_merge_fault_sticky_exhausts_budget () =
+  reset ();
+  Fault.set_spec (Some "shard-merge:1:sticky,seed:3");
+  let dir = fresh_dir () in
+  (match
+     Shard.coordinate ~jobs:2 ~dir ~shards:2 ~shard_retries:1 space kernel gpu
+       ~n:64 ~seed:42
+   with
+  | _ -> Alcotest.fail "coordinate survived an always-failing merge"
+  | exception Error.Error e ->
+      Alcotest.(check string) "stage" "shard" (Error.stage_name e.Error.stage);
+      Alcotest.(check int) "exit code" 8 (Error.exit_code e.Error.stage));
+  Fault.set_spec None
+
+(* ---- prefix-of-parts + salvage merge property ---- *)
+
+(* Any subset of pre-published parts, plus a salvaged half-checkpoint
+   for one unfinished shard, must merge into a report bit-identical to
+   the uninterrupted sweep: this is the crash-recovery invariant — it
+   cannot matter which worker died where. *)
+let test_prefix_merge_property =
+  QCheck.Test.make
+    ~name:"any prefix of parts + salvaged partials merges identically"
+    ~count:8
+    QCheck.(pair (int_bound 7) (int_bound 2))
+    (fun (mask, salv) ->
+      let clean = golden () in
+      reset ();
+      let dir = fresh_dir () in
+      let ranges = Shard.plan ~total ~shards:3 in
+      Shard.write_manifest ~dir (manifest ranges);
+      Array.iteri
+        (fun i (first, len) ->
+          if mask land (1 lsl i) <> 0 then
+            Disk_cache.checkpoint_write
+              ~path:(Filename.concat dir (Printf.sprintf "shard-%d.part" i))
+              (Tuner.sweep_range ~jobs:2 ~space ~first ~len kernel gpu ~n:64
+                 ~seed:42))
+        ranges;
+      (if mask land (1 lsl salv) = 0 then
+         let first, len = ranges.(salv) in
+         let half = len / 2 in
+         if half > 0 then
+           Disk_cache.checkpoint_write
+             ~path:(Filename.concat dir (Printf.sprintf "shard-%d.ckpt" salv))
+             (Tuner.sweep_range ~jobs:2 ~space ~first ~len:half kernel gpu
+                ~n:64 ~seed:42));
+      let r =
+        Shard.coordinate ~jobs:2 ~dir ~shards:3 space kernel gpu ~n:64
+          ~seed:42
+      in
+      check_report_eq clean r;
+      true)
+
+(* ---- maintenance: gc pinning ---- *)
+
+let test_gc_pins_live_coordinations () =
+  reset ();
+  let dir = Filename.concat (Filename.concat scratch "shards") "gc-test" in
+  Gat_util.Cache_dir.ensure dir;
+  Shard.write_manifest ~dir (manifest (Shard.plan ~total ~shards:2));
+  let lease = Filename.concat dir "shard-0.lease" in
+  let owner = Lease.make_owner () in
+  Alcotest.(check bool) "acquired" true
+    (Lease.acquire ~path:lease ~owner ~ttl:60.0);
+  let in_dir f = Filename.dirname f = dir in
+  Alcotest.(check bool) "live-lease dir is pinned" false
+    (List.exists in_dir (Shard.gc_candidates ()));
+  let u = Shard.usage () in
+  Alcotest.(check bool) "usage counts the live lease" true
+    (u.Shard.live_leases >= 1);
+  Alcotest.(check bool) "pinned bytes accounted" true
+    (u.Shard.pinned_bytes > 0);
+  Lease.release ~path:lease ~owner;
+  Alcotest.(check bool) "released dir becomes evictable" true
+    (List.exists in_dir (Shard.gc_candidates ()));
+  Alcotest.(check bool) "clear removes shard dirs" true (Shard.clear () > 0);
+  Alcotest.(check bool) "dir gone" false (Sys.file_exists dir)
+
+(* ---- exit-code contract ---- *)
+
+let test_shard_stage_exit_code () =
+  Alcotest.(check int) "Shard exits 8" 8 (Error.exit_code Error.Shard);
+  Alcotest.(check string) "stage name" "shard" (Error.stage_name Error.Shard)
+
+(* ---- cleanup ---- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let cleanup () =
+  Fault.set_spec None;
+  Gat_util.Cancel.reset ();
+  Disk_cache.set_enabled true;
+  Disk_cache.reset_degraded ();
+  rm_rf scratch
+
+let () =
+  Fun.protect ~finally:cleanup (fun () ->
+      Alcotest.run "gat_shard"
+        [
+          ( "lease",
+            [
+              Alcotest.test_case "roundtrip" `Quick test_lease_roundtrip;
+              Alcotest.test_case "expiry and takeover" `Quick
+                test_lease_expiry_takeover;
+              Alcotest.test_case "corrupt body gets mtime grace" `Quick
+                test_lease_corrupt_grace;
+              Alcotest.test_case "renew fault is soft" `Quick
+                test_renew_soft_failure_keeps_lease;
+              Alcotest.test_case "race has a single winner" `Quick
+                test_lease_race_single_winner;
+              Alcotest.test_case "race under faults never double-grants"
+                `Quick test_lease_race_under_faults;
+            ] );
+          ( "plan",
+            [ Alcotest.test_case "partitions the space" `Quick
+                test_plan_partitions ] );
+          ( "manifest",
+            [
+              Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+              Alcotest.test_case "corruption is a miss" `Quick
+                test_manifest_corruption_is_a_miss;
+            ] );
+          ( "coordinate",
+            [
+              Alcotest.test_case "local run equals plain sweep" `Quick
+                test_coordinate_local_equivalence;
+              Alcotest.test_case "worker-computed parts merge" `Quick
+                test_worker_does_the_work;
+              Alcotest.test_case "incompatible manifest rejected" `Quick
+                test_incompatible_manifest_rejected;
+              Alcotest.test_case "transient merge faults recover" `Quick
+                test_merge_fault_transient_recovers;
+              Alcotest.test_case "sticky merge faults exhaust the budget"
+                `Quick test_merge_fault_sticky_exhausts_budget;
+              QCheck_alcotest.to_alcotest test_prefix_merge_property;
+            ] );
+          ( "maintenance",
+            [
+              Alcotest.test_case "gc pins live coordinations" `Quick
+                test_gc_pins_live_coordinations;
+            ] );
+          ( "exit-codes",
+            [
+              Alcotest.test_case "shard stage exits 8" `Quick
+                test_shard_stage_exit_code;
+            ] );
+        ])

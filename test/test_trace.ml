@@ -307,19 +307,27 @@ let test_render_line () =
   Alcotest.(check string) "mid-sweep"
     "atax/k20 50/100 50%  5 pts/s  ETA 10.0 s  cache 87%  failed 2"
     (Progress.render_line ~label:"atax/k20" ~total:100 ~done_:50 ~failures:2
-       ~cache_hit_pct:(Some 87) ~steals:None ~elapsed_s:10.0);
+       ~cache_hit_pct:(Some 87) ~steals:None ~elapsed_s:10.0 ());
   Alcotest.(check string) "start, no cache figure"
     "k 0/10 0%  0 pts/s  ETA --  failed 0"
     (Progress.render_line ~label:"k" ~total:10 ~done_:0 ~failures:0
-       ~cache_hit_pct:None ~steals:None ~elapsed_s:0.0);
+       ~cache_hit_pct:None ~steals:None ~elapsed_s:0.0 ());
   Alcotest.(check string) "steals shown once positive"
     "k 5/10 50%  1 pts/s  ETA 5.0 s  steals 12 (2/s)  failed 0"
     (Progress.render_line ~label:"k" ~total:10 ~done_:5 ~failures:0
-       ~cache_hit_pct:None ~steals:(Some 12) ~elapsed_s:5.0);
+       ~cache_hit_pct:None ~steals:(Some 12) ~elapsed_s:5.0 ());
   Alcotest.(check string) "zero steals stays hidden"
     "k 5/10 50%  1 pts/s  ETA 5.0 s  failed 0"
     (Progress.render_line ~label:"k" ~total:10 ~done_:5 ~failures:0
-       ~cache_hit_pct:None ~steals:(Some 0) ~elapsed_s:5.0)
+       ~cache_hit_pct:None ~steals:(Some 0) ~elapsed_s:5.0 ());
+  Alcotest.(check string) "sharded sweep shows workers and reclaims"
+    "k 5/10 50%  1 pts/s  ETA 5.0 s  workers 2  reclaimed 1  failed 0"
+    (Progress.render_line ~workers:2 ~reclaimed:1 ~label:"k" ~total:10
+       ~done_:5 ~failures:0 ~cache_hit_pct:None ~steals:None ~elapsed_s:5.0 ());
+  Alcotest.(check string) "zero workers stays hidden"
+    "k 5/10 50%  1 pts/s  ETA 5.0 s  failed 0"
+    (Progress.render_line ~workers:0 ~reclaimed:0 ~label:"k" ~total:10
+       ~done_:5 ~failures:0 ~cache_hit_pct:None ~steals:None ~elapsed_s:5.0 ())
 
 let test_progress_non_tty () =
   let path = Filename.temp_file "gat-progress" ".log" in
