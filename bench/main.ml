@@ -826,6 +826,10 @@ let calibrate_sharding () =
       (List.assoc_opt "shard.parts_merged"
          (Gat_util.Metrics.counters_snapshot ()))
   in
+  (* The coordination opened a telemetry session (and with it span
+     recording); close it so later calibrations run unobserved. *)
+  Gat_util.Telemetry.disable ();
+  Gat_util.Trace.clear ();
   ignore (Gat_tuner.Shard.clear ());
   Gat_tuner.Tuner.clear_cache ();
   Gat_tuner.Disk_cache.set_enabled true;
@@ -856,12 +860,129 @@ let calibrate_sharding () =
     sh_identical = identical;
   }
 
+(* ---- telemetry calibration: snapshot publishing overhead ---- *)
+
+(* The same sweep with and without a live telemetry session flushing a
+   sealed snapshot on every progress block — the per-block cadence a
+   sharded holder pays alongside lease renewal.  Latency histograms are
+   recorded in both modes (they are always on); the session side also
+   records spans into the ring buffers (a session implies recording),
+   so the delta covers everything a fleet holder pays on top of a plain
+   sweep: span recording, capture, seal, and the atomic publish.  Same
+   paired-rounds protocol as the
+   tracing calibration: the second run of a pair is systematically a
+   touch faster, so averaging over both orders cancels that bias. *)
+
+type telem_calibration = {
+  tc_kernel : string;
+  tc_variants : int;
+  tc_flushes : int;  (** Snapshots published per instrumented run. *)
+  tc_plain_s : float;
+  tc_telem_s : float;
+  tc_overhead_pct : float;
+  tc_overhead_ok : bool;
+}
+
+let calibrate_telemetry () =
+  let kernel = atax in
+  let seed = Gat_report.Context.seed in
+  let n, space =
+    if fast_mode then
+      ( 64,
+        {
+          Gat_tuner.Space.tc = [ 64; 128; 256 ];
+          bc = [ 32; 64 ];
+          uif = [ 1; 2 ];
+          pl = [ 16; 48 ];
+          sc = [ 1 ];
+          cflags = [ false; true ];
+        } )
+    else (Gat_workloads.Workloads.default_size kernel, Gat_tuner.Space.paper)
+  in
+  let gpu = Gat_arch.Gpu.k20 in
+  let block = 16 in
+  Gat_tuner.Disk_cache.set_enabled false;
+  Gat_tuner.Artifact_store.set_enabled false;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gat-bench-telem-%d" (Unix.getpid ()))
+  in
+  let flush ~done_:_ ~total:_ ~failures:_ = Gat_util.Telemetry.flush () in
+  let run ?progress () =
+    ignore
+      (Gat_tuner.Tuner.sweep_report ~space ~jobs:1 ~block ?progress kernel gpu
+         ~n ~seed)
+  in
+  let run_plain () =
+    Gat_tuner.Tuner.clear_cache ();
+    timed (fun () -> run ())
+  in
+  let run_telem () =
+    Gat_tuner.Tuner.clear_cache ();
+    Gat_util.Telemetry.enable ~dir;
+    let t = timed (fun () -> run ~progress:flush ()) in
+    Gat_util.Telemetry.disable ();
+    (* Keep memory flat across rounds: the session's span recording
+       filled the ring buffers; the next enable starts fresh. *)
+    Gat_util.Trace.clear ();
+    t
+  in
+  Gat_tuner.Tuner.clear_cache ();
+  run ();
+  let rounds = if fast_mode then 7 else 3 in
+  let plain = Array.make (2 * rounds) 0.0 in
+  let diffs = Array.make rounds 0.0 in
+  let flushes_of () =
+    Option.value ~default:0
+      (List.assoc_opt "telem.flushes" (Gat_util.Metrics.counters_snapshot ()))
+  in
+  let f0 = flushes_of () in
+  for r = 0 to rounds - 1 do
+    let p1 = run_plain () in
+    let t1 = run_telem () in
+    let t2 = run_telem () in
+    let p2 = run_plain () in
+    plain.(2 * r) <- p1;
+    plain.((2 * r) + 1) <- p2;
+    diffs.(r) <- ((t1 -. p1) +. (t2 -. p2)) /. 2.0
+  done;
+  let flushes = (flushes_of () - f0) / (2 * rounds) in
+  (match Sys.readdir dir with
+  | names ->
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        names;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ());
+  Gat_tuner.Tuner.clear_cache ();
+  Gat_tuner.Disk_cache.set_enabled true;
+  Gat_tuner.Artifact_store.set_enabled true;
+  let median a =
+    let b = Array.copy a in
+    Array.sort Float.compare b;
+    b.(Array.length b / 2)
+  in
+  let plain_s = median plain in
+  let delta_s = median diffs in
+  let telem_s = plain_s +. delta_s in
+  {
+    tc_kernel = kernel.Gat_ir.Kernel.name;
+    tc_variants = Gat_tuner.Space.cardinality space;
+    tc_flushes = flushes;
+    tc_plain_s = plain_s;
+    tc_telem_s = telem_s;
+    tc_overhead_pct =
+      (if plain_s > 0.0 then 100.0 *. (delta_s /. plain_s) else 0.0);
+    tc_overhead_ok = telem_s <= (plain_s *. 1.02) +. 0.25;
+  }
+
 let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
-    ~incr_cal ~shard_cal ~timings ~total_s =
+    ~incr_cal ~shard_cal ~telem_cal ~timings ~total_s =
   let b = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n";
-  add "  \"schema\": \"gat-bench-sweep/7\",\n";
+  add "  \"schema\": \"gat-bench-sweep/8\",\n";
   add "  \"jobs\": %d,\n" (Gat_util.Pool.jobs ());
   add "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   add "  \"fast_mode\": %b,\n" fast_mode;
@@ -956,6 +1077,16 @@ let write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
      else 0.0);
   add "    \"parts_merged\": %d,\n" sh.sh_parts;
   add "    \"shard_identical\": %b\n" sh.sh_identical;
+  add "  },\n";
+  let tc = telem_cal in
+  add "  \"telemetry\": {\n";
+  add "    \"kernel\": \"%s\",\n" tc.tc_kernel;
+  add "    \"variants\": %d,\n" tc.tc_variants;
+  add "    \"flushes_per_run\": %d,\n" tc.tc_flushes;
+  add "    \"plain_seconds\": %.3f,\n" tc.tc_plain_s;
+  add "    \"telemetry_seconds\": %.3f,\n" tc.tc_telem_s;
+  add "    \"overhead_pct\": %.2f,\n" tc.tc_overhead_pct;
+  add "    \"telemetry_overhead_ok\": %b\n" tc.tc_overhead_ok;
   add "  },\n";
   add "  \"experiments\": [\n";
   List.iteri
@@ -1052,6 +1183,15 @@ let () =
     shard_cal.sh_kernel shard_cal.sh_variants shard_cal.sh_shards
     shard_cal.direct_s shard_cal.sharded_s shard_cal.sh_parts
     shard_cal.sh_identical;
+  let telem_cal = calibrate_telemetry () in
+  Printf.printf
+    "Telemetry calibration (%s, %d variants, snapshot per block):\n\
+    \  plain sweep:     %.3f s\n\
+    \  with snapshots:  %.3f s  (%+.1f%%, ~%d flushes/run; within budget: \
+     %b)\n\n"
+    telem_cal.tc_kernel telem_cal.tc_variants telem_cal.tc_plain_s
+    telem_cal.tc_telem_s telem_cal.tc_overhead_pct telem_cal.tc_flushes
+    telem_cal.tc_overhead_ok;
   (* Experiments, twice: a cold pass computing every sweep, and a warm
      pass that must satisfy them from the persistent cache alone. *)
   ignore (Gat_tuner.Disk_cache.clear ());
@@ -1065,7 +1205,7 @@ let () =
   print_newline ();
   let total_s = Unix.gettimeofday () -. t0 in
   write_bench_json ~calibration ~cache_cal ~obs_cal ~sched_cal ~verify_cal
-    ~incr_cal ~shard_cal ~timings ~total_s;
+    ~incr_cal ~shard_cal ~telem_cal ~timings ~total_s;
   Printf.printf "wrote BENCH_sweep.json (jobs=%d, %.1f s total)\n\n"
     (Gat_util.Pool.jobs ()) total_s;
   run_microbenches ()

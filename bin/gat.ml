@@ -340,6 +340,11 @@ let trace_arg =
 
 let set_trace path = Option.iter Gat_util.Trace.enable_to path
 
+(* Set by the sharded-sweep coordinator: at exit, --trace writes the
+   fleet-merged trace (every process's telemetry snapshot) instead of
+   this process's own events. *)
+let fleet_merge = ref false
+
 (* ---- simulate ---- *)
 
 let simulate kernel gpu params n trace =
@@ -757,6 +762,8 @@ let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
          gat: attach workers with: gat sweep-worker %s\n\
          %!"
         k dir dir;
+      fleet_merge := true;
+      Gat_util.Telemetry.install_signal_dump ();
       let progress =
         if not show_progress then None
         else begin
@@ -776,11 +783,12 @@ let sweep kernel gpu n seed jobs retries max_failures resume no_checkpoint
                 ~workers ~reclaimed ())
         end
       in
+      let log line = Printf.eprintf "gat: shard: %s\n%!" line in
       let report, dt =
         Gat_util.Metrics.timed t_sweep (fun () ->
             Gat_tuner.Shard.coordinate ~retries ?max_failures ~block
-              ~ttl:lease_ttl ?progress ~dir ~shards:k space kernel gpu ~n
-              ~seed)
+              ~ttl:lease_ttl ?progress ~log ~dir ~shards:k space kernel gpu
+              ~n ~seed)
       in
       print_sweep_report kernel gpu ~n ~seed ~space ~top report;
       Printf.eprintf "gat: sharded sweep finished in %s\n%!"
@@ -893,7 +901,7 @@ let sweep_cmd =
 
 (* ---- sweep-worker ---- *)
 
-let sweep_worker dir jobs retries no_cache show_progress trace =
+let sweep_worker dir jobs retries block no_cache show_progress trace =
   if no_cache then begin
     Gat_tuner.Disk_cache.set_enabled false;
     Gat_tuner.Artifact_store.set_enabled false
@@ -902,7 +910,10 @@ let sweep_worker dir jobs retries no_cache show_progress trace =
   set_jobs jobs;
   if retries < 0 then
     Gat_util.Error.failf Usage "--retries must be >= 0 (got %d)" retries;
+  if block < 1 then
+    Gat_util.Error.failf Usage "--checkpoint-every must be >= 1 (got %d)" block;
   Gat_util.Cancel.install ();
+  Gat_util.Telemetry.install_signal_dump ();
   match Gat_tuner.Shard.read_manifest dir with
   | None ->
       if Sys.file_exists (Gat_tuner.Shard.done_file dir) then
@@ -951,7 +962,8 @@ let sweep_worker dir jobs retries no_cache show_progress trace =
             end
           in
           let r =
-            Gat_tuner.Shard.work ~retries ?progress ~dir m ~kernel ~gpu ()
+            Gat_tuner.Shard.work ~retries ~block ?progress ~dir m ~kernel ~gpu
+              ()
           in
           if r.Gat_tuner.Shard.stale then
             print_endline "coordinator already finished; nothing to do"
@@ -989,6 +1001,16 @@ let sweep_worker_cmd =
       & info [ "progress" ]
           ~doc:"Live per-shard progress on stderr; never touches stdout.")
   in
+  let block =
+    Arg.(
+      value
+      & opt int Gat_tuner.Tuner.default_block_size
+      & info [ "checkpoint-every" ] ~docv:"POINTS"
+          ~doc:
+            "Flush the in-flight shard's checkpoint (and renew its \
+             lease) after each block of $(docv) points.  Results never \
+             depend on the block size.")
+  in
   Cmd.v
     (Cmd.info "sweep-worker"
        ~doc:
@@ -997,8 +1019,8 @@ let sweep_worker_cmd =
           (stale-but-done); crashes are tolerated — an expired lease is \
           reassigned and resumes from the worker's last checkpoint.")
     Term.(
-      const sweep_worker $ dir $ jobs_arg $ retries $ no_cache_arg $ progress
-      $ trace_arg)
+      const sweep_worker $ dir $ jobs_arg $ retries $ block $ no_cache_arg
+      $ progress $ trace_arg)
 
 (* ---- replay ---- *)
 
@@ -1109,7 +1131,8 @@ let cache action max_bytes =
       let sh = Gat_tuner.Shard.usage () in
       Printf.printf
         "shards:    %d director%s, %d files (%s); %d live lease%s (%s \
-         pinned)\n"
+         pinned)\n\
+         telemetry: %d snapshot%s, %d crash record%s under shard dirs\n"
         sh.Gat_tuner.Shard.dirs
         (if sh.Gat_tuner.Shard.dirs = 1 then "y" else "ies")
         sh.Gat_tuner.Shard.files
@@ -1117,6 +1140,10 @@ let cache action max_bytes =
         sh.Gat_tuner.Shard.live_leases
         (if sh.Gat_tuner.Shard.live_leases = 1 then "" else "s")
         (human_bytes sh.Gat_tuner.Shard.pinned_bytes)
+        sh.Gat_tuner.Shard.telem_files
+        (if sh.Gat_tuner.Shard.telem_files = 1 then "" else "s")
+        sh.Gat_tuner.Shard.crash_files
+        (if sh.Gat_tuner.Shard.crash_files = 1 then "" else "s")
   | "clear" ->
       let removed =
         Gat_tuner.Disk_cache.clear ()
@@ -1212,8 +1239,11 @@ let trace_check file require =
   | Error e -> Gat_util.Error.failf Parse "%s: %s" file e
   | Ok v ->
       Printf.printf
-        "ok: %d events on %d tracks, %d counter samples\nspans: %s\n"
+        "ok: %d events on %d tracks from %d process%s, %d counter samples\n\
+         spans: %s\n"
         v.Gat_util.Trace.events v.Gat_util.Trace.tracks
+        v.Gat_util.Trace.pids
+        (if v.Gat_util.Trace.pids = 1 then "" else "es")
         (List.length v.Gat_util.Trace.counters)
         (match v.Gat_util.Trace.span_names with
         | [] -> "(none)"
@@ -1227,9 +1257,9 @@ let trace_check_cmd =
       & info [ "require" ] ~docv:"COUNTER"
           ~doc:
             "Fail unless a counter sample with this name is present \
-             (repeatable).  $(i,NAME>K) additionally requires the \
-             sample's value to be strictly greater than the integer \
-             $(i,K), e.g. $(b,--require pool.steals>0).")
+             (repeatable).  $(i,NAME>K), $(i,NAME>=K) and $(i,NAME=K) \
+             additionally compare the sample's value against the \
+             integer $(i,K), e.g. $(b,--require pool.steals>0).")
   in
   Cmd.v
     (Cmd.info "trace-check"
@@ -1238,6 +1268,127 @@ let trace_check_cmd =
           $(b,--trace): structure, per-track B/E balance, X durations, \
           required counter samples.  Exit code 3 on any violation.")
     Term.(const trace_check $ file $ require)
+
+(* ---- trace-merge ---- *)
+
+let trace_merge dir out =
+  let body, events, procs, skipped = Gat_util.Telemetry.merge_dir dir in
+  if procs = 0 then
+    Gat_util.Error.failf Io
+      ~hint:"run a sharded sweep there first: gat sweep ... --shards K"
+      "no telemetry snapshots under %s" dir;
+  (try
+     Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc body)
+   with Sys_error e -> Gat_util.Error.failf Io "cannot write %s: %s" out e);
+  Printf.printf "merged %d events from %d process%s into %s\n" events procs
+    (if procs = 1 then "" else "es")
+    out;
+  if skipped > 0 then
+    Printf.printf "skipped %d corrupt snapshot%s\n" skipped
+      (if skipped = 1 then "" else "s")
+
+let trace_merge_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "A coordination directory holding $(i,host.pid.telem) \
+             snapshots (and $(i,.crash) flight records).")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the merged Chrome trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Fold every telemetry snapshot under a coordination directory \
+          into one Chrome trace: one process track per (host,pid), \
+          domain tracks under each, clocks aligned via the snapshots' \
+          epoch anchors, counters summed fleet-wide.  Corrupt \
+          snapshots are skipped and counted.")
+    Term.(const trace_merge $ dir $ out)
+
+(* ---- monitor ---- *)
+
+let monitor dir interval once =
+  if interval <= 0.0 then
+    Gat_util.Error.failf Usage "--interval must be > 0 (got %g)" interval;
+  Gat_util.Cancel.install ();
+  let tty = Unix.isatty Unix.stdout in
+  let print_table () =
+    let rows, skipped = Gat_tuner.Monitor.rows dir in
+    let extra =
+      if skipped > 0 then
+        Printf.sprintf "(%d corrupt snapshot%s skipped)\n" skipped
+          (if skipped = 1 then "" else "s")
+      else ""
+    in
+    let table =
+      if rows = [] then "no workers seen yet\n"
+      else Gat_tuner.Monitor.render rows
+    in
+    let s = table ^ extra in
+    print_string s;
+    flush stdout;
+    (* Lines printed, so the TTY path can rewind and redraw in place. *)
+    String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+  in
+  if once then ignore (print_table ())
+  else begin
+    let prev = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      if tty && !prev > 0 then Printf.printf "\027[%dA\027[J" !prev;
+      prev := print_table ();
+      if Sys.file_exists (Gat_tuner.Shard.done_file dir) then begin
+        print_endline "coordination finished";
+        finished := true
+      end
+      else if Gat_util.Cancel.requested () then finished := true
+      else
+        try Unix.sleepf interval
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  end
+
+let monitor_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "The coordination directory of a running (or finished) \
+             sharded sweep.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Seconds between refreshes (default 2).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print the table once and exit (for scripts).")
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Live fleet view of a sharded sweep: one line per worker — \
+          host/pid, held shard, points/s, block-latency p50/p99, lease \
+          renewal age, reclaims, crash status — from the coordination \
+          directory's lease files and telemetry snapshots.  Read-only.  \
+          Redraws in place on a TTY; prints a full table per refresh \
+          otherwise.  Exits when the coordination publishes its done \
+          marker.")
+    Term.(const monitor $ dir $ interval $ once)
 
 (* ---- list ---- *)
 
@@ -1285,6 +1436,8 @@ let () =
         cache_cmd;
         stats_cmd;
         trace_check_cmd;
+        trace_merge_cmd;
+        monitor_cmd;
         list_cmd;
       ]
   in
@@ -1300,19 +1453,46 @@ let () =
       | Error `Exn -> Gat_util.Error.exit_code Internal
     with
     | Gat_util.Error.Error e ->
+        (* Crash flight recorder: a fatal error during a telemetry
+           session leaves a sealed .crash snapshot (ring buffers +
+           counters) for the coordinator to surface and merge. *)
+        Gat_util.Telemetry.crash_dump ~reason:(Gat_util.Error.to_string e);
         Printf.eprintf "gat: %s\n" (Gat_util.Error.to_string e);
         Option.iter (Printf.eprintf "hint: %s\n") e.Gat_util.Error.hint;
         Gat_util.Error.exit_code e.Gat_util.Error.stage
     | e ->
+        Gat_util.Telemetry.crash_dump
+          ~reason:("internal error: " ^ Printexc.to_string e);
         Printf.eprintf "gat: internal error: %s\n" (Printexc.to_string e);
         Gat_util.Error.exit_code Internal
   in
   (* Observability flushes on every exit path — errors included — so a
-     failed run still leaves its trace and metrics behind. *)
-  (match Gat_util.Trace.finish () with
-  | Some (path, events) ->
-      Printf.eprintf "gat: trace: %d events written to %s\n%!" events path
-  | None -> ());
+     failed run still leaves its trace and metrics behind.  A sharded
+     coordinator's --trace becomes the fleet-merged trace: every
+     process's snapshot under the coordination directory, one Chrome
+     process per (host,pid), clocks aligned via the epoch anchors. *)
+  (match (Gat_util.Telemetry.dir (), Gat_util.Trace.out_path ()) with
+  | Some dir, Some path when !fleet_merge -> (
+      let body, events, procs, skipped = Gat_util.Telemetry.merge_dir dir in
+      (try
+         Out_channel.with_open_bin path (fun oc ->
+             Out_channel.output_string oc body);
+         Printf.eprintf
+           "gat: trace: %d events from %d process%s merged to %s%s\n%!"
+           events procs
+           (if procs = 1 then "" else "es")
+           path
+           (if skipped > 0 then
+              Printf.sprintf " (%d corrupt snapshot(s) skipped)" skipped
+            else "")
+       with Sys_error e -> Printf.eprintf "gat: trace: %s\n%!" e);
+      Gat_util.Trace.disable ();
+      Gat_util.Trace.clear ())
+  | _ -> (
+      match Gat_util.Trace.finish () with
+      | Some (path, events) ->
+          Printf.eprintf "gat: trace: %d events written to %s\n%!" events path
+      | None -> ()));
   if Gat_util.Metrics.dump_requested () then
     prerr_string (Gat_util.Metrics.render ());
   exit code

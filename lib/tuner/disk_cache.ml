@@ -553,10 +553,14 @@ let open_sealed path =
 let read_trailer cur =
   if cur.pos <> String.length cur.s then raise Bad_entry
 
+let h_read = Gat_util.Metrics.histogram "cache.read"
+let h_write = Gat_util.Metrics.histogram "cache.write"
+
 let read_file path =
   Gat_util.Trace.span "cache.read"
     ~args:[ ("file", Gat_util.Trace.S (Filename.basename path)) ]
   @@ fun () ->
+  Gat_util.Metrics.observe_timed h_read @@ fun () ->
   let cur = open_sealed path in
   expect_line cur magic;
   expect_line cur ("model " ^ model_version);
@@ -575,6 +579,7 @@ let publish ~path buf =
   Gat_util.Trace.span "cache.write"
     ~args:[ ("file", Gat_util.Trace.S (Filename.basename path)) ]
   @@ fun () ->
+  Gat_util.Metrics.observe_timed h_write @@ fun () ->
   Gat_util.Fault.inject ~site:"cache-write" ~key:(Filename.basename path);
   Gat_util.Sealed_file.publish ~path buf;
   Gat_util.Metrics.incr ~by:(Buffer.length buf) m_bytes_written

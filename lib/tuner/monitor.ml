@@ -1,0 +1,153 @@
+(* Live fleet view over a coordination directory.
+
+   [gat monitor DIR] is read-only: it never takes leases, never
+   writes, and builds its table purely from what the shard protocol
+   already leaves on disk — lease files say who holds which shard
+   until when, telemetry snapshots say how fast each holder is moving
+   and where its latency lives, crash flight records say who died
+   screaming.  One row per (host,pid) ever seen in the directory. *)
+
+open Gat_util
+
+type row = {
+  host : string;
+  pid : int;
+  shard : int option;  (* held shard index, from a live lease *)
+  points : int;
+  rate : float;  (* points/s averaged since the process's anchor *)
+  p50_ns : int;
+  p99_ns : int;
+  renewal_age_s : float option;  (* seconds since last lease renewal *)
+  snapshot_age_s : float;
+  reclaimed : int;
+  crashed : bool;
+  crash_note : string;
+}
+
+let counter_of snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.Telemetry.counters)
+
+(* Block latency = compile + simulate phases, bucket-wise. *)
+let block_hist snap =
+  let h = Histogram.Log.create () in
+  List.iter
+    (fun (name, src) ->
+      if name = "sweep.compile" || name = "sweep.simulate" then
+        Histogram.Log.merge_into ~into:h src)
+    snap.Telemetry.histograms;
+  h
+
+let shard_index_of_lease path =
+  let base = Filename.basename path in
+  match Filename.chop_suffix_opt ~suffix:".lease" base with
+  | Some stem -> (
+      match String.split_on_char '-' stem with
+      | [ "shard"; i ] -> int_of_string_opt i
+      | _ -> None)
+  | None -> None
+
+let lease_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".lease")
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+
+let rows ?(now = Unix.gettimeofday ()) dir =
+  let ttl =
+    match Shard.read_manifest dir with
+    | Some m -> m.Shard.ttl
+    | None -> Shard.default_ttl
+  in
+  let telem, sk1 = Telemetry.load_dir dir in
+  let crashes, sk2 = Telemetry.load_crashes dir in
+  let crashed : (string * int, string) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace crashed (s.Telemetry.host, s.Telemetry.pid)
+        s.Telemetry.note)
+    crashes;
+  let leases =
+    List.filter_map
+      (fun path ->
+        match (Lease.read path, shard_index_of_lease path) with
+        | Some info, Some i when info.Lease.deadline > now ->
+            Some ((info.Lease.host, info.Lease.pid), (i, info.Lease.deadline))
+        | _ -> None)
+      (lease_files dir)
+  in
+  let row_of snap =
+    let key = (snap.Telemetry.host, snap.Telemetry.pid) in
+    let shard, renewal_age_s =
+      match List.assoc_opt key leases with
+      | Some (i, deadline) ->
+          (* Renewal publishes deadline = now + ttl, so the last
+             renewal happened at deadline - ttl. *)
+          (Some i, Some (Float.max 0. (now -. (deadline -. ttl))))
+      | None -> (None, None)
+    in
+    let elapsed_s =
+      Int64.to_float
+        (Int64.sub snap.Telemetry.captured_wall_ns snap.Telemetry.anchor_wall_ns)
+      /. 1e9
+    in
+    let points = counter_of snap "sweep.points" in
+    let h = block_hist snap in
+    {
+      host = snap.Telemetry.host;
+      pid = snap.Telemetry.pid;
+      shard;
+      points;
+      rate = (if elapsed_s > 0. then float_of_int points /. elapsed_s else 0.);
+      p50_ns = Histogram.Log.percentile_ns h 0.5;
+      p99_ns = Histogram.Log.percentile_ns h 0.99;
+      renewal_age_s;
+      snapshot_age_s =
+        Float.max 0.
+          (now -. (Int64.to_float snap.Telemetry.captured_wall_ns /. 1e9));
+      reclaimed = counter_of snap "shard.leases_reclaimed";
+      crashed = Hashtbl.mem crashed key;
+      crash_note =
+        Option.value ~default:"" (Hashtbl.find_opt crashed key);
+    }
+  in
+  (List.map row_of (Telemetry.dedupe (telem @ crashes)), sk1 + sk2)
+
+(* One fixed-width line per worker; pure so the table is golden-
+   testable and greppable in non-TTY mode. *)
+let header =
+  Printf.sprintf "%-20s %6s %8s %8s %9s %9s %7s %8s %s" "worker" "shard"
+    "points" "pts/s" "p50" "p99" "renew" "reclaims" "status"
+
+let render_row r =
+  let worker = Printf.sprintf "%s:%d" r.host r.pid in
+  let shard = match r.shard with Some i -> string_of_int i | None -> "-" in
+  let renew =
+    match r.renewal_age_s with
+    | Some a -> Printf.sprintf "%.0fs" a
+    | None -> "-"
+  in
+  let status =
+    if r.crashed then
+      if r.crash_note <> "" then "crashed: " ^ r.crash_note else "crashed"
+    else if r.shard <> None then "running"
+    else Printf.sprintf "idle %.0fs" r.snapshot_age_s
+  in
+  Printf.sprintf "%-20s %6s %8d %8.1f %9s %9s %7s %8d %s" worker shard
+    r.points r.rate
+    (Histogram.Log.pp_ns r.p50_ns)
+    (Histogram.Log.pp_ns r.p99_ns)
+    renew r.reclaimed status
+
+let render rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b (render_row r);
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b

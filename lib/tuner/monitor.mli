@@ -1,0 +1,37 @@
+(** Live fleet view over a coordination directory ([gat monitor DIR]).
+
+    Read-only: the table is built purely from the files the shard
+    protocol already maintains — lease files (who holds which shard,
+    until when), telemetry snapshots ({!Gat_util.Telemetry}: points,
+    latency histograms, reclaim counts) and crash flight records.
+    One row per (host,pid) ever seen in the directory. *)
+
+type row = {
+  host : string;
+  pid : int;
+  shard : int option;  (** Held shard index, from a live lease. *)
+  points : int;  (** [sweep.points] from the latest snapshot. *)
+  rate : float;  (** Points/s averaged since the process's anchor. *)
+  p50_ns : int;  (** Block latency (compile+simulate) median. *)
+  p99_ns : int;
+  renewal_age_s : float option;
+      (** Seconds since the last lease renewal, when holding one. *)
+  snapshot_age_s : float;  (** Seconds since the last telemetry flush. *)
+  reclaimed : int;  (** [shard.leases_reclaimed] by this process. *)
+  crashed : bool;  (** A crash flight record exists for this worker. *)
+  crash_note : string;
+}
+
+val rows : ?now:float -> string -> row list * int
+(** All workers visible under a directory, sorted by (host, pid),
+    plus the number of corrupt snapshots skipped.  [now] (default
+    [Unix.gettimeofday ()]) is injectable for tests. *)
+
+val header : string
+(** The table's fixed-width column header. *)
+
+val render_row : row -> string
+(** One fixed-width, greppable line per worker (pure). *)
+
+val render : row list -> string
+(** Header plus one line per row. *)

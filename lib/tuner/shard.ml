@@ -214,6 +214,10 @@ let eval_shard ?jobs ?retries ?max_failures ?block ~dir ~owner ~manifest:m
      with Sys_error _ | Fault.Injected _ -> ());
     if not (Lease.renew ~path:lease ~owner ~ttl:m.ttl) then
       raise (Lease_lost i);
+    (* Same cadence as lease renewal: a live lease implies a fresh
+       telemetry snapshot, so a holder's last flushed counters and
+       ring buffers survive a SIGKILL just like its .ckpt prefix. *)
+    Telemetry.flush ();
     heartbeat ~done_:c.Disk_cache.done_points
       ~failures:(List.length c.Disk_cache.failures)
   in
@@ -253,7 +257,8 @@ let live_foreign_leases ~dir ~owner k =
 (* ---- coordinator ---- *)
 
 let coordinate ?jobs ?retries ?max_failures ?block ?(shard_retries = 5)
-    ?(ttl = default_ttl) ?progress ?dir ~shards space kernel gpu ~n ~seed =
+    ?(ttl = default_ttl) ?progress ?(log = fun (_ : string) -> ()) ?dir
+    ~shards space kernel gpu ~n ~seed =
   match Disk_cache.find space kernel gpu ~n ~seed with
   | Some (variants, unsafe) ->
       { Tuner.variants; failures = []; unsafe; restored_points = 0 }
@@ -301,6 +306,10 @@ let coordinate ?jobs ?retries ?max_failures ?block ?(shard_retries = 5)
                Error.failf Shard "cannot write shard manifest: %s" msg);
             fresh
       in
+      Telemetry.enable ~dir;
+      (* Attach snapshot: the coordinator is visible to [gat monitor]
+         (and to the merge) even if it dies before its first block. *)
+      Telemetry.flush ();
       (* A done marker left by a previous completed coordination would
          stop fresh workers from attaching; this run owns the
          directory now. *)
@@ -387,6 +396,7 @@ let coordinate ?jobs ?retries ?max_failures ?block ?(shard_retries = 5)
               | `Part | `Held -> ()
               | `Reclaimed ->
                   incr reclaimed;
+                  log (Printf.sprintf "shard %d: reclaimed expired lease" i);
                   made_progress := true;
                   bump i
               | `Claimed -> (
@@ -413,31 +423,60 @@ let coordinate ?jobs ?retries ?max_failures ?block ?(shard_retries = 5)
         done;
         if (not !made_progress) && not (all_done ()) then Unix.sleepf 0.05
       done;
-      Trace.span "shard.merge" (fun () ->
-          let parts_l =
-            Array.to_list parts
-            |> List.map (function Some c -> c | None -> assert false)
+      let report =
+        Trace.span "shard.merge" (fun () ->
+            let parts_l =
+              Array.to_list parts
+              |> List.map (function Some c -> c | None -> assert false)
+            in
+            let variants =
+              List.concat_map (fun c -> c.Disk_cache.variants) parts_l
+            in
+            let failures =
+              List.concat_map (fun c -> c.Disk_cache.failures) parts_l
+            in
+            let unsafe =
+              List.concat_map (fun c -> c.Disk_cache.unsafe) parts_l
+            in
+            if failures = [] then
+              Disk_cache.store space kernel gpu ~n ~seed variants unsafe;
+            publish_done dir;
+            report_progress ();
+            { Tuner.variants; failures; unsafe; restored_points = 0 })
+      in
+      (* Fleet telemetry epilogue.  Order matters: publish this
+         process's own (purely local) final snapshot first, then fold
+         foreign workers' counters and histograms into the live
+         registries — so the final [gat stats] is fleet-wide while
+         the on-disk snapshots stay per-process and sum cleanly. *)
+      Telemetry.flush ();
+      let snaps, skipped = Telemetry.load_dir dir in
+      Telemetry.absorb_foreign snaps;
+      if skipped > 0 then
+        log (Printf.sprintf "%d corrupt telemetry snapshot(s) skipped" skipped);
+      List.iter
+        (fun path ->
+          let who =
+            match Telemetry.read_file path with
+            | Some s when s.Telemetry.note <> "" ->
+                Printf.sprintf "%s:%d: %s" s.Telemetry.host s.Telemetry.pid
+                  s.Telemetry.note
+            | Some s -> Printf.sprintf "%s:%d" s.Telemetry.host s.Telemetry.pid
+            | None -> "unreadable"
           in
-          let variants =
-            List.concat_map (fun c -> c.Disk_cache.variants) parts_l
-          in
-          let failures =
-            List.concat_map (fun c -> c.Disk_cache.failures) parts_l
-          in
-          let unsafe =
-            List.concat_map (fun c -> c.Disk_cache.unsafe) parts_l
-          in
-          if failures = [] then
-            Disk_cache.store space kernel gpu ~n ~seed variants unsafe;
-          publish_done dir;
-          report_progress ();
-          { Tuner.variants; failures; unsafe; restored_points = 0 })
+          log (Printf.sprintf "crash flight record %s (%s)" path who))
+        (Telemetry.crash_files dir);
+      report
 
 (* ---- worker ---- *)
 
 type worker_report = { shards : int; points : int; stale : bool }
 
 let work ?jobs ?retries ?block ?progress ~dir m ~kernel ~gpu () =
+  Telemetry.enable ~dir;
+  (* Attach snapshot: a worker SIGKILLed before its first block
+     renewal still left one flushed snapshot for the fleet merge. *)
+  Telemetry.flush ();
   let owner = Lease.make_owner () in
   let k = Array.length m.ranges in
   let shards_done = ref 0 and points_done = ref 0 in
@@ -482,6 +521,7 @@ let work ?jobs ?retries ?block ?progress ~dir m ~kernel ~gpu () =
       if !remaining = 0 then finished := true
       else if not !claimed then Unix.sleepf 0.25
   done;
+  Telemetry.flush ();
   { shards = !shards_done; points = !points_done; stale = !stale }
 
 (* ---- maintenance (gat cache stats / gc / clear) ---- *)
@@ -520,6 +560,8 @@ type usage = {
   bytes : int;
   live_leases : int;
   pinned_bytes : int;
+  telem_files : int;
+  crash_files : int;
 }
 
 let usage () =
@@ -535,14 +577,25 @@ let usage () =
             | exception Unix.Unix_error _ -> a)
           0 files
       in
+      let count pred = List.length (List.filter pred files) in
       {
         dirs = acc.dirs + 1;
         files = acc.files + List.length files;
         bytes = acc.bytes + b;
         live_leases = acc.live_leases + live;
         pinned_bytes = (acc.pinned_bytes + if live > 0 then b else 0);
+        telem_files = acc.telem_files + count Telemetry.is_telem_file;
+        crash_files = acc.crash_files + count Telemetry.is_crash_file;
       })
-    { dirs = 0; files = 0; bytes = 0; live_leases = 0; pinned_bytes = 0 }
+    {
+      dirs = 0;
+      files = 0;
+      bytes = 0;
+      live_leases = 0;
+      pinned_bytes = 0;
+      telem_files = 0;
+      crash_files = 0;
+    }
     (shard_dirs ())
 
 let clear () =

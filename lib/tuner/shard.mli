@@ -44,6 +44,10 @@ type manifest = {
   ranges : (int * int) array;  (** Per-shard [(first, len)] ranges. *)
 }
 
+val default_ttl : float
+(** Default lease time-to-live (seconds) for new coordinations; also
+    the observer-side assumption when a manifest is unreadable. *)
+
 exception Lease_lost of int
 (** Raised inside a shard evaluation when the per-block lease renewal
     discovers the lease was broken and taken by someone else; the
@@ -87,6 +91,7 @@ val coordinate :
     workers:int ->
     reclaimed:int ->
     unit) ->
+  ?log:(string -> unit) ->
   ?dir:string ->
   shards:int ->
   Space.t ->
@@ -116,6 +121,16 @@ val coordinate :
     [max_failures] is enforced per shard (each range fails fast past
     the budget, stage [Tune]).  [progress] additionally reports the
     number of live foreign worker leases and leases reclaimed so far.
+
+    Observability: the coordination runs a {!Gat_util.Telemetry}
+    session in [dir] — every holder (this process and each worker)
+    republishes its sealed [<host>.<pid>.telem] snapshot on the same
+    per-block cadence as lease renewal; after the merge the
+    coordinator folds every worker's counters and histograms into the
+    live registries so the final [gat stats] is fleet-wide.  [log]
+    (default: drop) receives one line per reclaimed lease, per
+    skipped corrupt snapshot, and per crash flight record found in
+    the directory.
     @raise Gat_util.Error.Error (stage [Interrupted]) between blocks
     and between shards when {!Gat_util.Cancel.requested} fires; all
     flushed shard state survives for a later re-run. *)
@@ -149,10 +164,12 @@ val work :
 (** {1 Maintenance} — [gat cache stats] / [gc] / [clear].
 
     Shard directories holding at least one live lease are {e pinned}:
-    their lease files and in-flight partial checkpoints are invisible
-    to {!gc_candidates}, so [gat cache gc] never yanks state from
-    under a running coordination.  Directories with no live lease
-    (finished or crashed-and-expired runs) are evictable. *)
+    their lease files, in-flight partial checkpoints, telemetry
+    snapshots and crash flight records are all invisible to
+    {!gc_candidates}, so [gat cache gc] never yanks state — or
+    evidence — from under a running coordination.  Directories with
+    no live lease (finished or crashed-and-expired runs) are
+    evictable. *)
 
 val gc_candidates : unit -> string list
 (** Every file of every unpinned shard directory. *)
@@ -163,6 +180,8 @@ type usage = {
   bytes : int;
   live_leases : int;
   pinned_bytes : int;  (** Bytes in directories with a live lease. *)
+  telem_files : int;  (** Telemetry snapshots across shard dirs. *)
+  crash_files : int;  (** Crash flight records across shard dirs. *)
 }
 
 val usage : unit -> usage

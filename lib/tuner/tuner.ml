@@ -92,6 +92,8 @@ let m_fail_compile = Gat_util.Metrics.counter "sweep.failures.compile"
 let m_fail_simulate = Gat_util.Metrics.counter "sweep.failures.simulate"
 let m_restored = Gat_util.Metrics.counter "sweep.restored_points"
 let m_unsafe = Gat_util.Metrics.counter "sweep.unsafe"
+let h_compile = Gat_util.Metrics.histogram "sweep.compile"
+let h_simulate = Gat_util.Metrics.histogram "sweep.simulate"
 
 (* Evaluation order over [Space.points] is fixed, so the accumulated
    variant and failure lists depend only on (space, kernel, gpu, n,
@@ -162,6 +164,7 @@ let run_range ?jobs ?(retries = 1) ?max_failures
     let compiled =
       try
         Gat_util.Trace.span "sweep.compile" ~args:block_args @@ fun () ->
+        Gat_util.Metrics.observe_timed h_compile @@ fun () ->
         Gat_util.Pool.map_result ?jobs ~retries ?max_failures:(budget_left ())
           (fun params ->
             Gat_util.Fault.inject ~site:"compile"
@@ -214,6 +217,7 @@ let run_range ?jobs ?(retries = 1) ?max_failures
             Gat_util.Trace.span "sweep.simulate"
               ~args:(("n", Gat_util.Trace.I n) :: block_args)
             @@ fun () ->
+            Gat_util.Metrics.observe_timed h_simulate @@ fun () ->
             Gat_util.Pool.map_result ?jobs ~retries
               ?max_failures:(budget_left ())
               (fun i ->

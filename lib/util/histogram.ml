@@ -35,3 +35,177 @@ let render ?(width = 40) ?(label = fun x -> Printf.sprintf "%8.0f" x) t =
       Buffer.add_string buf (Printf.sprintf " %d\n" count))
     t.counts;
   Buffer.contents buf
+
+(* ---- log-bucketed latency histograms ---- *)
+
+module Log = struct
+  (* Every histogram in the fleet uses one fixed, global bucket scheme,
+     which is what makes "merge = bucket-wise sum" well defined across
+     processes and machines: bucket [i] for [i < 8] holds the exact
+     nanosecond value [i]; above that, values fall into 4 sub-buckets
+     per power of two (bucket [4*b + sub] where [b = floor(log2 v)] and
+     [sub] is the next two mantissa bits), i.e. ~19% relative bucket
+     width.  256 buckets cover up to 2^63 ns — every representable
+     duration. *)
+
+  let buckets = 256
+
+  type t = { counts : int Atomic.t array; sum_ns : int Atomic.t }
+
+  let create () =
+    { counts = Array.init buckets (fun _ -> Atomic.make 0);
+      sum_ns = Atomic.make 0 }
+
+  let msb v =
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let bucket_of_ns v =
+    if v <= 0 then 0
+    else if v < 8 then v
+    else
+      let b = msb v in
+      let sub = (v lsr (b - 2)) land 3 in
+      min (buckets - 1) ((4 * b) + sub)
+
+  let bucket_lower i =
+    if i < 8 then i
+    else
+      let b = i / 4 and sub = i mod 4 in
+      (1 lsl b) + (sub * (1 lsl (b - 2)))
+
+  let record t ns =
+    let ns = if ns < 0 then 0 else ns in
+    ignore (Atomic.fetch_and_add t.counts.(bucket_of_ns ns) 1);
+    ignore (Atomic.fetch_and_add t.sum_ns ns)
+
+  let total t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+  let sum_ns t = Atomic.get t.sum_ns
+  let counts t = Array.map Atomic.get t.counts
+
+  let of_counts ?(sum_ns = 0) cs =
+    if Array.length cs <> buckets then
+      invalid_arg "Histogram.Log.of_counts: wrong bucket count";
+    { counts = Array.map Atomic.make cs; sum_ns = Atomic.make sum_ns }
+
+  let merge_into ~into t =
+    Array.iteri
+      (fun i c ->
+        let n = Atomic.get c in
+        if n <> 0 then ignore (Atomic.fetch_and_add into.counts.(i) n))
+      t.counts;
+    let s = Atomic.get t.sum_ns in
+    if s <> 0 then ignore (Atomic.fetch_and_add into.sum_ns s)
+
+  let merge a b =
+    let m = create () in
+    merge_into ~into:m a;
+    merge_into ~into:m b;
+    m
+
+  let reset t =
+    Array.iter (fun c -> Atomic.set c 0) t.counts;
+    Atomic.set t.sum_ns 0
+
+  (* Lower edge of the first bucket whose cumulative count reaches
+     [q * total] — deterministic (no interpolation), monotone in [q]. *)
+  let percentile_ns t q =
+    let n = total t in
+    if n = 0 then 0
+    else
+      let want =
+        let w = int_of_float (Float.ceil (q *. float_of_int n)) in
+        max 1 (min n w)
+      in
+      let cum = ref 0 and found = ref 0 in
+      (try
+         Array.iteri
+           (fun i c ->
+             cum := !cum + Atomic.get c;
+             if !cum >= want then begin
+               found := bucket_lower i;
+               raise Exit
+             end)
+           t.counts
+       with Exit -> ());
+      !found
+
+  (* Sparse text form, one token per non-empty bucket: "i:count",
+     prefixed by the total sample sum so mean survives round-trips. *)
+  let serialize t =
+    let b = Buffer.create 128 in
+    Buffer.add_string b (Printf.sprintf "sum=%d" (Atomic.get t.sum_ns));
+    Array.iteri
+      (fun i c ->
+        let n = Atomic.get c in
+        if n <> 0 then Buffer.add_string b (Printf.sprintf " %d:%d" i n))
+      t.counts;
+    Buffer.contents b
+
+  let parse s =
+    match String.split_on_char ' ' (String.trim s) with
+    | [] -> None
+    | sum :: rest -> (
+        let parse_sum s =
+          if String.length s > 4 && String.sub s 0 4 = "sum=" then
+            int_of_string_opt (String.sub s 4 (String.length s - 4))
+          else None
+        in
+        match parse_sum sum with
+        | None -> None
+        | Some sum_ns -> (
+            let t = create () in
+            Atomic.set t.sum_ns sum_ns;
+            try
+              List.iter
+                (fun tok ->
+                  if tok <> "" then
+                    match String.index_opt tok ':' with
+                    | None -> raise Exit
+                    | Some j -> (
+                        let i =
+                          int_of_string_opt (String.sub tok 0 j)
+                        and n =
+                          int_of_string_opt
+                            (String.sub tok (j + 1)
+                               (String.length tok - j - 1))
+                        in
+                        match (i, n) with
+                        | Some i, Some n when i >= 0 && i < buckets && n >= 0
+                          ->
+                            Atomic.set t.counts.(i) n
+                        | _ -> raise Exit))
+                rest;
+              Some t
+            with Exit -> None))
+
+  let pp_ns ns =
+    let f = float_of_int ns in
+    if ns >= 1_000_000_000 then Printf.sprintf "%.2fs" (f *. 1e-9)
+    else if ns >= 1_000_000 then Printf.sprintf "%.1fms" (f *. 1e-6)
+    else if ns >= 1_000 then Printf.sprintf "%.1fus" (f *. 1e-3)
+    else Printf.sprintf "%dns" ns
+
+  let render ?(width = 40) t =
+    let cs = counts t in
+    let peak = Array.fold_left max 1 cs in
+    let first = ref buckets and last = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        if c <> 0 then begin
+          if i < !first then first := i;
+          if i > !last then last := i
+        end)
+      cs;
+    if !last < 0 then "(empty)\n"
+    else begin
+      let b = Buffer.create 512 in
+      for i = !first to !last do
+        let bar = cs.(i) * width / peak in
+        Buffer.add_string b (Printf.sprintf "%10s |" (pp_ns (bucket_lower i)));
+        Buffer.add_string b (String.make bar '#');
+        Buffer.add_string b (Printf.sprintf " %d\n" cs.(i))
+      done;
+      Buffer.contents b
+    end
+end

@@ -42,6 +42,10 @@ let with_lock f =
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
 
+type hist = { hname : string; h : Histogram.Log.t }
+
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
 let counter name =
   with_lock (fun () ->
       match Hashtbl.find_opt counters name with
@@ -83,6 +87,30 @@ let timed t f =
 
 let time t f = fst (timed t f)
 
+let histogram hname =
+  with_lock (fun () ->
+      match Hashtbl.find_opt hists hname with
+      | Some h -> h
+      | None ->
+          let h = { hname; h = Histogram.Log.create () } in
+          Hashtbl.replace hists hname h;
+          h)
+
+let observe h ns = Histogram.Log.record h.h ns
+
+let observe_timed h f =
+  let t0 = now_ns () in
+  match f () with
+  | v ->
+      observe h (Int64.to_int (Int64.sub (now_ns ()) t0));
+      v
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      observe h (Int64.to_int (Int64.sub (now_ns ()) t0));
+      Printexc.raise_with_backtrace e bt
+
+let observe_by_name hname ns = observe (histogram hname) ns
+
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
@@ -90,7 +118,8 @@ let reset () =
         (fun _ t ->
           Atomic.set t.events 0;
           Atomic.set t.total_ns 0)
-        timers)
+        timers;
+      Hashtbl.iter (fun _ h -> Histogram.Log.reset h.h) hists)
 
 let counters_snapshot () =
   with_lock (fun () ->
@@ -105,6 +134,14 @@ let timers_snapshot () =
           :: acc)
         timers [])
   |> List.sort compare
+
+let histograms_snapshot () =
+  with_lock (fun () -> Hashtbl.fold (fun name h acc -> (name, h.h) :: acc) hists [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_histogram name other =
+  let h = histogram name in
+  Histogram.Log.merge_into ~into:h.h other
 
 (* ---- rendering ---- *)
 
@@ -133,6 +170,22 @@ let render_counters () =
     (counters_snapshot ());
   Buffer.contents b
 
+let render_histograms () =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (name, h) ->
+      let n = Histogram.Log.total h in
+      if n > 0 then begin
+        Buffer.add_string b
+          (Printf.sprintf "# %s: %d samples, p50 %s, p99 %s, mean %s\n" name n
+             (Histogram.Log.pp_ns (Histogram.Log.percentile_ns h 0.5))
+             (Histogram.Log.pp_ns (Histogram.Log.percentile_ns h 0.99))
+             (Histogram.Log.pp_ns (Histogram.Log.sum_ns h / n)));
+        Buffer.add_string b (Histogram.Log.render h)
+      end)
+    (histograms_snapshot ());
+  Buffer.contents b
+
 let render () =
   let b = Buffer.create 2048 in
   Buffer.add_string b (render_counters ());
@@ -143,6 +196,7 @@ let render () =
         (Printf.sprintf "# TYPE %s summary\n%s_count %d\n%s_sum %.6f\n" p p
            count p seconds))
     (timers_snapshot ());
+  Buffer.add_string b (render_histograms ());
   Buffer.contents b
 
 let dump_requested () =

@@ -54,6 +54,35 @@ val timed : timer -> (unit -> 'a) -> 'a * float
 val time : timer -> (unit -> 'a) -> 'a
 (** {!timed} without the duration. *)
 
+type hist
+(** A named log-bucketed latency histogram ({!Histogram.Log}). *)
+
+val histogram : string -> hist
+(** Find or register the histogram with this name (registry-locked;
+    call at module initialization, not per event). *)
+
+val observe : hist -> int -> unit
+(** Record one latency sample in nanoseconds — two atomic adds. *)
+
+val observe_timed : hist -> (unit -> 'a) -> 'a
+(** Run the thunk and record its duration (recorded even on raise). *)
+
+val observe_by_name : string -> int -> unit
+(** {!observe} by name, paying the registry lookup — cold paths only. *)
+
+val histograms_snapshot : unit -> (string * Histogram.Log.t) list
+(** All histograms, sorted by name.  The returned histograms are the
+    live registry entries — copy via {!Histogram.Log.counts} before
+    mutating. *)
+
+val merge_histogram : string -> Histogram.Log.t -> unit
+(** Bucket-wise add an external histogram (e.g. a worker snapshot's)
+    into the named registry histogram, registering it if needed. *)
+
+val render_histograms : unit -> string
+(** ASCII rendering of every non-empty histogram: a summary line
+    (samples, p50, p99, mean) followed by log-scale bars. *)
+
 val reset : unit -> unit
 (** Zero every registered counter and timer (registration survives). *)
 

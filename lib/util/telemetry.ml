@@ -1,0 +1,406 @@
+(* Fleet telemetry snapshots.
+
+   A sharded sweep is many processes on many machines; each one's
+   trace buffers, counters and latency histograms die with it unless
+   they are made durable.  This module gives every coordinator/worker
+   a single sealed, atomically-renamed snapshot file
+   ([<host>.<pid>.telem]) in the coordination directory, refreshed on
+   the same per-block cadence as lease renewal and on every exit
+   path — so a SIGKILLed worker's last flushed snapshot survives its
+   death exactly like its [.ckpt] prefix does.  The crash flight
+   recorder is the same payload under a [.crash] name, written from
+   the fatal-error and fatal-signal paths.
+
+   The payload is line-oriented text inside the standard
+   {!Sealed_file} envelope: a header (host, pid, the monotonic→wall
+   epoch anchor, dropped-event count, an optional crash note),
+   then tagged lines — [counter NAME V], [timer NAME EVENTS NS],
+   [hist NAME <sparse buckets>] — and finally the raw trace events,
+   one JSON object per line ({!Trace.serialize_events}).  A corrupt
+   or truncated snapshot fails the seal or the parse and is skipped
+   and counted by readers, never trusted partially.
+
+   Clock alignment: monotonic timestamps from different machines (or
+   different boots) share no origin, so each snapshot carries one
+   [(anchor_mono_ns, anchor_wall_ns)] pair sampled back-to-back at
+   enable time.  The merge maps every event through
+   [wall = anchor_wall + (ts - anchor_mono)], which aligns processes
+   to within the clocks' skew without requiring synchronized
+   monotonic origins. *)
+
+let magic = "gat-telem 1"
+let m_flushes = Metrics.counter "telem.flushes"
+let m_skipped = Metrics.counter "telem.snapshots_skipped"
+let m_crashes = Metrics.counter "telem.crashes"
+
+type snapshot = {
+  host : string;
+  pid : int;
+  anchor_mono_ns : int64;
+  anchor_wall_ns : int64;
+  captured_wall_ns : int64;  (* capture instant, anchor-aligned wall ns *)
+  dropped : int;
+  note : string;  (* crash reason; empty for periodic snapshots *)
+  counters : (string * int) list;
+  timers : (string * int * int) list;  (* name, events, total ns *)
+  histograms : (string * Histogram.Log.t) list;
+  events : Trace.event list;
+}
+
+(* ---- session state ---- *)
+
+type session = {
+  dir : string;
+  s_host : string;
+  s_pid : int;
+  s_anchor_mono_ns : int64;
+  s_anchor_wall_ns : int64;
+}
+
+let session : session option ref = ref None
+let lock = Mutex.create ()
+
+(* Whether this module turned span recording on (as opposed to the CLI
+   having registered a [--trace] output first); owned recording is
+   turned back off when the session ends. *)
+let trace_owned = ref false
+
+let enable ~dir =
+  let s =
+    {
+      dir;
+      s_host = Unix.gethostname ();
+      s_pid = Unix.getpid ();
+      (* Sampled back-to-back: the pair is this process's epoch anchor. *)
+      s_anchor_mono_ns = Metrics.now_ns ();
+      s_anchor_wall_ns = Int64.of_float (Unix.gettimeofday () *. 1e9);
+    }
+  in
+  Mutex.lock lock;
+  session := Some s;
+  (* A telemetry session implies span recording: a worker started
+     without [--trace] still fills its (bounded) ring buffers, so its
+     snapshots carry events for the fleet merge.  [Trace.enable] never
+     clobbers an output file registered by [--trace]. *)
+  if not (Trace.on ()) then begin
+    Trace.enable ();
+    trace_owned := true
+  end;
+  Mutex.unlock lock
+
+let disable () =
+  Mutex.lock lock;
+  session := None;
+  if !trace_owned then begin
+    Trace.disable ();
+    trace_owned := false
+  end;
+  Mutex.unlock lock
+
+let active () =
+  Mutex.lock lock;
+  let s = !session in
+  Mutex.unlock lock;
+  s
+
+let dir () = Option.map (fun s -> s.dir) (active ())
+
+(* ---- capture ---- *)
+
+let capture ?(note = "") () =
+  let s =
+    match active () with
+    | Some s -> s
+    | None ->
+        {
+          dir = ".";
+          s_host = Unix.gethostname ();
+          s_pid = Unix.getpid ();
+          s_anchor_mono_ns = Metrics.now_ns ();
+          s_anchor_wall_ns = Int64.of_float (Unix.gettimeofday () *. 1e9);
+        }
+  in
+  {
+    host = s.s_host;
+    pid = s.s_pid;
+    anchor_mono_ns = s.s_anchor_mono_ns;
+    anchor_wall_ns = s.s_anchor_wall_ns;
+    captured_wall_ns =
+      Int64.add s.s_anchor_wall_ns
+        (Int64.sub (Metrics.now_ns ()) s.s_anchor_mono_ns);
+    dropped = Trace.dropped ();
+    note;
+    counters = Metrics.counters_snapshot ();
+    timers =
+      List.map
+        (fun (name, events, seconds) ->
+          (name, events, int_of_float (seconds *. 1e9)))
+        (Metrics.timers_snapshot ());
+    histograms = Metrics.histograms_snapshot ();
+    events = Trace.events ();
+  }
+
+(* ---- serialization ---- *)
+
+let oneline s =
+  String.map (fun c -> match c with '\n' | '\r' -> ' ' | c -> c) s
+
+let to_payload snap =
+  let b = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  line "%s" magic;
+  line "host %s" (oneline snap.host);
+  line "pid %d" snap.pid;
+  line "anchor_mono_ns %Ld" snap.anchor_mono_ns;
+  line "anchor_wall_ns %Ld" snap.anchor_wall_ns;
+  line "captured_wall_ns %Ld" snap.captured_wall_ns;
+  line "dropped %d" snap.dropped;
+  if snap.note <> "" then line "note %s" (oneline snap.note);
+  List.iter (fun (name, v) -> line "counter %s %d" name v) snap.counters;
+  List.iter
+    (fun (name, events, ns) -> line "timer %s %d %d" name events ns)
+    snap.timers;
+  List.iter
+    (fun (name, h) -> line "hist %s %s" name (Histogram.Log.serialize h))
+    snap.histograms;
+  let n = List.length snap.events in
+  line "events %d" n;
+  Buffer.add_string b (Trace.serialize_events snap.events);
+  b
+
+let split2 s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let of_payload body =
+  match String.split_on_char '\n' body with
+  | m :: rest when m = magic -> (
+      let host = ref "" and pid = ref (-1) in
+      let amono = ref None and awall = ref None in
+      let captured = ref None in
+      let dropped = ref 0 and note = ref "" in
+      let counters = ref [] and timers = ref [] and hists = ref [] in
+      let events = ref [] in
+      try
+        let rec go = function
+          | [] | [ "" ] -> ()
+          | l :: tl -> (
+              let tag, rest = split2 l in
+              match tag with
+              | "host" ->
+                  host := rest;
+                  go tl
+              | "pid" ->
+                  pid := int_of_string rest;
+                  go tl
+              | "anchor_mono_ns" ->
+                  amono := Some (Int64.of_string rest);
+                  go tl
+              | "anchor_wall_ns" ->
+                  awall := Some (Int64.of_string rest);
+                  go tl
+              | "captured_wall_ns" ->
+                  captured := Some (Int64.of_string rest);
+                  go tl
+              | "dropped" ->
+                  dropped := int_of_string rest;
+                  go tl
+              | "note" ->
+                  note := rest;
+                  go tl
+              | "counter" ->
+                  let name, v = split2 rest in
+                  counters := (name, int_of_string v) :: !counters;
+                  go tl
+              | "timer" -> (
+                  match String.split_on_char ' ' rest with
+                  | [ name; ev; ns ] ->
+                      timers :=
+                        (name, int_of_string ev, int_of_string ns) :: !timers;
+                      go tl
+                  | _ -> raise Exit)
+              | "hist" -> (
+                  let name, ser = split2 rest in
+                  match Histogram.Log.parse ser with
+                  | Some h ->
+                      hists := (name, h) :: !hists;
+                      go tl
+                  | None -> raise Exit)
+              | "events" -> (
+                  let n = int_of_string rest in
+                  if n < 0 || List.length tl < n then raise Exit;
+                  let ev_lines = List.filteri (fun i _ -> i < n) tl in
+                  let trailing = List.filteri (fun i _ -> i >= n) tl in
+                  if List.exists (fun l -> l <> "") trailing then raise Exit;
+                  match Trace.parse_events (String.concat "\n" ev_lines) with
+                  | Some evs when List.length evs = n -> events := evs
+                  | _ -> raise Exit)
+              | _ -> raise Exit)
+        in
+        go rest;
+        match (!amono, !awall) with
+        | Some anchor_mono_ns, Some anchor_wall_ns when !pid >= 0 ->
+            Some
+              {
+                host = !host;
+                pid = !pid;
+                anchor_mono_ns;
+                anchor_wall_ns;
+                captured_wall_ns =
+                  Option.value ~default:anchor_wall_ns !captured;
+                dropped = !dropped;
+                note = !note;
+                counters = List.rev !counters;
+                timers = List.rev !timers;
+                histograms = List.rev !hists;
+                events = !events;
+              }
+        | _ -> None
+      with Exit | Failure _ -> None)
+  | _ -> None
+
+(* ---- files ---- *)
+
+let snapshot_path ~dir ~host ~pid =
+  Filename.concat dir (Printf.sprintf "%s.%d.telem" host pid)
+
+let crash_path ~dir ~host ~pid =
+  Filename.concat dir (Printf.sprintf "%s.%d.crash" host pid)
+
+let is_telem_file name = Filename.check_suffix name ".telem"
+let is_crash_file name = Filename.check_suffix name ".crash"
+
+let publish_to path snap =
+  let buf = to_payload snap in
+  Sealed_file.seal buf;
+  try
+    Sealed_file.publish ~path buf;
+    true
+  with Sys_error _ | Unix.Unix_error _ -> false
+
+(* Telemetry must never take a sweep down: both flush and crash_dump
+   swallow I/O failure. *)
+let flush () =
+  match active () with
+  | None -> ()
+  | Some s ->
+      let snap = capture () in
+      if publish_to (snapshot_path ~dir:s.dir ~host:s.s_host ~pid:s.s_pid) snap
+      then Metrics.incr m_flushes
+
+let crash_dump ~reason =
+  match active () with
+  | None -> ()
+  | Some s ->
+      let snap = capture ~note:reason () in
+      if publish_to (crash_path ~dir:s.dir ~host:s.s_host ~pid:s.s_pid) snap
+      then Metrics.incr m_crashes
+
+(* Fatal signals (SIGTERM) dump the flight record, then restore the
+   default disposition and re-deliver so the exit status still says
+   "killed by signal" to whoever is waiting. *)
+let install_signal_dump () =
+  let dump_and_die signo =
+    crash_dump ~reason:(Printf.sprintf "fatal signal %d" signo);
+    Sys.set_signal signo Sys.Signal_default;
+    Unix.kill (Unix.getpid ()) signo
+  in
+  try Sys.set_signal Sys.sigterm (Sys.Signal_handle dump_and_die)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ---- reading a fleet's snapshots ---- *)
+
+let read_file path =
+  match Sealed_file.read path with
+  | None -> None
+  | Some body -> of_payload body
+
+let load_matching pred d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> ([], 0)
+  | names ->
+      let skipped = ref 0 in
+      let snaps =
+        Array.to_list names
+        |> List.filter pred
+        |> List.sort compare
+        |> List.filter_map (fun name ->
+               match read_file (Filename.concat d name) with
+               | Some s -> Some s
+               | None ->
+                   incr skipped;
+                   Metrics.incr m_skipped;
+                   None)
+      in
+      (snaps, !skipped)
+
+let load_dir d = load_matching is_telem_file d
+let load_crashes d = load_matching is_crash_file d
+
+let crash_files d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names |> List.filter is_crash_file |> List.sort compare
+      |> List.map (Filename.concat d)
+
+(* One snapshot per (host,pid): a process can leave both a periodic
+   [.telem] and a [.crash] with overlapping ring buffers, and both are
+   cumulative — keep the fullest (counters only grow, so the largest
+   counter total is the latest capture). *)
+let dedupe snaps =
+  let weight s =
+    List.fold_left (fun acc (_, v) -> acc + v) (List.length s.events) s.counters
+  in
+  let best : (string * int, snapshot) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let k = (s.host, s.pid) in
+      match Hashtbl.find_opt best k with
+      | Some prev when weight prev >= weight s -> ()
+      | _ -> Hashtbl.replace best k s)
+    snaps;
+  Hashtbl.fold (fun _ s acc -> s :: acc) best []
+  |> List.sort (fun a b -> compare (a.host, a.pid) (b.host, b.pid))
+
+let to_process s =
+  {
+    Trace.p_host = s.host;
+    p_pid = s.pid;
+    p_anchor_mono_ns = s.anchor_mono_ns;
+    p_anchor_wall_ns = s.anchor_wall_ns;
+    p_events = s.events;
+    p_counters = s.counters;
+    p_dropped = s.dropped;
+  }
+
+(* Merge a fleet directory into one Chrome trace.  Periodic snapshots
+   and crash records both contribute; each (host,pid) appears once. *)
+let merge_dir d =
+  let telem, sk1 = load_dir d in
+  let crash, sk2 = load_crashes d in
+  let procs = List.map to_process (dedupe (telem @ crash)) in
+  let body, events = Trace.render_merged procs in
+  (body, events, List.length procs, sk1 + sk2)
+
+(* Fold foreign processes' counters and histograms into the live
+   registries, so the coordinator's final [gat stats] / [GAT_STATS]
+   output is fleet-wide.  The caller's own snapshot (same host+pid)
+   is excluded — its numbers are already live. *)
+let absorb_foreign snaps =
+  let self_host = Unix.gethostname () and self_pid = Unix.getpid () in
+  List.iter
+    (fun s ->
+      if not (s.host = self_host && s.pid = self_pid) then begin
+        List.iter (fun (name, v) -> if v > 0 then Metrics.bump ~by:v name) s.counters;
+        List.iter (fun (name, h) -> Metrics.merge_histogram name h) s.histograms
+      end)
+    snaps

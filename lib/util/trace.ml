@@ -255,6 +255,158 @@ let render () =
   Buffer.add_string b "\n]}\n";
   (Buffer.contents b, List.length events)
 
+(* ---- raw event serialization (telemetry snapshots) ---- *)
+
+(* One JSON object per line, nanosecond fields kept raw so merging can
+   re-anchor clocks exactly.  Parsed back with the validator's JSON
+   reader below; a malformed line poisons the whole parse (snapshots
+   are sealed, so partial writes never reach us). *)
+
+let serialize_event b ev =
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"%c\",\"ts_ns\":%Ld,\"dur_ns\":%Ld,\"tid\":%d,"
+       (json_escape ev.name) ev.ph ev.ts_ns ev.dur_ns ev.tid);
+  add_args b ev.args;
+  Buffer.add_char b '}'
+
+let serialize_events evs =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      serialize_event b ev;
+      Buffer.add_char b '\n')
+    evs;
+  Buffer.contents b
+
+let events () = merged_events ()
+
+(* ---- multi-process merge ---- *)
+
+type process = {
+  p_host : string;
+  p_pid : int;
+  p_anchor_mono_ns : int64;  (* monotonic clock at the anchor instant *)
+  p_anchor_wall_ns : int64;  (* wall clock (ns since epoch) at the same instant *)
+  p_events : event list;
+  p_counters : (string * int) list;
+  p_dropped : int;
+}
+
+(* Fleet merge: one Chrome pid per (host,pid), domain tracks under
+   each, clocks aligned by mapping every event through its process's
+   epoch anchor (wall = anchor_wall + (ts - anchor_mono)) and rebasing
+   to the earliest event in the fleet.  Counters are summed across
+   processes and emitted once as final 'C' samples. *)
+let render_merged procs =
+  let procs =
+    List.sort (fun a b -> compare (a.p_host, a.p_pid) (b.p_host, b.p_pid)) procs
+  in
+  let wall_of p ts = Int64.add p.p_anchor_wall_ns (Int64.sub ts p.p_anchor_mono_ns) in
+  let t0 =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left (fun acc ev -> Int64.min acc (wall_of p ev.ts_ns)) acc p.p_events)
+      Int64.max_int procs
+  in
+  let t0 = if t0 = Int64.max_int then 0L else t0 in
+  let t_end =
+    List.fold_left
+      (fun acc p ->
+        List.fold_left
+          (fun acc ev -> Int64.(max acc (add (wall_of p ev.ts_ns) ev.dur_ns)))
+          acc p.p_events)
+      t0 procs
+  in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string b ",\n" in
+  let add_pid_event pid ev =
+    sep ();
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"gat\",\"ph\":\"%c\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f"
+         (json_escape ev.name) ev.ph pid ev.tid (us_of_ns ~t0 ev.ts_ns));
+    if ev.ph = 'X' then
+      Buffer.add_string b
+        (Printf.sprintf ",\"dur\":%.3f" (Int64.to_float ev.dur_ns /. 1e3));
+    if ev.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+    if ev.args <> [] then begin
+      Buffer.add_char b ',';
+      add_args b ev.args
+    end;
+    Buffer.add_char b '}'
+  in
+  let n_events = ref 0 in
+  List.iteri
+    (fun i p ->
+      let pid = i + 1 in
+      add_pid_event pid
+        {
+          name = "process_name";
+          ph = 'M';
+          ts_ns = t0;
+          dur_ns = 0L;
+          tid = 0;
+          args = [ ("name", S (Printf.sprintf "gat %s:%d" p.p_host p.p_pid)) ];
+        };
+      let tids = List.sort_uniq compare (List.map (fun ev -> ev.tid) p.p_events) in
+      List.iter
+        (fun t ->
+          add_pid_event pid
+            {
+              name = "thread_name";
+              ph = 'M';
+              ts_ns = t0;
+              dur_ns = 0L;
+              tid = t;
+              args = [ ("name", S (Printf.sprintf "domain-%d" t)) ];
+            })
+        tids;
+      let evs =
+        List.map (fun ev -> { ev with ts_ns = wall_of p ev.ts_ns }) p.p_events
+        |> List.sort (fun a b ->
+               match Int64.compare a.ts_ns b.ts_ns with
+               | 0 -> (
+                   match compare a.tid b.tid with
+                   | 0 -> compare a.name b.name
+                   | c -> c)
+               | c -> c)
+      in
+      List.iter
+        (fun ev ->
+          incr n_events;
+          add_pid_event pid ev)
+        evs)
+    procs;
+  (* Fleet-wide counter totals: bucket-wise sums over every process's
+     snapshot, one final sample per name on the first process. *)
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (name, v) ->
+          Hashtbl.replace totals name
+            (v + Option.value ~default:0 (Hashtbl.find_opt totals name)))
+        p.p_counters)
+    procs;
+  let names = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) totals []) in
+  List.iter
+    (fun name ->
+      add_pid_event 1
+        {
+          name;
+          ph = 'C';
+          ts_ns = t_end;
+          dur_ns = 0L;
+          tid = 0;
+          args = [ ("value", I (Hashtbl.find totals name)) ];
+        })
+    names;
+  Buffer.add_string b "\n]}\n";
+  (Buffer.contents b, !n_events)
+
 (* ---- session control ---- *)
 
 let out_file = ref None
@@ -272,6 +424,12 @@ let disable () =
   Mutex.lock reg_lock;
   out_file := None;
   Mutex.unlock reg_lock
+
+let out_path () =
+  Mutex.lock reg_lock;
+  let p = !out_file in
+  Mutex.unlock reg_lock;
+  p
 
 let write_file path =
   let body, events = render () in
@@ -463,9 +621,61 @@ let parse_json s =
   | v -> Ok v
   | exception Bad_json msg -> Error msg
 
+(* Inverse of [serialize_events]: one JSON object per line.  Any
+   malformed line fails the whole parse — snapshot readers treat that
+   as a corrupt snapshot and skip it. *)
+let parse_events s =
+  let field k = function Obj fields -> List.assoc_opt k fields | _ -> None in
+  let event_of_json j =
+    let str k = match field k j with Some (Str s) -> Some s | _ -> None in
+    let num k = match field k j with Some (Num f) -> Some f | _ -> None in
+    let args =
+      match field "args" j with
+      | Some (Obj fields) ->
+          List.map
+            (fun (k, v) ->
+              ( k,
+                match v with
+                | Str s -> S s
+                | Num f when Float.is_integer f && Float.abs f < 1e15 ->
+                    I (int_of_float f)
+                | Num f -> F f
+                | _ -> S "?" ))
+            fields
+      | _ -> []
+    in
+    match (str "name", str "ph", num "ts_ns", num "dur_ns", num "tid") with
+    | Some name, Some ph, Some ts, Some dur, Some tid when String.length ph = 1
+      ->
+        Some
+          {
+            name;
+            ph = ph.[0];
+            ts_ns = Int64.of_float ts;
+            dur_ns = Int64.of_float dur;
+            tid = int_of_float tid;
+            args;
+          }
+    | _ -> None
+  in
+  let lines = String.split_on_char '\n' s in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | "" :: rest -> go acc rest
+    | line :: rest -> (
+        match parse_json line with
+        | Error _ -> None
+        | Ok j -> (
+            match event_of_json j with
+            | None -> None
+            | Some ev -> go (ev :: acc) rest))
+  in
+  go [] lines
+
 type validation = {
   events : int;  (** Span/instant events (metadata and counters excluded). *)
   tracks : int;  (** Distinct domain tracks carrying events. *)
+  pids : int;  (** Distinct process tracks carrying span/instant events. *)
   counters : string list;  (** Names of counter samples, sorted. *)
   span_names : string list;  (** Distinct span names, sorted. *)
 }
@@ -482,8 +692,9 @@ let validate_string ?(require = []) body =
       | Some (Arr events) -> (
           let err = ref None in
           let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
-          let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+          let stacks : (int * int, string list ref) Hashtbl.t = Hashtbl.create 8 in
           let tids = Hashtbl.create 8 in
+          let pids = Hashtbl.create 8 in
           let counters = Hashtbl.create 16 in
           let span_names = Hashtbl.create 32 in
           let n_events = ref 0 in
@@ -508,12 +719,19 @@ let validate_string ?(require = []) body =
               | Some name, Some ph, Some ts, Some tid -> (
                   if ts < 0.0 then fail "event %d: negative ts" i;
                   let itid = int_of_float tid in
-                  let stack_of tid =
-                    match Hashtbl.find_opt stacks tid with
+                  let ipid =
+                    match num "pid" with Some p -> int_of_float p | None -> 0
+                  in
+                  let mark_track () =
+                    Hashtbl.replace tids (ipid, itid) ();
+                    Hashtbl.replace pids ipid ()
+                  in
+                  let stack_of key =
+                    match Hashtbl.find_opt stacks key with
                     | Some s -> s
                     | None ->
                         let s = ref [] in
-                        Hashtbl.replace stacks tid s;
+                        Hashtbl.replace stacks key s;
                         s
                   in
                   match ph with
@@ -533,7 +751,7 @@ let validate_string ?(require = []) body =
                       Hashtbl.replace counters name value
                   | 'X' -> (
                       incr n_events;
-                      Hashtbl.replace tids itid ();
+                      mark_track ();
                       Hashtbl.replace span_names name ();
                       match num "dur" with
                       | Some d when d >= 0.0 -> ()
@@ -541,13 +759,13 @@ let validate_string ?(require = []) body =
                       | None -> fail "event %d (%s): X without dur" i name)
                   | 'B' ->
                       incr n_events;
-                      Hashtbl.replace tids itid ();
+                      mark_track ();
                       Hashtbl.replace span_names name ();
-                      let s = stack_of itid in
+                      let s = stack_of (ipid, itid) in
                       s := name :: !s
                   | 'E' -> (
                       incr n_events;
-                      let s = stack_of itid in
+                      let s = stack_of (ipid, itid) in
                       match !s with
                       | top :: rest ->
                           if top <> name && name <> "" then
@@ -558,11 +776,11 @@ let validate_string ?(require = []) body =
                       | [] -> fail "event %d: E %S with no open span on tid %d" i name itid)
                   | 'i' ->
                       incr n_events;
-                      Hashtbl.replace tids itid ()
+                      mark_track ()
                   | c -> fail "event %d: unknown phase %C" i c))
             events;
           Hashtbl.iter
-            (fun tid s ->
+            (fun (_, tid) s ->
               match !s with
               | [] -> ()
               | top :: _ ->
@@ -574,41 +792,61 @@ let validate_string ?(require = []) body =
           let counter_names =
             List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) counters [])
           in
-          (* A requirement is either a bare counter name (presence) or
-             "name>K" (latest sample strictly above the integer K). *)
+          (* A requirement is a bare counter name (presence) or a
+             comparison "name>K" / "name>=K" / "name=K" against the
+             latest sample, with integer K. *)
+          let parse_requirement want =
+            let len = String.length want in
+            match String.index_opt want '>' with
+            | Some i when i + 1 < len && want.[i + 1] = '=' ->
+                Some (String.sub want 0 i, `Ge, String.sub want (i + 2) (len - i - 2))
+            | Some i ->
+                Some (String.sub want 0 i, `Gt, String.sub want (i + 1) (len - i - 1))
+            | None -> (
+                match String.index_opt want '=' with
+                | Some i ->
+                    Some
+                      (String.sub want 0 i, `Eq, String.sub want (i + 1) (len - i - 1))
+                | None -> None)
+          in
           List.iter
             (fun want ->
               if !err = None then
-                match String.index_opt want '>' with
+                match parse_requirement want with
                 | None ->
                     if not (Hashtbl.mem counters want) then
                       err :=
                         Some (Printf.sprintf "required counter %S absent" want)
-                | Some gt -> (
-                    let cname = String.sub want 0 gt in
-                    let bound =
-                      String.sub want (gt + 1) (String.length want - gt - 1)
-                    in
-                    match int_of_string_opt bound with
-                    | None ->
+                | Some (cname, cmp, bound) -> (
+                    match (int_of_string_opt bound, cname) with
+                    | None, _ | _, "" ->
                         err :=
                           Some
                             (Printf.sprintf
-                               "bad requirement %S: expected NAME or NAME>INT"
+                               "bad requirement %S: expected NAME, NAME>INT, \
+                                NAME>=INT or NAME=INT"
                                want)
-                    | Some k -> (
+                    | Some k, _ -> (
                         match Hashtbl.find_opt counters cname with
                         | None ->
                             err :=
                               Some
                                 (Printf.sprintf "required counter %S absent"
                                    cname)
-                        | Some v when v <= float_of_int k ->
-                            err :=
-                              Some
-                                (Printf.sprintf
-                                   "counter %S is %g, required > %d" cname v k)
-                        | Some _ -> ())))
+                        | Some v ->
+                            let fk = float_of_int k in
+                            let ok, op =
+                              match cmp with
+                              | `Gt -> (v > fk, ">")
+                              | `Ge -> (v >= fk, ">=")
+                              | `Eq -> (v = fk, "=")
+                            in
+                            if not ok then
+                              err :=
+                                Some
+                                  (Printf.sprintf
+                                     "counter %S is %g, required %s %d" cname v
+                                     op k))))
             require;
           match !err with
           | Some msg -> Error msg
@@ -617,6 +855,7 @@ let validate_string ?(require = []) body =
                 {
                   events = !n_events;
                   tracks = Hashtbl.length tids;
+                  pids = Hashtbl.length pids;
                   counters = counter_names;
                   span_names =
                     List.sort compare

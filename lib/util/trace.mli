@@ -53,9 +53,55 @@ val dropped : unit -> int
 val clear : unit -> unit
 (** Drop all buffered events (buffers stay registered). *)
 
+type event = {
+  name : string;
+  ph : char;  (** 'X' complete, 'i' instant, 'C' counter, 'M' metadata *)
+  ts_ns : int64;  (** Monotonic-clock start, nanoseconds. *)
+  dur_ns : int64;
+  tid : int;  (** Recording domain's id. *)
+  args : (string * arg) list;
+}
+(** A raw buffered event, exposed for telemetry snapshots. *)
+
+val events : unit -> event list
+(** Every buffered event across all domains, sorted by
+    (timestamp, tid, name). *)
+
+val serialize_events : event list -> string
+(** One JSON object per line with raw nanosecond fields — the
+    snapshot wire form; inverse of {!parse_events}. *)
+
+val parse_events : string -> event list option
+(** Parse {!serialize_events} output; [None] if any line is
+    malformed (readers treat that as a corrupt snapshot). *)
+
+type process = {
+  p_host : string;
+  p_pid : int;
+  p_anchor_mono_ns : int64;
+      (** Monotonic clock at the process's anchor instant. *)
+  p_anchor_wall_ns : int64;
+      (** Wall clock (ns since the Unix epoch) at the same instant. *)
+  p_events : event list;
+  p_counters : (string * int) list;
+  p_dropped : int;
+}
+(** One process's telemetry as input to {!render_merged}. *)
+
+val render_merged : process list -> string * int
+(** Fold many processes' events into one Chrome trace: one trace
+    process per (host,pid) with its domain tracks under it, clocks
+    aligned via each process's monotonic→wall epoch anchor and
+    rebased to the fleet's earliest event, counters summed across
+    processes into final 'C' samples.  Returns the JSON and the
+    total span/instant event count. *)
+
 val render : unit -> string * int
 (** The merged trace as Chrome trace-event JSON plus the number of
     recorded events (excludes metadata/counter lines). *)
+
+val out_path : unit -> string option
+(** The output file registered by {!enable_to}, if any. *)
 
 val write_file : string -> int
 (** Render and write to a file; returns the event count. *)
@@ -74,14 +120,16 @@ val finish : unit -> (string * int) option
     verifies every event has [name]/[ph]/[ts]/[tid], that ["B"]/["E"]
     events balance per track with matching names, that ["X"] events
     carry a non-negative [dur], and that all [require]d counter
-    samples are present.  A requirement is either a bare counter name
-    (presence) or ["name>K"] with integer [K], asserting the sample's
-    value is strictly above [K] — CI uses ["pool.steals>0"] to prove
-    the work-stealing scheduler actually stole under load. *)
+    samples are present.  A requirement is a bare counter name
+    (presence) or a comparison ["name>K"], ["name>=K"] or ["name=K"]
+    with integer [K] against the latest sample — CI uses
+    ["pool.steals>0"] to prove the work-stealing scheduler actually
+    stole under load. *)
 
 type validation = {
   events : int;  (** Span/instant events (metadata and counters excluded). *)
-  tracks : int;  (** Distinct domain tracks carrying events. *)
+  tracks : int;  (** Distinct (pid, tid) tracks carrying events. *)
+  pids : int;  (** Distinct process tracks carrying span/instant events. *)
   counters : string list;  (** Names of counter samples, sorted. *)
   span_names : string list;  (** Distinct span names, sorted. *)
 }

@@ -1,0 +1,438 @@
+(* Tests for the fleet observability layer: log-bucketed latency
+   histograms (bucket scheme, merge determinism, wire form), telemetry
+   snapshot payload round-trips, sealed-snapshot corruption handling
+   (skipped-and-counted), the multi-process trace merge with epoch-
+   anchor clock alignment, and the [gat monitor] table. *)
+
+module H = Gat_util.Histogram.Log
+module Metrics = Gat_util.Metrics
+module Trace = Gat_util.Trace
+module Telemetry = Gat_util.Telemetry
+module Lease = Gat_util.Lease
+module Monitor = Gat_tuner.Monitor
+
+(* Private scratch cache directory; never the user's ~/.cache/gat. *)
+let () =
+  Unix.putenv "GAT_CACHE_DIR"
+    (Filename.concat (Filename.get_temp_dir_name ())
+       (Printf.sprintf "gat-test-telemetry-%d" (Unix.getpid ())))
+
+let temp_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gat-test-telem-%s-%d" name (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ---- histogram bucket scheme ---- *)
+
+let test_bucket_scheme () =
+  (* Exact buckets below 8 ns. *)
+  for v = 0 to 7 do
+    Alcotest.(check int) "small bucket is identity" v (H.bucket_of_ns v);
+    Alcotest.(check int) "small lower edge" v (H.bucket_lower v)
+  done;
+  (* The lower edge always bounds the value from below, and indices
+     stay in range. *)
+  List.iter
+    (fun v ->
+      let i = H.bucket_of_ns v in
+      Alcotest.(check bool) "index in range" true (i >= 0 && i < H.buckets);
+      Alcotest.(check bool)
+        (Printf.sprintf "lower edge <= %d" v)
+        true
+        (H.bucket_lower i <= v))
+    [ 8; 9; 100; 1_000; 65_537; 1_000_000; 123_456_789; max_int / 2 ];
+  (* Negative samples clamp to bucket 0. *)
+  let h = H.create () in
+  H.record h (-5);
+  Alcotest.(check int) "negative clamps" 1 (H.counts h).(0)
+
+let prop_bucket_monotone =
+  QCheck.Test.make ~count:300 ~name:"bucket index is monotone in the value"
+    QCheck.(pair (int_bound 10_000_000) (int_bound 10_000_000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      H.bucket_of_ns lo <= H.bucket_of_ns hi)
+
+(* ---- histogram merge: order-invariant, totals preserved ---- *)
+
+let prop_merge_order_invariant =
+  QCheck.Test.make ~count:100
+    ~name:"merge is order-invariant and preserves totals"
+    QCheck.(
+      list_of_size
+        Gen.(int_range 1 6)
+        (list_of_size Gen.(int_range 0 20) (int_bound 2_000_000)))
+    (fun samples ->
+      let hist_of xs =
+        let h = H.create () in
+        List.iter (H.record h) xs;
+        h
+      in
+      let hists = List.map hist_of samples in
+      let fold l = List.fold_left H.merge (H.create ()) l in
+      let fwd = fold hists and rev = fold (List.rev hists) in
+      let all = List.concat samples in
+      H.counts fwd = H.counts rev
+      && H.total fwd = List.length all
+      && H.sum_ns fwd = List.fold_left ( + ) 0 all)
+
+let prop_serialize_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"serialize/parse round-trips"
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_bound 5_000_000))
+    (fun xs ->
+      let h = H.create () in
+      List.iter (H.record h) xs;
+      match H.parse (H.serialize h) with
+      | None -> false
+      | Some h' -> H.counts h = H.counts h' && H.sum_ns h = H.sum_ns h')
+
+let test_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S fails" s)
+        true
+        (H.parse s = None))
+    [ "garbage"; "sum=x 1:2"; "sum=3 999:1"; "sum=3 1:nope"; "1:2" ]
+
+let test_percentiles () =
+  let h = H.create () in
+  List.iter (H.record h) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "p50 of 1..5" 3 (H.percentile_ns h 0.5);
+  Alcotest.(check int) "p100 of 1..5" 5 (H.percentile_ns h 1.0);
+  Alcotest.(check bool) "monotone in q" true
+    (H.percentile_ns h 0.1 <= H.percentile_ns h 0.9);
+  Alcotest.(check int) "empty histogram" 0 (H.percentile_ns (H.create ()) 0.5)
+
+(* ---- snapshot payload round-trip ---- *)
+
+let sample_snapshot ?(host = "nodeA") ?(pid = 7) ?(note = "") () =
+  let h = H.create () in
+  List.iter (H.record h) [ 100; 200; 300 ];
+  {
+    Telemetry.host;
+    pid;
+    anchor_mono_ns = 123L;
+    anchor_wall_ns = 456_000L;
+    captured_wall_ns = 789_000L;
+    dropped = 2;
+    note;
+    counters = [ ("sweep.points", 3); ("zero", 0) ];
+    timers = [ ("t", 4, 5000) ];
+    histograms = [ ("sweep.compile", h) ];
+    events =
+      [
+        {
+          Trace.name = "e1";
+          ph = 'X';
+          ts_ns = 10L;
+          dur_ns = 5L;
+          tid = 1;
+          args = [ ("i", Trace.I 3) ];
+        };
+        {
+          Trace.name = "e2";
+          ph = 'i';
+          ts_ns = 20L;
+          dur_ns = 0L;
+          tid = 0;
+          args = [ ("s", Trace.S "x") ];
+        };
+      ];
+  }
+
+let check_snapshot_eq a b =
+  Alcotest.(check string) "host" a.Telemetry.host b.Telemetry.host;
+  Alcotest.(check int) "pid" a.Telemetry.pid b.Telemetry.pid;
+  Alcotest.(check int64) "anchor_mono" a.Telemetry.anchor_mono_ns
+    b.Telemetry.anchor_mono_ns;
+  Alcotest.(check int64) "anchor_wall" a.Telemetry.anchor_wall_ns
+    b.Telemetry.anchor_wall_ns;
+  Alcotest.(check int64) "captured_wall" a.Telemetry.captured_wall_ns
+    b.Telemetry.captured_wall_ns;
+  Alcotest.(check int) "dropped" a.Telemetry.dropped b.Telemetry.dropped;
+  Alcotest.(check string) "note" a.Telemetry.note b.Telemetry.note;
+  Alcotest.(check (list (pair string int)))
+    "counters" a.Telemetry.counters b.Telemetry.counters;
+  Alcotest.(check bool) "timers" true (a.Telemetry.timers = b.Telemetry.timers);
+  Alcotest.(check (list string))
+    "histogram names"
+    (List.map fst a.Telemetry.histograms)
+    (List.map fst b.Telemetry.histograms);
+  List.iter2
+    (fun (_, ha) (_, hb) ->
+      Alcotest.(check bool) "histogram counts" true (H.counts ha = H.counts hb))
+    a.Telemetry.histograms b.Telemetry.histograms;
+  Alcotest.(check bool) "events" true (a.Telemetry.events = b.Telemetry.events)
+
+let test_payload_roundtrip () =
+  let snap = sample_snapshot () in
+  (match Telemetry.of_payload (Buffer.contents (Telemetry.to_payload snap)) with
+  | None -> Alcotest.fail "payload did not parse"
+  | Some got -> check_snapshot_eq snap got);
+  (* Crash notes survive the round-trip too. *)
+  let crash = sample_snapshot ~note:"internal error: boom" () in
+  match Telemetry.of_payload (Buffer.contents (Telemetry.to_payload crash)) with
+  | None -> Alcotest.fail "crash payload did not parse"
+  | Some got -> Alcotest.(check string) "note" crash.Telemetry.note got.Telemetry.note
+
+(* First-occurrence string replace, enough for doctoring payloads. *)
+let replace ~sub ~by s =
+  let n = String.length s and m = String.length sub in
+  let rec find i = if i + m > n then None else if String.sub s i m = sub then Some i else find (i + 1) in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ by ^ String.sub s (i + m) (n - i - m)
+
+let test_payload_rejects_malformed () =
+  let good = Buffer.contents (Telemetry.to_payload (sample_snapshot ())) in
+  let cases =
+    [
+      ("garbage", "not a payload\n");
+      ("empty", "");
+      ("unknown tag", good ^ "mystery line\n");
+      ( "truncated events",
+        (* Claim one more event than the payload carries. *)
+        replace ~sub:"events 2" ~by:"events 3" good );
+    ]
+  in
+  List.iter
+    (fun (name, body) ->
+      Alcotest.(check bool) name true (Telemetry.of_payload body = None))
+    cases
+
+(* ---- sealed snapshots on disk: corruption is skipped-and-counted ---- *)
+
+let test_corruption_skipped () =
+  let d = temp_dir "corrupt" in
+  Telemetry.disable ();
+  Telemetry.enable ~dir:d;
+  Metrics.set (Metrics.counter "sweep.points") 20;
+  Telemetry.flush ();
+  Telemetry.disable ();
+  let good, skipped = Telemetry.load_dir d in
+  Alcotest.(check int) "one good snapshot" 1 (List.length good);
+  Alcotest.(check int) "nothing skipped yet" 0 skipped;
+  let good_path =
+    Telemetry.snapshot_path ~dir:d ~host:(Unix.gethostname ())
+      ~pid:(Unix.getpid ())
+  in
+  let raw =
+    let ic = open_in_bin good_path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (* A flipped byte breaks the MD5 seal; a truncation loses the
+     trailer; garbage was never sealed at all. *)
+  let flipped = Bytes.of_string raw in
+  Bytes.set flipped (Bytes.length flipped / 2) '\xff';
+  write_file
+    (Telemetry.snapshot_path ~dir:d ~host:"flip" ~pid:1)
+    (Bytes.to_string flipped);
+  write_file
+    (Telemetry.snapshot_path ~dir:d ~host:"trunc" ~pid:2)
+    (String.sub raw 0 (String.length raw / 2));
+  write_file (Telemetry.snapshot_path ~dir:d ~host:"junk" ~pid:3) "hello\n";
+  let before = Metrics.value (Metrics.counter "telem.snapshots_skipped") in
+  let snaps, skipped = Telemetry.load_dir d in
+  Alcotest.(check int) "good one still loads" 1 (List.length snaps);
+  Alcotest.(check int) "three skipped" 3 skipped;
+  Alcotest.(check int) "skips counted in metrics" (before + 3)
+    (Metrics.value (Metrics.counter "telem.snapshots_skipped"));
+  (* The damaged files do not poison the merge either. *)
+  let _json, _events, procs, merge_skipped = Telemetry.merge_dir d in
+  Alcotest.(check int) "merge sees one process" 1 procs;
+  Alcotest.(check int) "merge counts the skips" 3 merge_skipped
+
+let test_crash_records () =
+  let d = temp_dir "crash" in
+  Telemetry.disable ();
+  Telemetry.enable ~dir:d;
+  Telemetry.crash_dump ~reason:"internal error: boom";
+  Telemetry.disable ();
+  Alcotest.(check int) "one crash file" 1 (List.length (Telemetry.crash_files d));
+  let crashes, skipped = Telemetry.load_crashes d in
+  Alcotest.(check int) "no skips" 0 skipped;
+  match crashes with
+  | [ c ] ->
+      Alcotest.(check string) "note" "internal error: boom" c.Telemetry.note;
+      Alcotest.(check int) "own pid" (Unix.getpid ()) c.Telemetry.pid
+  | _ -> Alcotest.fail "expected exactly one crash record"
+
+let test_dedupe_keeps_fullest () =
+  let thin = sample_snapshot () in
+  let fat =
+    { thin with Telemetry.counters = [ ("sweep.points", 9); ("more", 4) ] }
+  in
+  let other = sample_snapshot ~host:"nodeB" ~pid:1 () in
+  match Telemetry.dedupe [ thin; other; fat ] with
+  | [ a; b ] ->
+      (* Sorted by (host, pid); per-key the fullest capture wins. *)
+      Alcotest.(check string) "first host" "nodeA" a.Telemetry.host;
+      Alcotest.(check (list (pair string int)))
+        "fullest kept" fat.Telemetry.counters a.Telemetry.counters;
+      Alcotest.(check string) "second host" "nodeB" b.Telemetry.host
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 snapshots, got %d" (List.length l))
+
+(* ---- multi-process merge with epoch-anchor alignment ---- *)
+
+let test_merged_trace_two_processes () =
+  let d = temp_dir "merge2" in
+  let mk host pid points =
+    let s = sample_snapshot ~host ~pid () in
+    { s with Telemetry.counters = [ ("sweep.points", points) ] }
+  in
+  let publish s =
+    let b = Telemetry.to_payload s in
+    Gat_util.Sealed_file.seal b;
+    Gat_util.Sealed_file.publish
+      ~path:
+        (Telemetry.snapshot_path ~dir:d ~host:s.Telemetry.host
+           ~pid:s.Telemetry.pid)
+      b
+  in
+  publish (mk "alpha" 11 3);
+  publish (mk "beta" 22 4);
+  let json, events, procs, skipped = Telemetry.merge_dir d in
+  Alcotest.(check int) "two processes" 2 procs;
+  Alcotest.(check int) "no skips" 0 skipped;
+  Alcotest.(check int) "all events merged" 4 events;
+  match Trace.validate_string ~require:[ "sweep.points=7" ] json with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check int) "two pids carry events" 2 v.Trace.pids;
+      Alcotest.(check int) "validator event count" 4 v.Trace.events;
+      Alcotest.(check bool) "summed counter present" true
+        (List.mem "sweep.points" v.Trace.counters)
+
+let test_epoch_anchor_alignment () =
+  (* Two processes whose monotonic clocks disagree wildly; the epoch
+     anchors must still order their events by wall time, rebased so
+     the fleet's earliest event sits at ts 0. *)
+  let ev name ts_ns =
+    { Trace.name; ph = 'X'; ts_ns; dur_ns = 0L; tid = 0; args = [] }
+  in
+  let proc host pid ~mono ~wall events =
+    {
+      Trace.p_host = host;
+      p_pid = pid;
+      p_anchor_mono_ns = mono;
+      p_anchor_wall_ns = wall;
+      p_events = events;
+      p_counters = [];
+      p_dropped = 0;
+    }
+  in
+  let late =
+    (* wall = 1_000_000 + (10_000 - 5_000) = 1_005_000 ns *)
+    proc "a" 1 ~mono:5_000L ~wall:1_000_000L [ ev "late" 10_000L ]
+  in
+  let early =
+    (* wall = 2_000 + (1_000_000 - 999_000) = 3_000 ns *)
+    proc "b" 2 ~mono:999_000L ~wall:2_000L [ ev "early" 1_000_000L ]
+  in
+  let json, n = Trace.render_merged [ late; early ] in
+  Alcotest.(check int) "both events" 2 n;
+  Alcotest.(check bool) "earliest event rebased to 0" true
+    (contains json "{\"name\":\"early\",\"cat\":\"gat\",\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":0.000");
+  Alcotest.(check bool) "later event at the wall delta" true
+    (contains json "{\"name\":\"late\",\"cat\":\"gat\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1002.000");
+  Alcotest.(check bool) "process names carry host:pid" true
+    (contains json "gat a:1" && contains json "gat b:2");
+  match Trace.validate_string json with
+  | Error e -> Alcotest.fail e
+  | Ok v -> Alcotest.(check int) "two pids" 2 v.Trace.pids
+
+(* ---- gat monitor ---- *)
+
+let test_monitor_rows () =
+  let d = temp_dir "monitor" in
+  Telemetry.disable ();
+  Telemetry.enable ~dir:d;
+  Metrics.set (Metrics.counter "sweep.points") 40;
+  Metrics.observe (Metrics.histogram "sweep.compile") 1_000_000;
+  Metrics.observe (Metrics.histogram "sweep.simulate") 3_000_000;
+  let owner = Lease.make_owner () in
+  Alcotest.(check bool) "lease acquired" true
+    (Lease.acquire ~path:(Filename.concat d "shard-0.lease") ~owner ~ttl:60.);
+  Telemetry.flush ();
+  (let rows, skipped = Monitor.rows d in
+   Alcotest.(check int) "no skips" 0 skipped;
+   match rows with
+   | [ r ] ->
+       Alcotest.(check string) "host" (Unix.gethostname ()) r.Monitor.host;
+       Alcotest.(check int) "pid" (Unix.getpid ()) r.Monitor.pid;
+       Alcotest.(check bool) "holds shard 0" true (r.Monitor.shard = Some 0);
+       Alcotest.(check bool) "points visible" true (r.Monitor.points >= 40);
+       Alcotest.(check bool) "p50 positive" true (r.Monitor.p50_ns > 0);
+       Alcotest.(check bool) "p99 >= p50" true (r.Monitor.p99_ns >= r.Monitor.p50_ns);
+       Alcotest.(check bool) "renewal age present" true
+         (match r.Monitor.renewal_age_s with Some a -> a >= 0. | None -> false);
+       Alcotest.(check bool) "not crashed" true (not r.Monitor.crashed);
+       let line = Monitor.render_row r in
+       Alcotest.(check bool) "line names the worker" true
+         (contains line (Printf.sprintf "%s:%d" r.Monitor.host r.Monitor.pid));
+       Alcotest.(check bool) "line says running" true (contains line "running");
+       let table = Monitor.render rows in
+       Alcotest.(check bool) "table has header" true (contains table "pts/s")
+   | l ->
+       Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l)));
+  Telemetry.crash_dump ~reason:"boom";
+  Telemetry.disable ();
+  let rows, _ = Monitor.rows d in
+  match rows with
+  | [ r ] ->
+      Alcotest.(check bool) "crashed flagged" true r.Monitor.crashed;
+      Alcotest.(check string) "crash note" "boom" r.Monitor.crash_note;
+      Alcotest.(check bool) "line says crashed" true
+        (contains (Monitor.render_row r) "crashed: boom")
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 row, got %d" (List.length l))
+
+let () =
+  Alcotest.run "gat_telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket scheme" `Quick test_bucket_scheme;
+          QCheck_alcotest.to_alcotest prop_bucket_monotone;
+          QCheck_alcotest.to_alcotest prop_merge_order_invariant;
+          QCheck_alcotest.to_alcotest prop_serialize_roundtrip;
+          Alcotest.test_case "parse rejects garbage" `Quick
+            test_parse_rejects_garbage;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "payload roundtrip" `Quick test_payload_roundtrip;
+          Alcotest.test_case "payload rejects malformed" `Quick
+            test_payload_rejects_malformed;
+          Alcotest.test_case "corruption skipped-and-counted" `Quick
+            test_corruption_skipped;
+          Alcotest.test_case "crash flight records" `Quick test_crash_records;
+          Alcotest.test_case "dedupe keeps fullest" `Quick
+            test_dedupe_keeps_fullest;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "two-process merged trace" `Quick
+            test_merged_trace_two_processes;
+          Alcotest.test_case "epoch anchor alignment" `Quick
+            test_epoch_anchor_alignment;
+        ] );
+      ( "monitor",
+        [ Alcotest.test_case "rows and rendering" `Quick test_monitor_rows ] );
+    ]

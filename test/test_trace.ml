@@ -198,7 +198,23 @@ let test_require_thresholds () =
   (* Malformed bound: rejected loudly, not treated as a name. *)
   expect ~require:[ "pool.steals>many" ] (counter_trace 3) `Err;
   (* Bare name still means presence, whatever the value. *)
-  expect ~require:[ "pool.steals" ] (counter_trace 0) `Ok
+  expect ~require:[ "pool.steals" ] (counter_trace 0) `Ok;
+  (* >= : inclusive lower bound. *)
+  expect ~require:[ "pool.steals>=3" ] (counter_trace 3) `Ok;
+  expect ~require:[ "pool.steals>=4" ] (counter_trace 3) `Err;
+  expect ~require:[ "pool.steals>=0" ] (counter_trace 0) `Ok;
+  (* = : exact value. *)
+  expect ~require:[ "pool.steals=3" ] (counter_trace 3) `Ok;
+  expect ~require:[ "pool.steals=2" ] (counter_trace 3) `Err;
+  expect ~require:[ "pool.steals=0" ] (counter_trace 0) `Ok;
+  (* Negatives for the new comparators: absent names and malformed
+     bounds still fail loudly. *)
+  expect ~require:[ "absent>=0" ] (counter_trace 3) `Err;
+  expect ~require:[ "absent=0" ] (counter_trace 3) `Err;
+  expect ~require:[ "pool.steals>=" ] (counter_trace 3) `Err;
+  expect ~require:[ "pool.steals=" ] (counter_trace 3) `Err;
+  expect ~require:[ "pool.steals=many" ] (counter_trace 3) `Err;
+  expect ~require:[ "=3" ] (counter_trace 3) `Err
 
 let test_write_file_and_validate () =
   let path = Filename.temp_file "gat-trace" ".json" in
